@@ -1,0 +1,152 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§4) and runs Bechamel micro-benchmarks of the
+   substrates.
+
+   Usage:
+     dune exec bench/main.exe                 # everything (default windows)
+     dune exec bench/main.exe -- fig10        # one artifact
+     dune exec bench/main.exe -- fig12 fig13
+     dune exec bench/main.exe -- --full all   # paper-length windows (slow)
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+
+   Artifacts: table1 table2 fig10 fig11 fig12 fig13 ablations micro.
+   EXPERIMENTS.md records the paper's reported values next to the
+   numbers these runs produce. *)
+
+module Runner = Rdb_experiments.Runner
+module Figures = Rdb_experiments.Figures
+module Tables = Rdb_experiments.Tables
+module Ablations = Rdb_experiments.Ablations
+module Config = Rdb_types.Config
+
+let say fmt = Printf.printf fmt
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  say "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+(* -- Bechamel micro-benchmarks ----------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let sha_payload = String.make 5400 'x' in
+  let cmac_key = Rdb_crypto.Cmac.of_key (String.make 16 'k') in
+  let sk = Rdb_crypto.Schnorr.keygen ~seed:"bench" ~key_id:0 in
+  let pk = Rdb_crypto.Schnorr.public_key sk in
+  let sg = Rdb_crypto.Schnorr.sign sk "payload" in
+  let zipf = Rdb_prng.Zipf.create Rdb_ycsb.Table.default_records in
+  let zipf_rng = Rdb_prng.Rng.create 1L in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  [
+    mk "sha256-5400B" (fun () -> ignore (Rdb_crypto.Sha256.digest sha_payload));
+    mk "aes-cmac-250B" (fun () ->
+        ignore (Rdb_crypto.Cmac.mac cmac_key (String.sub sha_payload 0 250)));
+    mk "schnorr-sign" (fun () -> ignore (Rdb_crypto.Schnorr.sign sk "payload"));
+    mk "schnorr-verify" (fun () -> ignore (Rdb_crypto.Schnorr.verify pk "payload" sg));
+    mk "sim-10k-events" (fun () ->
+        let e = Rdb_sim.Engine.create () in
+        for i = 1 to 10_000 do
+          ignore (Rdb_sim.Engine.schedule_at e ~at:(Int64.of_int i) (fun () -> ()))
+        done;
+        Rdb_sim.Engine.run e);
+    mk "zipf-sample-600k" (fun () -> ignore (Rdb_prng.Zipf.sample_scrambled zipf zipf_rng));
+  ]
+  (* One deployment benchmark per protocol: the full cost of simulating
+     half a second of a small geo deployment. *)
+  @ List.map
+      (fun p ->
+        Test.make
+          ~name:(Printf.sprintf "sim-0.5s-%s" (Runner.proto_name p))
+          (Staged.stage (fun () ->
+               let cfg = Config.make ~z:2 ~n:4 ~batch_size:10 ~client_inflight:4 () in
+               ignore
+                 (Runner.run_proto p
+                    ~windows:
+                      { Runner.warmup = Rdb_sim.Time.ms 100; measure = Rdb_sim.Time.ms 400 }
+                    cfg))))
+      Runner.all_protocols
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  say "\n== Bechamel micro-benchmarks ==\n%!";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" ~fmt:"%s%s" [ test ]) in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some (est :: _) ->
+              if est > 1e6 then say "  %-28s %12.3f ms/run\n%!" name (est /. 1e6)
+              else say "  %-28s %12.1f ns/run\n%!" name est
+          | _ -> say "  %-28s (no estimate)\n%!" name)
+        results)
+    (micro_tests ())
+
+(* -- experiment artifacts ------------------------------------------------------ *)
+
+let windows_ref = ref Runner.default_windows
+
+let run_table1 () = timed "table1" (fun () -> Tables.Table1.print ())
+
+let run_table2 () =
+  timed "table2" (fun () ->
+      let rows = Tables.Table2.run ~windows:!windows_ref () in
+      Tables.Table2.print rows)
+
+let run_fig10 () =
+  timed "fig10" (fun () ->
+      let rows = Figures.Fig10.run ~windows:!windows_ref () in
+      Figures.Fig10.print rows)
+
+let run_fig11 () =
+  timed "fig11" (fun () ->
+      let rows = Figures.Fig11.run ~windows:!windows_ref () in
+      Figures.Fig11.print rows)
+
+let run_fig12 () =
+  timed "fig12" (fun () ->
+      let one = Figures.Fig12.run_one_failure ~windows:!windows_ref () in
+      let ff = Figures.Fig12.run_f_failures ~windows:!windows_ref () in
+      let pf = Figures.Fig12.run_primary_failure ~windows:!windows_ref () in
+      Figures.Fig12.print ~one ~ff ~pf)
+
+let run_ablations () =
+  timed "ablations" (fun () -> Ablations.run_all ~windows:!windows_ref ())
+
+let run_fig13 () =
+  timed "fig13" (fun () ->
+      let rows = Figures.Fig13.run ~windows:!windows_ref () in
+      Figures.Fig13.print rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  if full then windows_ref := Runner.full_windows;
+  let args = List.filter (fun a -> a <> "--full") args in
+  let targets =
+    if args = [] || List.mem "all" args then
+      [ "table1"; "table2"; "fig10"; "fig11"; "fig12"; "fig13"; "ablations"; "micro" ]
+    else args
+  in
+  say "ResilientDB/GeoBFT evaluation harness (windows: warmup %.0fs + measure %.0fs)\n%!"
+    (Rdb_sim.Time.to_sec_f !windows_ref.Runner.warmup)
+    (Rdb_sim.Time.to_sec_f !windows_ref.Runner.measure);
+  List.iter
+    (function
+      | "table1" -> run_table1 ()
+      | "table2" -> run_table2 ()
+      | "fig10" -> run_fig10 ()
+      | "fig11" -> run_fig11 ()
+      | "fig12" -> run_fig12 ()
+      | "fig13" -> run_fig13 ()
+      | "ablations" -> run_ablations ()
+      | "micro" -> run_micro ()
+      | other -> say "unknown target %S (expected table1 table2 fig10..fig13 micro)\n" other)
+    targets

@@ -1,0 +1,99 @@
+(* resilientdb-cli: run one simulated deployment from the command line.
+
+   Examples:
+     resilientdb-cli run --protocol geobft --clusters 4 --replicas 7
+     resilientdb-cli run -p pbft -z 6 -n 10 --batch 200 --measure 30
+     resilientdb-cli run -p geobft -z 2 -n 4 --fault primary
+     resilientdb-cli matrix            # print the Table 1 calibration *)
+
+open Cmdliner
+module Runner = Resilientdb.Experiments.Runner
+module Config = Resilientdb.Config
+module Time = Resilientdb.Time
+module Report = Resilientdb.Report
+
+let protocol_arg =
+  let parse s =
+    match Runner.proto_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown protocol %S (geobft|pbft|zyzzyva|hotstuff|steward)" s))
+  in
+  let print fmt p = Format.pp_print_string fmt (String.lowercase_ascii (Runner.proto_name p)) in
+  Arg.conv (parse, print)
+
+let fault_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "none" -> Ok Runner.No_fault
+    | "one" | "one-nonprimary" -> Ok Runner.One_nonprimary
+    | "f" | "f-nonprimary" -> Ok Runner.F_nonprimary
+    | "primary" -> Ok Runner.Primary_failure
+    | _ -> Error (`Msg "fault must be one of: none, one, f, primary")
+  in
+  let print fmt f = Format.pp_print_string fmt (Runner.fault_name f) in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let protocol =
+    Arg.(value & opt protocol_arg Runner.Geobft
+         & info [ "p"; "protocol" ] ~docv:"PROTO"
+             ~doc:"Consensus protocol: geobft, pbft, zyzzyva, hotstuff or steward.")
+  in
+  let clusters =
+    Arg.(value & opt int 4
+         & info [ "z"; "clusters" ] ~docv:"Z"
+             ~doc:"Number of clusters/regions (1-6, placed in the paper's region order).")
+  in
+  let replicas =
+    Arg.(value & opt int 7 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replicas per cluster.")
+  in
+  let batch = Arg.(value & opt int 100 & info [ "b"; "batch" ] ~docv:"TXNS" ~doc:"Batch size.") in
+  let inflight =
+    Arg.(value & opt int 64
+         & info [ "inflight" ] ~docv:"BATCHES"
+             ~doc:"Outstanding batches per cluster's client group (closed loop).")
+  in
+  let warmup =
+    Arg.(value & opt int 3 & info [ "warmup" ] ~docv:"SEC" ~doc:"Warm-up seconds (simulated).")
+  in
+  let measure =
+    Arg.(value & opt int 9 & info [ "measure" ] ~docv:"SEC" ~doc:"Measurement seconds (simulated).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
+  let fault =
+    Arg.(value & opt fault_arg Runner.No_fault
+         & info [ "fault" ] ~docv:"FAULT"
+             ~doc:
+               "Failure scenario: none, one (non-primary crash), f (f crashes per cluster), \
+                primary (mid-run primary crash).")
+  in
+  let go protocol z n batch inflight warmup measure seed fault =
+    let cfg = Config.make ~z ~n ~batch_size:batch ~client_inflight:inflight ~seed () in
+    let windows = { Runner.warmup = Time.sec warmup; measure = Time.sec measure } in
+    let t0 = Unix.gettimeofday () in
+    let report = Runner.run_proto protocol ~windows ~fault cfg in
+    Printf.printf "%s\n" (Report.to_string report);
+    Printf.printf "(simulated %ds in %.1fs of wall-clock time)\n" (warmup + measure)
+      (Unix.gettimeofday () -. t0)
+  in
+  let term =
+    Term.(
+      const go $ protocol $ clusters $ replicas $ batch $ inflight $ warmup $ measure $ seed
+      $ fault)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one simulated geo-scale deployment and report its metrics.") term
+
+let matrix_cmd =
+  let go () = Resilientdb.Experiments.Tables.Table1.print_configured () in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Print the Table 1 latency/bandwidth calibration matrix.")
+    Term.(const go $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "resilientdb-cli" ~version:"1.0.0"
+       ~doc:"GeoBFT and the ResilientDB fabric: simulated geo-scale BFT deployments.")
+    [ run_cmd; matrix_cmd ]
+
+let () = exit (Cmd.eval main)

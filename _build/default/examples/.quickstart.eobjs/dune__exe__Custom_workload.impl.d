@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Batch Block Config Deployment Engine Geobft Int64 Ledger Printf Resilientdb Table Time Txn

@@ -1,0 +1,1 @@
+examples/failure_drill.ml: Config Deployment Engine Geobft Ledger List Metrics Printf Resilientdb String Time

@@ -1,0 +1,1 @@
+examples/ledger_audit.ml: Array Batch Block Config Deployment Geobft Hex Ledger List Printf Resilientdb String Table Time Txn

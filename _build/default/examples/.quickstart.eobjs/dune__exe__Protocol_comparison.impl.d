@@ -1,0 +1,1 @@
+examples/protocol_comparison.ml: Config Experiments List Printf Report Resilientdb

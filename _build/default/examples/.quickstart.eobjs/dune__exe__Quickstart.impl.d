@@ -1,0 +1,1 @@
+examples/quickstart.ml: Block Config Deployment Format Geobft Ledger Printf Report Resilientdb Time

@@ -1,0 +1,1 @@
+lib/crypto/keychain.ml: Array Cmac Hmac Printf Schnorr String

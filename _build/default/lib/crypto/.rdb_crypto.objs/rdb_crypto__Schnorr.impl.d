@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Char Field61 Int64 Sha256 String

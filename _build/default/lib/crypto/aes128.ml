@@ -1,0 +1,128 @@
+(* AES-128 block cipher (FIPS 197), encryption direction only — that is
+   all CMAC needs.  Straightforward byte-oriented implementation: this
+   code runs on the *logical* path (authenticating simulated messages);
+   the performance of hardware-accelerated AES on the paper's testbed is
+   captured by the simulator's CPU cost model, not by this code.
+   Verified against the FIPS-197 and SP 800-38B test vectors. *)
+
+let sbox =
+  "\x63\x7c\x77\x7b\xf2\x6b\x6f\xc5\x30\x01\x67\x2b\xfe\xd7\xab\x76\
+   \xca\x82\xc9\x7d\xfa\x59\x47\xf0\xad\xd4\xa2\xaf\x9c\xa4\x72\xc0\
+   \xb7\xfd\x93\x26\x36\x3f\xf7\xcc\x34\xa5\xe5\xf1\x71\xd8\x31\x15\
+   \x04\xc7\x23\xc3\x18\x96\x05\x9a\x07\x12\x80\xe2\xeb\x27\xb2\x75\
+   \x09\x83\x2c\x1a\x1b\x6e\x5a\xa0\x52\x3b\xd6\xb3\x29\xe3\x2f\x84\
+   \x53\xd1\x00\xed\x20\xfc\xb1\x5b\x6a\xcb\xbe\x39\x4a\x4c\x58\xcf\
+   \xd0\xef\xaa\xfb\x43\x4d\x33\x85\x45\xf9\x02\x7f\x50\x3c\x9f\xa8\
+   \x51\xa3\x40\x8f\x92\x9d\x38\xf5\xbc\xb6\xda\x21\x10\xff\xf3\xd2\
+   \xcd\x0c\x13\xec\x5f\x97\x44\x17\xc4\xa7\x7e\x3d\x64\x5d\x19\x73\
+   \x60\x81\x4f\xdc\x22\x2a\x90\x88\x46\xee\xb8\x14\xde\x5e\x0b\xdb\
+   \xe0\x32\x3a\x0a\x49\x06\x24\x5c\xc2\xd3\xac\x62\x91\x95\xe4\x79\
+   \xe7\xc8\x37\x6d\x8d\xd5\x4e\xa9\x6c\x56\xf4\xea\x65\x7a\xae\x08\
+   \xba\x78\x25\x2e\x1c\xa6\xb4\xc6\xe8\xdd\x74\x1f\x4b\xbd\x8b\x8a\
+   \x70\x3e\xb5\x66\x48\x03\xf6\x0e\x61\x35\x57\xb9\x86\xc1\x1d\x9e\
+   \xe1\xf8\x98\x11\x69\xd9\x8e\x94\x9b\x1e\x87\xe9\xce\x55\x28\xdf\
+   \x8c\xa1\x89\x0d\xbf\xe6\x42\x68\x41\x99\x2d\x0f\xb0\x54\xbb\x16"
+
+let sub b = Char.code sbox.[b]
+
+(* xtime: multiply by x in GF(2^8) with the AES polynomial. *)
+let xtime b =
+  let b' = b lsl 1 in
+  if b' land 0x100 <> 0 then (b' lxor 0x11B) land 0xFF else b'
+
+type key_schedule = int array (* 44 round-key words, big-endian packed *)
+
+let expand_key (key : string) : key_schedule =
+  if String.length key <> 16 then invalid_arg "Aes128.expand_key: key must be 16 bytes";
+  let w = Array.make 44 0 in
+  for i = 0 to 3 do
+    w.(i) <-
+      (Char.code key.[4 * i] lsl 24)
+      lor (Char.code key.[(4 * i) + 1] lsl 16)
+      lor (Char.code key.[(4 * i) + 2] lsl 8)
+      lor Char.code key.[(4 * i) + 3]
+  done;
+  let rcon = ref 0x01 in
+  for i = 4 to 43 do
+    let temp = w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        (* RotWord + SubWord + Rcon *)
+        let rotated = ((temp lsl 8) lor (temp lsr 24)) land 0xFFFFFFFF in
+        let subbed =
+          (sub ((rotated lsr 24) land 0xFF) lsl 24)
+          lor (sub ((rotated lsr 16) land 0xFF) lsl 16)
+          lor (sub ((rotated lsr 8) land 0xFF) lsl 8)
+          lor sub (rotated land 0xFF)
+        in
+        let v = subbed lxor (!rcon lsl 24) in
+        rcon := xtime !rcon;
+        v
+      end
+      else temp
+    in
+    w.(i) <- w.(i - 4) lxor temp
+  done;
+  w
+
+(* Encrypt one 16-byte block.  State is a 16-element int array in
+   column-major AES order: state.(r + 4*c). *)
+let encrypt_block (ks : key_schedule) (input : string) : string =
+  if String.length input <> 16 then invalid_arg "Aes128.encrypt_block: block must be 16 bytes";
+  let st = Array.make 16 0 in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      st.(r + (4 * c)) <- Char.code input.[(4 * c) + r]
+    done
+  done;
+  let add_round_key round =
+    for c = 0 to 3 do
+      let w = ks.((4 * round) + c) in
+      st.(0 + (4 * c)) <- st.(0 + (4 * c)) lxor ((w lsr 24) land 0xFF);
+      st.(1 + (4 * c)) <- st.(1 + (4 * c)) lxor ((w lsr 16) land 0xFF);
+      st.(2 + (4 * c)) <- st.(2 + (4 * c)) lxor ((w lsr 8) land 0xFF);
+      st.(3 + (4 * c)) <- st.(3 + (4 * c)) lxor (w land 0xFF)
+    done
+  in
+  let sub_bytes () =
+    for i = 0 to 15 do
+      st.(i) <- sub st.(i)
+    done
+  in
+  let shift_rows () =
+    (* Row r rotates left by r. *)
+    for r = 1 to 3 do
+      let row = [| st.(r); st.(r + 4); st.(r + 8); st.(r + 12) |] in
+      for c = 0 to 3 do
+        st.(r + (4 * c)) <- row.((c + r) mod 4)
+      done
+    done
+  in
+  let mix_columns () =
+    for c = 0 to 3 do
+      let a0 = st.(4 * c) and a1 = st.(1 + (4 * c)) and a2 = st.(2 + (4 * c)) and a3 = st.(3 + (4 * c)) in
+      let m2 b = xtime b in
+      let m3 b = xtime b lxor b in
+      st.(4 * c) <- m2 a0 lxor m3 a1 lxor a2 lxor a3;
+      st.(1 + (4 * c)) <- a0 lxor m2 a1 lxor m3 a2 lxor a3;
+      st.(2 + (4 * c)) <- a0 lxor a1 lxor m2 a2 lxor m3 a3;
+      st.(3 + (4 * c)) <- m3 a0 lxor a1 lxor a2 lxor m2 a3
+    done
+  in
+  add_round_key 0;
+  for round = 1 to 9 do
+    sub_bytes ();
+    shift_rows ();
+    mix_columns ();
+    add_round_key round
+  done;
+  sub_bytes ();
+  shift_rows ();
+  add_round_key 10;
+  let out = Bytes.create 16 in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      Bytes.set out ((4 * c) + r) (Char.chr st.(r + (4 * c)))
+    done
+  done;
+  Bytes.unsafe_to_string out

@@ -1,0 +1,12 @@
+(** AES-128 block cipher (FIPS 197), encryption direction only — all
+    that CMAC requires.  Verified against the FIPS-197 vectors. *)
+
+type key_schedule
+
+val expand_key : string -> key_schedule
+(** Expand a 16-byte key into the 11 round keys.
+    @raise Invalid_argument if the key is not 16 bytes. *)
+
+val encrypt_block : key_schedule -> string -> string
+(** Encrypt one 16-byte block.
+    @raise Invalid_argument if the block is not 16 bytes. *)

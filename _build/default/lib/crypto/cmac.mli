@@ -1,0 +1,16 @@
+(** AES-CMAC (NIST SP 800-38B / RFC 4493) — ResilientDB's message
+    authentication code for all non-forwarded messages (§3).  Verified
+    against the RFC 4493 test vectors. *)
+
+type key
+(** An expanded CMAC key (AES key schedule plus the K1/K2 subkeys). *)
+
+val of_key : string -> key
+(** [of_key raw] expands a 16-byte AES-128 key.
+    @raise Invalid_argument if [raw] is not 16 bytes. *)
+
+val mac : key -> string -> string
+(** 16-byte authentication tag of a message of any length. *)
+
+val verify : key -> string -> tag:string -> bool
+(** Constant-time tag comparison. *)

@@ -1,0 +1,30 @@
+(* Hex encoding/decoding for digests, keys and test vectors. *)
+
+let of_string (s : string) : string =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  let digit d = if d < 10 then Char.chr (Char.code '0' + d) else Char.chr (Char.code 'a' + d - 10) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set out (2 * i) (digit (c lsr 4));
+    Bytes.set out ((2 * i) + 1) (digit (c land 0xF))
+  done;
+  Bytes.unsafe_to_string out
+
+let value_of_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.to_string: invalid hex digit"
+
+let to_string (h : string) : string =
+  let n = String.length h in
+  if n mod 2 <> 0 then invalid_arg "Hex.to_string: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = value_of_digit h.[2 * i] in
+    let lo = value_of_digit h.[(2 * i) + 1] in
+    Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+  done;
+  Bytes.unsafe_to_string out

@@ -1,0 +1,8 @@
+(** Hex encoding/decoding for digests, keys and test vectors. *)
+
+val of_string : string -> string
+(** Lower-case hex of raw bytes (length doubles). *)
+
+val to_string : string -> string
+(** Decode hex (either case).
+    @raise Invalid_argument on odd length or non-hex characters. *)

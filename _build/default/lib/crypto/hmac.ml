@@ -1,0 +1,33 @@
+(* HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+
+   Provided as the second MAC option (the Crypto++ configuration used by
+   the C++ ResilientDB exposes both CMAC and HMAC); also used internally
+   to derive per-channel CMAC keys from node identities.  Verified
+   against the RFC 4231 test vectors. *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  if String.length key < block_size then key ^ String.make (block_size - String.length key) '\x00'
+  else key
+
+let xor_pad key pad =
+  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor pad))
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_list [ xor_pad key 0x36; msg ] in
+  Sha256.digest_list [ xor_pad key 0x5c; inner ]
+
+let mac_hex ~key msg = Hex.of_string (mac ~key msg)
+
+let verify ~key msg ~tag =
+  String.length tag = 32
+  &&
+  let expected = mac ~key msg in
+  let diff = ref 0 in
+  for i = 0 to 31 do
+    diff := !diff lor (Char.code expected.[i] lxor Char.code tag.[i])
+  done;
+  !diff = 0

@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1), verified against the RFC 4231
+    test vectors.  Used to derive per-channel CMAC keys and available
+    as an alternative MAC. *)
+
+val mac : key:string -> string -> string
+(** 32-byte tag; keys of any length (hashed if longer than the block). *)
+
+val mac_hex : key:string -> string -> string
+
+val verify : key:string -> string -> tag:string -> bool

@@ -1,0 +1,163 @@
+(* SHA-256 (FIPS 180-4), implemented from scratch on int32 words.
+
+   ResilientDB uses SHA256 for all collision-resistant message digests
+   (block hashes, request digests, checkpoint state digests); this module
+   is the repo-wide digest primitive.  Verified against the NIST test
+   vectors in the test suite. *)
+
+type ctx = {
+  h : int32 array;             (* 8-word chaining state *)
+  buf : Bytes.t;               (* 64-byte block buffer *)
+  mutable buf_len : int;       (* bytes currently in [buf] *)
+  mutable total : int64;       (* total message length in bytes *)
+  w : int32 array;             (* 64-word message schedule (scratch) *)
+}
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
+     0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
+     0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
+     0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
+     0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+let init () =
+  {
+    h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+           0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+    buf = Bytes.create 64;
+    buf_len = 0;
+    total = 0L;
+    w = Array.make 64 0l;
+  }
+
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let ( &% ) = Int32.logand
+let lnot32 = Int32.lognot
+
+let rotr x n =
+  Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let shr x n = Int32.shift_right_logical x n
+
+(* Process one 64-byte block located at [off] in [data]. *)
+let compress ctx (data : Bytes.t) off =
+  let w = ctx.w in
+  for t = 0 to 15 do
+    let base = off + (4 * t) in
+    let b i = Int32.of_int (Char.code (Bytes.get data (base + i))) in
+    w.(t) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor
+           (Int32.shift_left (b 1) 16)
+           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 ^% rotr w.(t - 15) 18 ^% shr w.(t - 15) 3 in
+    let s1 = rotr w.(t - 2) 17 ^% rotr w.(t - 2) 19 ^% shr w.(t - 2) 10 in
+    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+  done;
+  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) and d = ref ctx.h.(3) in
+  let e = ref ctx.h.(4) and f = ref ctx.h.(5) and g = ref ctx.h.(6) and hh = ref ctx.h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
+    let ch = (!e &% !f) ^% (lnot32 !e &% !g) in
+    let t1 = !hh +% s1 +% ch +% k.(t) +% w.(t) in
+    let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
+    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
+    let t2 = s0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := t1 +% t2
+  done;
+  ctx.h.(0) <- ctx.h.(0) +% !a;
+  ctx.h.(1) <- ctx.h.(1) +% !b;
+  ctx.h.(2) <- ctx.h.(2) +% !c;
+  ctx.h.(3) <- ctx.h.(3) +% !d;
+  ctx.h.(4) <- ctx.h.(4) +% !e;
+  ctx.h.(5) <- ctx.h.(5) +% !f;
+  ctx.h.(6) <- ctx.h.(6) +% !g;
+  ctx.h.(7) <- ctx.h.(7) +% !hh
+
+let feed_bytes ctx (data : Bytes.t) off len =
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let off = ref off and len = ref len in
+  (* Fill a partial buffer first. *)
+  if ctx.buf_len > 0 then begin
+    let take = min !len (64 - ctx.buf_len) in
+    Bytes.blit data !off ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    off := !off + take;
+    len := !len - take;
+    if ctx.buf_len = 64 then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  (* Whole blocks straight from the input. *)
+  while !len >= 64 do
+    compress ctx data !off;
+    off := !off + 64;
+    len := !len - 64
+  done;
+  (* Stash the tail. *)
+  if !len > 0 then begin
+    Bytes.blit data !off ctx.buf ctx.buf_len !len;
+    ctx.buf_len <- ctx.buf_len + !len
+  end
+
+let feed_string ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let finalize ctx : string =
+  let bit_len = Int64.mul ctx.total 8L in
+  (* Padding: 0x80, zeros, then 64-bit big-endian bit length. *)
+  let pad_len =
+    let rem = (ctx.buf_len + 1 + 8) mod 64 in
+    if rem = 0 then 1 + 8 else 1 + 8 + (64 - rem)
+  in
+  let pad = Bytes.make pad_len '\x00' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad
+      (pad_len - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len (8 * i)) 0xFFL)))
+  done;
+  (* feed_bytes updates [total], but we've already captured the length. *)
+  feed_bytes ctx pad 0 pad_len;
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    Bytes.set out (4 * i) (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr (Int32.to_int v land 0xFF))
+  done;
+  Bytes.unsafe_to_string out
+
+(* One-shot digest of a string; returns the raw 32-byte digest. *)
+let digest (s : string) : string =
+  let ctx = init () in
+  feed_string ctx s;
+  finalize ctx
+
+let digest_hex s = Hex.of_string (digest s)
+
+(* Digest of the concatenation of several strings, without building the
+   concatenation. *)
+let digest_list (parts : string list) : string =
+  let ctx = init () in
+  List.iter (fun p -> feed_string ctx p) parts;
+  finalize ctx

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: List Printf Rdb_fabric Rdb_types Runner

@@ -1,0 +1,1 @@
+lib/experiments/ablations.mli: Rdb_fabric Rdb_types Runner

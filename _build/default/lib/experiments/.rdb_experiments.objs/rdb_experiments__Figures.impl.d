@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: List Printf Rdb_fabric Rdb_types Runner

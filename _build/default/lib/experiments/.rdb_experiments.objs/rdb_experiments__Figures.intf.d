@@ -1,0 +1,1 @@
+lib/experiments/figures.mli: Rdb_fabric Rdb_types Runner

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Rdb_fabric Rdb_geobft Rdb_hotstuff Rdb_pbft Rdb_sim Rdb_steward Rdb_types Rdb_zyzzyva String

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Rdb_fabric Rdb_sim Rdb_types

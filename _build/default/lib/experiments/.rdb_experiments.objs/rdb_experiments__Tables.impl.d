@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array List Option Printf Rdb_fabric Rdb_sim Rdb_types Runner

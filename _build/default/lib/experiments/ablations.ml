@@ -1,0 +1,149 @@
+(* Ablation studies for the design decisions DESIGN.md calls out.
+   These go beyond the paper's own figures: each isolates one design
+   choice of GeoBFT/ResilientDB and measures its contribution.
+
+   A. Global-sharing fan-out (GeoBFT sends to f+1 replicas per remote
+      cluster — Figure 5).  We sweep the fan-out s ∈ {1, f+1, n}:
+      s = 1 minimizes traffic but a single unlucky receiver crash cuts
+      the cluster off (remote view changes fire); s = n is the naive
+      broadcast that wastes the scarce WAN bandwidth; s = f+1 is the
+      paper's sweet spot — resilient with minimal cost.
+
+   B. Pipelining depth (§2.5: replication, sharing and execution of
+      consecutive rounds overlap).  Depth 1 forces lock-step rounds
+      (every round pays the full WAN latency); the default depth keeps
+      the WAN pipe full.
+
+   C. MACs vs signatures (§2.1/§3: ResilientDB signs only forwarded
+      messages — client requests and commits — and MACs the rest).
+      We re-cost Pbft as if every message carried a signature
+      (signature-heavy classic BFT), showing why the MAC/signature
+      split matters. *)
+
+module Config = Rdb_types.Config
+module Report = Rdb_fabric.Report
+open Runner
+
+(* -- A: sharing fan-out -------------------------------------------------- *)
+module Fanout = struct
+  type row = { fanout : int; label : string; healthy : Report.t; one_receiver_down : Report.t }
+
+  let run ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
+    let f = (n - 1) / 3 in
+    List.map
+      (fun (fanout, label) ->
+        let cfg = { (Config.make ~z ~n ()) with Config.geobft_fanout = fanout } in
+        let healthy = run_proto Geobft ~windows cfg in
+        (* One crashed backup per cluster: with fan-out 1 some shares
+           now land exclusively on dead replicas (the rotation hits
+           them every n rounds), forcing detection and resends. *)
+        let one_receiver_down = run_proto Geobft ~windows ~fault:One_nonprimary cfg in
+        { fanout; label; healthy; one_receiver_down })
+      [ (1, "s=1 (minimal)"); (0, Printf.sprintf "s=f+1=%d (paper)" (f + 1)); (n, "s=n (broadcast)") ]
+
+  let print rows =
+    Printf.printf "\nAblation A: GeoBFT global-sharing fan-out (z=4, n=7)\n";
+    Printf.printf "%-18s %14s %14s %18s %14s\n" "fan-out" "txn/s" "global msgs/dec" "txn/s (1 crash)"
+      "view changes";
+    List.iter
+      (fun r ->
+        Printf.printf "%-18s %14.0f %14.1f %18.0f %14d\n" r.label
+          r.healthy.Report.throughput_txn_s
+          (Report.global_msgs_per_decision r.healthy)
+          r.one_receiver_down.Report.throughput_txn_s r.one_receiver_down.Report.view_changes)
+      rows
+end
+
+(* -- B: pipelining depth --------------------------------------------------- *)
+module Pipeline = struct
+  type row = { depth : int; report : Report.t }
+
+  let run ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
+    List.map
+      (fun depth ->
+        let cfg = { (Config.make ~z ~n ()) with Config.pipeline_depth = depth } in
+        { depth; report = run_proto Geobft ~windows cfg })
+      [ 1; 2; 4; 8; 32 ]
+
+  let print rows =
+    Printf.printf "\nAblation B: GeoBFT consensus pipelining depth (z=4, n=7)\n";
+    Printf.printf "%-8s %14s %14s\n" "depth" "txn/s" "latency (ms)";
+    List.iter
+      (fun r ->
+        Printf.printf "%-8d %14.0f %14.1f\n" r.depth r.report.Report.throughput_txn_s
+          r.report.Report.avg_latency_ms)
+      rows
+end
+
+(* -- C: MACs vs signatures -------------------------------------------------- *)
+module Crypto_split = struct
+  type row = { label : string; report : Report.t }
+
+  let run ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
+    let base = Config.make ~z ~n () in
+    let sign_everything =
+      (* Every MAC becomes a signature: what classic signature-based
+         BFT pays per message. *)
+      {
+        base with
+        Config.costs =
+          {
+            base.Config.costs with
+            Config.mac_us = base.Config.costs.Config.verify_us;
+          };
+      }
+    in
+    [
+      { label = "MACs + sigs (ResilientDB)"; report = run_proto Pbft ~windows base };
+      { label = "signatures everywhere"; report = run_proto Pbft ~windows sign_everything };
+    ]
+
+  let print rows =
+    Printf.printf "\nAblation C: authenticators in Pbft (z=4, n=7)\n";
+    Printf.printf "%-28s %14s %14s\n" "scheme" "txn/s" "latency (ms)";
+    List.iter
+      (fun r ->
+        Printf.printf "%-28s %14.0f %14.1f\n" r.label r.report.Report.throughput_txn_s
+          r.report.Report.avg_latency_ms)
+      rows
+end
+
+(* -- D: threshold-signature certificates (§2.2, optional) ------------------- *)
+module Threshold_certs = struct
+  (* "if the size of commit messages starts dominating, then threshold
+     signatures can be adopted to reduce their cost" (§4): the benefit
+     grows with n, since plain certificates carry n − f signatures and
+     every receiver verifies all of them. *)
+  type row = { n : int; plain : Report.t; threshold : Report.t }
+
+  let run ?(windows = default_windows) ?(z = 4) () =
+    List.map
+      (fun n ->
+        let base = Config.make ~z ~n () in
+        let plain = run_proto Geobft ~windows base in
+        let threshold = run_proto Geobft ~windows { base with Config.threshold_certs = true } in
+        { n; plain; threshold })
+      [ 7; 15 ]
+
+  let print rows =
+    Printf.printf
+      "\nAblation D: GeoBFT certificates: n-f signatures vs one threshold signature (z=4)\n";
+    Printf.printf "%-4s %20s %20s %24s\n" "n" "plain txn/s" "threshold txn/s"
+      "global MB (plain/thr)";
+    List.iter
+      (fun r ->
+        Printf.printf "%-4d %20.0f %20.0f %14.1f / %-8.1f\n" r.n
+          r.plain.Report.throughput_txn_s r.threshold.Report.throughput_txn_s
+          r.plain.Report.global_mb r.threshold.Report.global_mb)
+      rows
+end
+
+let run_all ?(windows = default_windows) () =
+  let a = Fanout.run ~windows () in
+  Fanout.print a;
+  let b = Pipeline.run ~windows () in
+  Pipeline.print b;
+  let c = Crypto_split.run ~windows () in
+  Crypto_split.print c;
+  let d = Threshold_certs.run ~windows () in
+  Threshold_certs.print d

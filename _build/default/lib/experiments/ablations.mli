@@ -1,0 +1,45 @@
+(** Ablation studies for the design decisions DESIGN.md calls out —
+    beyond the paper's own figures, each isolates one choice and
+    measures its contribution. *)
+
+module Config = Rdb_types.Config
+module Report = Rdb_fabric.Report
+open Runner
+
+(** A. GeoBFT's global-sharing fan-out (paper: f+1, Figure 5):
+    s = 1 is cheap but fragile, s = n is naive broadcast. *)
+module Fanout : sig
+  type row = { fanout : int; label : string; healthy : Report.t; one_receiver_down : Report.t }
+
+  val run : ?windows:windows -> ?z:int -> ?n:int -> unit -> row list
+  val print : row list -> unit
+end
+
+(** B. Consensus pipelining depth (§2.5): lock-step rounds vs an
+    overlapped pipeline. *)
+module Pipeline : sig
+  type row = { depth : int; report : Report.t }
+
+  val run : ?windows:windows -> ?z:int -> ?n:int -> unit -> row list
+  val print : row list -> unit
+end
+
+(** C. MACs vs signatures everywhere (§2.1): why ResilientDB signs
+    only forwarded messages. *)
+module Crypto_split : sig
+  type row = { label : string; report : Report.t }
+
+  val run : ?windows:windows -> ?z:int -> ?n:int -> unit -> row list
+  val print : row list -> unit
+end
+
+(** D. Threshold-signature certificates (§2.2, optional): one
+    constant-size aggregate instead of n − f signatures. *)
+module Threshold_certs : sig
+  type row = { n : int; plain : Report.t; threshold : Report.t }
+
+  val run : ?windows:windows -> ?z:int -> unit -> row list
+  val print : row list -> unit
+end
+
+val run_all : ?windows:windows -> unit -> unit

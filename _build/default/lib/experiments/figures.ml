@@ -1,0 +1,133 @@
+(* One module per evaluation artifact of the paper (§4).  Each
+   experiment returns structured rows and can render itself as the
+   table/series the paper plots; EXPERIMENTS.md records the paper's
+   values next to ours. *)
+
+module Config = Rdb_types.Config
+module Report = Rdb_fabric.Report
+open Runner
+
+type row = { proto : proto; x : int; report : Report.t }
+
+let collect ~protocols ~xs ~cfg_of ?(fault = No_fault) ~windows () =
+  List.concat_map
+    (fun p ->
+      List.map
+        (fun x ->
+          let cfg : Config.t = cfg_of x in
+          { proto = p; x; report = run_proto p ~windows ~fault cfg })
+        xs)
+    protocols
+
+let print_series ~title ~x_label ~rows ~value ~fmt_value =
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%-10s" x_label;
+  let xs = List.sort_uniq compare (List.map (fun r -> r.x) rows) in
+  let protos = List.sort_uniq compare (List.map (fun r -> r.proto) rows) in
+  List.iter (fun p -> Printf.printf "%14s" (proto_name p)) protos;
+  print_newline ();
+  List.iter
+    (fun x ->
+      Printf.printf "%-10d" x;
+      List.iter
+        (fun p ->
+          match List.find_opt (fun r -> r.x = x && r.proto = p) rows with
+          | Some r -> Printf.printf "%14s" (fmt_value (value r.report))
+          | None -> Printf.printf "%14s" "-")
+        protos;
+      print_newline ())
+    xs
+
+let fmt_tput v = Printf.sprintf "%.0f" v
+let fmt_lat v = Printf.sprintf "%.2f" (v /. 1000.) (* ms -> s, as the paper plots *)
+
+(* -- Figure 10: throughput & latency vs number of clusters; zn = 60 ---- *)
+module Fig10 = struct
+  let zs = [ 1; 2; 3; 4; 5; 6 ]
+
+  let cfg_of ?(base = Config.default) z = Config.make ~base ~z ~n:(60 / z) ()
+
+  let run ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    collect ~protocols ~xs:zs ~cfg_of:(fun z -> cfg_of ?base z) ~windows ()
+
+  let print rows =
+    print_series ~title:"Figure 10 (left): throughput (txn/s) vs #clusters, zn = 60"
+      ~x_label:"clusters" ~rows
+      ~value:(fun r -> r.Report.throughput_txn_s)
+      ~fmt_value:fmt_tput;
+    print_series ~title:"Figure 10 (right): latency (s) vs #clusters, zn = 60" ~x_label:"clusters"
+      ~rows
+      ~value:(fun r -> r.Report.avg_latency_ms)
+      ~fmt_value:fmt_lat
+end
+
+(* -- Figure 11: throughput & latency vs replicas per cluster; z = 4 ----- *)
+module Fig11 = struct
+  let ns = [ 4; 7; 10; 12; 15 ]
+
+  let cfg_of ?(base = Config.default) n = Config.make ~base ~z:4 ~n ()
+
+  let run ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    collect ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~windows ()
+
+  let print rows =
+    print_series ~title:"Figure 11 (left): throughput (txn/s) vs replicas per cluster, z = 4"
+      ~x_label:"replicas" ~rows
+      ~value:(fun r -> r.Report.throughput_txn_s)
+      ~fmt_value:fmt_tput;
+    print_series ~title:"Figure 11 (right): latency (s) vs replicas per cluster, z = 4"
+      ~x_label:"replicas" ~rows
+      ~value:(fun r -> r.Report.avg_latency_ms)
+      ~fmt_value:fmt_lat
+end
+
+(* -- Figure 12: throughput under failures; z = 4 -------------------------- *)
+module Fig12 = struct
+  let ns = [ 4; 7; 10; 12 ]
+
+  let cfg_of ?(base = Config.default) n = Config.make ~base ~z:4 ~n ()
+
+  (* Left: one non-primary failure.  Every protocol. *)
+  let run_one_failure ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    collect ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:One_nonprimary ~windows ()
+
+  (* Middle: f non-primary failures per cluster. *)
+  let run_f_failures ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    collect ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:F_nonprimary ~windows ()
+
+  (* Right: single primary failure mid-run.  The paper runs only
+     GeoBFT and Pbft here (Zyzzyva cannot survive it, HotStuff has no
+     fixed primary, Steward has no usable view-change). *)
+  let run_primary_failure ?(protocols = [ Geobft; Pbft ]) ?(windows = default_windows) ?base () =
+    collect ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:Primary_failure ~windows ()
+
+  let print ~one ~ff ~pf =
+    print_series ~title:"Figure 12 (left): throughput (txn/s), one non-primary failure, z = 4"
+      ~x_label:"replicas" ~rows:one
+      ~value:(fun r -> r.Report.throughput_txn_s)
+      ~fmt_value:fmt_tput;
+    print_series ~title:"Figure 12 (middle): throughput (txn/s), f failures per cluster, z = 4"
+      ~x_label:"replicas" ~rows:ff
+      ~value:(fun r -> r.Report.throughput_txn_s)
+      ~fmt_value:fmt_tput;
+    print_series ~title:"Figure 12 (right): throughput (txn/s), single primary failure, z = 4"
+      ~x_label:"replicas" ~rows:pf
+      ~value:(fun r -> r.Report.throughput_txn_s)
+      ~fmt_value:fmt_tput
+end
+
+(* -- Figure 13: throughput vs batch size; z = 4, n = 7 --------------------- *)
+module Fig13 = struct
+  let batches = [ 10; 50; 100; 200; 300 ]
+
+  let cfg_of ?(base = Config.default) b = Config.make ~base ~z:4 ~n:7 ~batch_size:b ()
+
+  let run ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    collect ~protocols ~xs:batches ~cfg_of:(fun b -> cfg_of ?base b) ~windows ()
+
+  let print rows =
+    print_series ~title:"Figure 13: throughput (txn/s) vs batch size, z = 4, n = 7"
+      ~x_label:"batch" ~rows
+      ~value:(fun r -> r.Report.throughput_txn_s)
+      ~fmt_value:fmt_tput
+end

@@ -1,0 +1,57 @@
+(** The paper's Figures 10-13 as runnable experiments.  Each module
+    sweeps the paper's parameter, runs every protocol, and prints the
+    same series the paper plots (EXPERIMENTS.md compares the values). *)
+
+module Config = Rdb_types.Config
+module Report = Rdb_fabric.Report
+open Runner
+
+type row = { proto : proto; x : int; report : Report.t }
+
+val collect :
+  protocols:proto list ->
+  xs:int list ->
+  cfg_of:(int -> Config.t) ->
+  ?fault:fault ->
+  windows:windows ->
+  unit ->
+  row list
+
+(** Figure 10: throughput & latency vs number of clusters; zn = 60. *)
+module Fig10 : sig
+  val zs : int list
+  val cfg_of : ?base:Config.t -> int -> Config.t
+  val run : ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+  val print : row list -> unit
+end
+
+(** Figure 11: throughput & latency vs replicas per cluster; z = 4. *)
+module Fig11 : sig
+  val ns : int list
+  val cfg_of : ?base:Config.t -> int -> Config.t
+  val run : ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+  val print : row list -> unit
+end
+
+(** Figure 12: throughput under failures; z = 4.  Left: one non-primary
+    crash; middle: f crashes per cluster; right: a mid-run primary
+    crash (GeoBFT and Pbft only, as in the paper). *)
+module Fig12 : sig
+  val ns : int list
+  val cfg_of : ?base:Config.t -> int -> Config.t
+  val run_one_failure :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+  val run_f_failures :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+  val run_primary_failure :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+  val print : one:row list -> ff:row list -> pf:row list -> unit
+end
+
+(** Figure 13: throughput vs batch size; z = 4, n = 7. *)
+module Fig13 : sig
+  val batches : int list
+  val cfg_of : ?base:Config.t -> int -> Config.t
+  val run : ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+  val print : row list -> unit
+end

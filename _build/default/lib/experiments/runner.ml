@@ -1,0 +1,87 @@
+(* Uniform driver used by every experiment: pick a protocol, a
+   configuration and a failure scenario, run one simulated deployment,
+   return its report. *)
+
+module Config = Rdb_types.Config
+module Time = Rdb_sim.Time
+module Report = Rdb_fabric.Report
+
+module GeoDep = Rdb_fabric.Deployment.Make (Rdb_geobft.Replica)
+module PbftDep = Rdb_fabric.Deployment.Make (Rdb_pbft.Replica)
+module ZyzDep = Rdb_fabric.Deployment.Make (Rdb_zyzzyva.Replica)
+module HsDep = Rdb_fabric.Deployment.Make (Rdb_hotstuff.Replica)
+module StwDep = Rdb_fabric.Deployment.Make (Rdb_steward.Replica)
+
+type proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
+
+let all_protocols = [ Geobft; Pbft; Zyzzyva; Hotstuff; Steward ]
+
+let proto_name = function
+  | Geobft -> "GeoBFT"
+  | Pbft -> "Pbft"
+  | Zyzzyva -> "Zyzzyva"
+  | Hotstuff -> "HotStuff"
+  | Steward -> "Steward"
+
+let proto_of_string s =
+  match String.lowercase_ascii s with
+  | "geobft" -> Some Geobft
+  | "pbft" -> Some Pbft
+  | "zyzzyva" -> Some Zyzzyva
+  | "hotstuff" -> Some Hotstuff
+  | "steward" -> Some Steward
+  | _ -> None
+
+(* The failure scenarios of §4.3. *)
+type fault =
+  | No_fault
+  | One_nonprimary           (* one backup crashed from the start *)
+  | F_nonprimary             (* f backups per cluster crashed from the start *)
+  | Primary_failure          (* the (initial) primary crashes mid-run *)
+
+let fault_name = function
+  | No_fault -> "none"
+  | One_nonprimary -> "one non-primary"
+  | F_nonprimary -> "f non-primary per cluster"
+  | Primary_failure -> "primary"
+
+(* Simulated measurement windows.  The paper runs 60 s + 120 s on the
+   cloud; a deterministic simulator needs less: throughput is stable
+   within a few seconds once pipelines fill. *)
+type windows = { warmup : Time.t; measure : Time.t }
+
+let default_windows = { warmup = Time.sec 1; measure = Time.sec 4 }
+let full_windows = { warmup = Time.sec 15; measure = Time.sec 45 }
+
+(* The slice of the deployment interface the runner needs, as a named
+   module type so the protocol dispatch can use first-class modules. *)
+module type DEP = sig
+  type t
+  val create : ?trace:bool -> ?n_records:int -> ?retain_payloads:bool -> Config.t -> t
+  val run : ?warmup:Time.t -> ?measure:Time.t -> t -> Report.t
+  val crash_replica : t -> int -> unit
+  val crash_primary : t -> cluster:int -> unit
+  val crash_f_per_cluster : t -> unit
+  val at : t -> time:Time.t -> (unit -> unit) -> unit
+end
+
+let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) (cfg : Config.t) :
+    Report.t =
+  let go (module D : DEP) =
+    (* Experiments sweep many large deployments: keep ledgers compact. *)
+    let d = D.create ~retain_payloads:false cfg in
+    (match fault with
+    | No_fault -> ()
+    | One_nonprimary -> D.crash_replica d (cfg.Config.n - 1)
+    | F_nonprimary -> D.crash_f_per_cluster d
+    | Primary_failure ->
+        D.at d ~time:(Time.add windows.warmup (Time.ms 2000)) (fun () ->
+            D.crash_primary d ~cluster:0));
+    D.run ~warmup:windows.warmup ~measure:windows.measure d
+  in
+  match p with
+  | Geobft -> go (module GeoDep)
+  | Pbft -> go (module PbftDep)
+  | Zyzzyva -> go (module ZyzDep)
+  | Hotstuff -> go (module HsDep)
+  | Steward -> go (module StwDep)

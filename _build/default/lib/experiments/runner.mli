@@ -1,0 +1,35 @@
+(** Uniform experiment driver: pick a protocol, a configuration and a
+    failure scenario; run one simulated deployment; get its report. *)
+
+module Config = Rdb_types.Config
+module Time = Rdb_sim.Time
+module Report = Rdb_fabric.Report
+
+type proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
+
+val all_protocols : proto list
+
+val proto_name : proto -> string
+val proto_of_string : string -> proto option
+
+(** The §4.3 failure scenarios. *)
+type fault =
+  | No_fault
+  | One_nonprimary   (** one backup crashed from the start *)
+  | F_nonprimary     (** f backups per cluster crashed from the start *)
+  | Primary_failure  (** the initial primary crashes mid-measurement *)
+
+val fault_name : fault -> string
+
+type windows = { warmup : Time.t; measure : Time.t }
+
+val default_windows : windows
+(** 2 s + 6 s of simulated time: enough for a deterministic simulator
+    whose pipelines fill within a second. *)
+
+val full_windows : windows
+(** 15 s + 45 s, approaching the paper's 60 s + 120 s methodology. *)
+
+val run_proto : proto -> ?windows:windows -> ?fault:fault -> Config.t -> Report.t
+(** Build the deployment (compact-ledger mode), inject the fault,
+    run warm-up + measurement, return the report. *)

@@ -1,0 +1,1 @@
+lib/fabric/deployment.ml: Array Lazy Metrics Printf Rdb_crypto Rdb_ledger Rdb_prng Rdb_sim Rdb_types Rdb_ycsb Report

@@ -1,0 +1,1 @@
+lib/fabric/metrics.ml: Array Rdb_sim

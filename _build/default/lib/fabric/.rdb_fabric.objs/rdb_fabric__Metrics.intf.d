@@ -1,0 +1,1 @@
+lib/fabric/metrics.mli: Rdb_sim

@@ -1,0 +1,332 @@
+(* The ResilientDB fabric: wires a consensus protocol into a simulated
+   geo-scale deployment (paper §3).
+
+   For a configuration (z clusters × n replicas, one client group per
+   cluster) the deployment builds:
+   - the Table-1-calibrated WAN ([Rdb_sim.Topology.clustered]);
+   - the per-node CPU pipeline ([Rdb_sim.Cpu], Figure 9's threads);
+   - keys for all nodes ([Rdb_crypto.Keychain]);
+   - a ledger and a YCSB table per replica;
+   - protocol replicas and client agents, each handed a [Ctx.t];
+   - closed-loop YCSB client drivers per cluster, keeping
+     [client_inflight] batches outstanding (modeling the paper's 160 k
+     saturating clients);
+   - metrics with warm-up / measurement windows (§4's methodology).
+
+   Failure injection for the §4.3 experiments: crash any replica (or a
+   cluster's current primary), add message-drop rules, partition
+   regions, all scheduled at simulated times. *)
+
+module Time = Rdb_sim.Time
+module Engine = Rdb_sim.Engine
+module Network = Rdb_sim.Network
+module Topology = Rdb_sim.Topology
+module Cpu = Rdb_sim.Cpu
+module Stats = Rdb_sim.Stats
+module Keychain = Rdb_crypto.Keychain
+module Config = Rdb_types.Config
+module Ctx = Rdb_types.Ctx
+module Batch = Rdb_types.Batch
+module Txn = Rdb_types.Txn
+module Protocol = Rdb_types.Protocol
+module Wire = Rdb_types.Wire
+module Ledger = Rdb_ledger.Ledger
+module Table = Rdb_ycsb.Table
+module Workload = Rdb_ycsb.Workload
+
+(* What travels on the simulated wire: the protocol payload plus the
+   receiver-side verification cost declared by the sender. *)
+type 'm packet = { payload : 'm; vcost : Time.t }
+
+module Make (P : Protocol.S) = struct
+  type node_kind = Replica of P.replica | Client of P.client
+
+  type client_driver = {
+    cluster : int;
+    workload : Workload.t;
+    mutable outstanding : int;
+    mutable next_id : int;
+    mutable agent : P.client option;
+  }
+
+  type t = {
+    cfg : Config.t;
+    engine : Engine.t;
+    topo : Topology.t;
+    net : P.msg packet Network.t;
+    cpu : Cpu.t;
+    keychain : Keychain.t;
+    metrics : Metrics.t;
+    ledgers : Ledger.t array;            (* per replica *)
+    tables : Table.t array;
+    mutable nodes : node_kind array;
+    drivers : client_driver array;
+    mutable crashed : bool array;
+    mutable stats_before : Stats.snapshot option;
+    trace_enabled : bool;
+    (* When false, ledgers keep block headers/digests but drop txn
+       payloads — the memory-friendly mode for long benchmark sweeps
+       (a 60-replica run otherwise retains every batch 60 times). *)
+    retain_payloads : bool;
+  }
+
+  let cfg t = t.cfg
+  let engine t = t.engine
+  let network t = t.net
+  let metrics t = t.metrics
+  let ledger t ~replica = t.ledgers.(replica)
+  let table t ~replica = t.tables.(replica)
+  let keychain t = t.keychain
+
+  let replica t i =
+    match t.nodes.(i) with Replica r -> r | Client _ -> invalid_arg "Deployment.replica"
+
+  let client t ~cluster =
+    match t.nodes.(Config.client_node t.cfg ~cluster) with
+    | Client c -> c
+    | Replica _ -> invalid_arg "Deployment.client"
+
+  (* -- node contexts ---------------------------------------------------- *)
+
+  let rec make_ctx (t : t) ~node : P.msg Ctx.t =
+    let cfg = t.cfg in
+    let is_replica = Config.is_replica cfg node in
+    let send ~dst ~size ~vcost payload =
+      Network.send t.net ~src:node ~dst ~size { payload; vcost }
+    in
+    let charge ~stage ~cost k =
+      if t.crashed.(node) then () else Cpu.charge t.cpu ~node ~stage ~cost k
+    in
+    let set_timer ~delay k =
+      Engine.schedule_after t.engine ~delay (fun () -> if not t.crashed.(node) then k ())
+    in
+    let execute (batch : Batch.t) ~cert ~on_done =
+      let txns = Array.length batch.Batch.txns in
+      let cost =
+        Time.add (Config.exec_cost cfg ~txns) (Config.hash_cost cfg ~bytes:Wire.small)
+      in
+      Cpu.charge t.cpu ~node ~stage:Cpu.Execute ~cost (fun () ->
+          if not t.crashed.(node) then begin
+            let ledger = t.ledgers.(node) in
+            ignore (Table.apply_batch t.tables.(node) batch.Batch.txns);
+            let stored =
+              if t.retain_payloads then batch else { batch with Batch.txns = [||] }
+            in
+            ignore
+              (Ledger.append ledger ~round:(Ledger.length ledger) ~cluster:batch.Batch.cluster
+                 ~batch:stored ~cert);
+            if node = 0 then Metrics.record_decision t.metrics;
+            on_done ()
+          end)
+    in
+    let complete (batch : Batch.t) =
+      let now = Engine.now t.engine in
+      Metrics.record_completion t.metrics ~now ~txns:(Array.length batch.Batch.txns)
+        ~latency:(Time.sub now batch.Batch.created);
+      let d = t.drivers.(batch.Batch.cluster) in
+      d.outstanding <- d.outstanding - 1;
+      refill t d
+    in
+    let trace =
+      if t.trace_enabled then fun msg ->
+        Printf.eprintf "[%8.3fms] %s\n%!" (Time.to_ms_f (Engine.now t.engine)) (Lazy.force msg)
+      else fun _ -> ()
+    in
+    {
+      Ctx.id = node;
+      config = cfg;
+      keychain = t.keychain;
+      rng = Rdb_prng.Rng.split (Engine.rng t.engine) ~index:node;
+      now = (fun () -> Engine.now t.engine);
+      send;
+      charge;
+      set_timer;
+      cancel_timer = Engine.cancel;
+      execute;
+      complete = (if is_replica then fun _ -> () else complete);
+      trace;
+    }
+
+  (* -- closed-loop client drivers ---------------------------------------- *)
+
+  and refill (t : t) (d : client_driver) =
+    match d.agent with
+    | None -> ()
+    | Some agent ->
+        while d.outstanding < t.cfg.Config.client_inflight do
+          d.outstanding <- d.outstanding + 1;
+          let id = (d.cluster * 1_000_000) + d.next_id in
+          d.next_id <- d.next_id + 1;
+          let txns = Workload.next_batch_txns d.workload ~batch_size:t.cfg.Config.batch_size in
+          let batch =
+            Batch.create ~keychain:t.keychain ~id ~cluster:d.cluster
+              ~origin:(Config.client_node t.cfg ~cluster:d.cluster) ~txns
+              ~created:(Engine.now t.engine)
+          in
+          P.submit agent batch
+        done
+
+  (* -- construction -------------------------------------------------------- *)
+
+  let create ?(trace = false) ?(n_records = Table.default_records) ?(retain_payloads = true)
+      (cfg : Config.t) =
+    if cfg.Config.z < 1 || cfg.Config.z > 6 then
+      invalid_arg "Deployment.create: z must be within the paper's six regions";
+    let engine = Engine.create ~seed:cfg.Config.seed () in
+    let topo = Topology.clustered ~z:cfg.Config.z ~n:cfg.Config.n in
+    let n_nodes = Config.n_nodes cfg in
+    let keychain = Keychain.create ~seed:(Printf.sprintf "rdb-%d" cfg.Config.seed) ~n_nodes in
+    let cpu = Cpu.create ~engine ~n_nodes () in
+    let metrics = Metrics.create () in
+    let n_repl = Config.n_replicas cfg in
+    let ledgers = Array.init n_repl (fun _ -> Ledger.create ()) in
+    let tables = Array.init n_repl (fun _ -> Table.create ~n_records ()) in
+    let drivers =
+      Array.init cfg.Config.z (fun cluster ->
+          {
+            cluster;
+            workload =
+              Workload.create ~n_records ~seed:(cfg.Config.seed + (7919 * (cluster + 1)))
+                ~client_base:(cluster * 10_000) ();
+            outstanding = 0;
+            next_id = 0;
+            agent = None;
+          })
+    in
+    let t_ref = ref None in
+    (* Replicas verify incoming messages on their two input threads
+       (paper §3, Figure 9: "all replicas have two input threads for
+       processing all other messages"); alternate between them. *)
+    let input_toggle = Array.make n_nodes false in
+    let deliver ~src ~dst (pkt : P.msg packet) =
+      match !t_ref with
+      | None -> ()
+      | Some t ->
+          if not t.crashed.(dst) then begin
+            let stage =
+              if Config.is_replica cfg dst then begin
+                input_toggle.(dst) <- not input_toggle.(dst);
+                if input_toggle.(dst) then Cpu.Input0 else Cpu.Input1
+              end
+              else Cpu.Misc
+            in
+            Cpu.charge t.cpu ~node:dst ~stage ~cost:pkt.vcost (fun () ->
+                if not t.crashed.(dst) then
+                  match t.nodes.(dst) with
+                  | Replica r -> P.on_message r ~src pkt.payload
+                  | Client c -> P.on_client_message c ~src pkt.payload)
+          end
+    in
+    let net =
+      Network.create ~wan_egress_mbps:cfg.Config.wan_egress_mbps ~engine ~topo ~jitter_ms:0.2
+        ~deliver ()
+    in
+    let t =
+      {
+        cfg;
+        engine;
+        topo;
+        net;
+        cpu;
+        keychain;
+        metrics;
+        ledgers;
+        tables;
+        nodes = [||];
+        drivers;
+        crashed = Array.make n_nodes false;
+        stats_before = None;
+        trace_enabled = trace;
+        retain_payloads;
+      }
+    in
+    t_ref := Some t;
+    t.nodes <-
+      Array.init n_nodes (fun node ->
+          if Config.is_replica cfg node then Replica (P.create_replica (make_ctx t ~node))
+          else
+            let cluster = Config.cluster_of_client cfg node in
+            let agent = P.create_client (make_ctx t ~node) ~cluster in
+            drivers.(cluster).agent <- Some agent;
+            Client agent);
+    t
+
+  (* Stop cluster [cluster]'s client group from submitting new batches
+     (already-submitted batches complete normally).  Used to exercise
+     GeoBFT's no-op rounds: a cluster without client requests must not
+     stall the others (§2.5). *)
+  let pause_client t ~cluster = t.drivers.(cluster).agent <- None
+
+  (* -- fault injection ------------------------------------------------------ *)
+
+  let crash_replica t node =
+    t.crashed.(node) <- true;
+    Network.crash t.net node
+
+  (* Crash the view-0 primary of [cluster] (experiments fail "the"
+     primary; protocols place it at local index 0 initially). *)
+  let crash_primary t ~cluster =
+    crash_replica t (Config.replica_id t.cfg ~cluster ~index:0)
+
+  (* Crash f non-primary replicas in every cluster (the worst case
+     GeoBFT is designed for, §4.3). *)
+  let crash_f_per_cluster t =
+    let f = Config.f t.cfg in
+    for cluster = 0 to t.cfg.Config.z - 1 do
+      for i = 1 to f do
+        crash_replica t (Config.replica_id t.cfg ~cluster ~index:(t.cfg.Config.n - i))
+      done
+    done
+
+  let add_drop_rule t rule = Network.add_drop_rule t.net rule
+  let clear_drop_rules t = Network.clear_drop_rules t.net
+
+  (* Sever all traffic between two clusters' regions (both ways). *)
+  let partition_clusters t ~ca ~cb = Network.partition_regions t.net ~ra:ca ~rb:cb
+
+  (* Schedule an action at an absolute simulated time. *)
+  let at t ~time k = ignore (Engine.schedule_at t.engine ~at:time (fun () -> k ()))
+
+  (* -- running ---------------------------------------------------------------- *)
+
+  let start_clients t = Array.iter (fun d -> refill t d) t.drivers
+
+  let view_changes t =
+    let acc = ref 0 in
+    Array.iter
+      (fun node -> match node with Replica r -> acc := !acc + P.view_changes r | Client _ -> ())
+      t.nodes;
+    !acc
+
+  let run ?(warmup = Time.sec 15) ?(measure = Time.sec 45) (t : t) : Report.t =
+    start_clients t;
+    Engine.run_until t.engine ~until:warmup;
+    Metrics.open_window t.metrics ~now:(Engine.now t.engine);
+    let before = Stats.snapshot (Network.stats t.net) in
+    let vc_before = view_changes t in
+    Engine.run_until t.engine ~until:(Time.add warmup measure);
+    Metrics.close_window t.metrics ~now:(Engine.now t.engine);
+    let after = Stats.snapshot (Network.stats t.net) in
+    let d = Stats.diff ~after ~before in
+    let lat = Metrics.latency_summary t.metrics in
+    {
+      Report.protocol = P.name;
+      z = t.cfg.Config.z;
+      n = t.cfg.Config.n;
+      batch_size = t.cfg.Config.batch_size;
+      throughput_txn_s = Metrics.throughput_txn_s t.metrics;
+      avg_latency_ms = lat.Metrics.avg_ms;
+      p50_latency_ms = lat.Metrics.p50_ms;
+      p95_latency_ms = lat.Metrics.p95_ms;
+      p99_latency_ms = lat.Metrics.p99_ms;
+      completed_batches = t.metrics.Metrics.completed_batches;
+      completed_txns = t.metrics.Metrics.completed_txns;
+      decisions = t.metrics.Metrics.decisions;
+      local_msgs = d.Stats.l_msgs;
+      global_msgs = d.Stats.g_msgs;
+      local_mb = float_of_int d.Stats.l_bytes /. 1e6;
+      global_mb = float_of_int d.Stats.g_bytes /. 1e6;
+      view_changes = view_changes t - vc_before;
+      window_sec = Metrics.window_sec t.metrics;
+    }
+end

@@ -1,0 +1,69 @@
+(* Run metrics: completed work, latencies, traffic.
+
+   Measurement methodology mirrors §4 of the paper: the run has a
+   warm-up phase and a measurement window; throughput counts the
+   transactions whose batches *completed at a client* inside the
+   window, and latency is the client-observed request-to-f+1-replies
+   time of those batches. *)
+
+module Time = Rdb_sim.Time
+
+type t = {
+  mutable completed_batches : int;
+  mutable completed_txns : int;
+  mutable latencies_ms : float list;      (* within the window only *)
+  mutable window_open : bool;
+  mutable window_start : Time.t;
+  mutable window_end : Time.t;
+  mutable decisions : int;                (* consensus decisions (executions at replica 0) *)
+}
+
+let create () =
+  {
+    completed_batches = 0;
+    completed_txns = 0;
+    latencies_ms = [];
+    window_open = false;
+    window_start = Time.zero;
+    window_end = Time.zero;
+    decisions = 0;
+  }
+
+let open_window t ~now = t.window_open <- true; t.window_start <- now
+let close_window t ~now = t.window_open <- false; t.window_end <- now
+
+let record_completion t ~now:_ ~txns ~latency =
+  if t.window_open then begin
+    t.completed_batches <- t.completed_batches + 1;
+    t.completed_txns <- t.completed_txns + txns;
+    t.latencies_ms <- Time.to_ms_f latency :: t.latencies_ms
+  end
+
+let record_decision t = if t.window_open then t.decisions <- t.decisions + 1
+
+let window_sec t = Time.to_sec_f (Time.sub t.window_end t.window_start)
+
+let throughput_txn_s t =
+  let w = window_sec t in
+  if w <= 0. then 0. else float_of_int t.completed_txns /. w
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+type latency_summary = { avg_ms : float; p50_ms : float; p95_ms : float; p99_ms : float; max_ms : float }
+
+let latency_summary t =
+  let arr = Array.of_list t.latencies_ms in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n = 0 then { avg_ms = 0.; p50_ms = 0.; p95_ms = 0.; p99_ms = 0.; max_ms = 0. }
+  else
+    {
+      avg_ms = Array.fold_left ( +. ) 0. arr /. float_of_int n;
+      p50_ms = percentile arr 0.50;
+      p95_ms = percentile arr 0.95;
+      p99_ms = percentile arr 0.99;
+      max_ms = arr.(n - 1);
+    }

@@ -1,0 +1,40 @@
+(** Run metrics with the paper's measurement methodology (§4): a
+    warm-up phase, then a measurement window; throughput counts
+    transactions whose batches completed at a client inside the window,
+    latency is client-observed submit-to-quorum-of-replies time. *)
+
+module Time = Rdb_sim.Time
+
+type t = {
+  mutable completed_batches : int;
+  mutable completed_txns : int;
+  mutable latencies_ms : float list;
+  mutable window_open : bool;
+  mutable window_start : Time.t;
+  mutable window_end : Time.t;
+  mutable decisions : int;
+}
+
+val create : unit -> t
+
+val open_window : t -> now:Time.t -> unit
+val close_window : t -> now:Time.t -> unit
+
+val record_completion : t -> now:Time.t -> txns:int -> latency:Time.t -> unit
+(** Ignored while the window is closed. *)
+
+val record_decision : t -> unit
+(** One consensus decision observed (counted at replica 0). *)
+
+val window_sec : t -> float
+val throughput_txn_s : t -> float
+
+type latency_summary = {
+  avg_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val latency_summary : t -> latency_summary

@@ -1,0 +1,37 @@
+(* The result of one simulated deployment run. *)
+
+type t = {
+  protocol : string;
+  z : int;
+  n : int;
+  batch_size : int;
+  throughput_txn_s : float;
+  avg_latency_ms : float;
+  p50_latency_ms : float;
+  p95_latency_ms : float;
+  p99_latency_ms : float;
+  completed_batches : int;
+  completed_txns : int;
+  decisions : int;                 (* consensus decisions at replica 0 *)
+  local_msgs : int;                (* traffic inside the window *)
+  global_msgs : int;
+  local_mb : float;
+  global_mb : float;
+  view_changes : int;
+  window_sec : float;
+}
+
+(* Per-decision message complexity — the quantities of Table 2. *)
+let local_msgs_per_decision t =
+  if t.decisions = 0 then 0. else float_of_int t.local_msgs /. float_of_int t.decisions
+
+let global_msgs_per_decision t =
+  if t.decisions = 0 then 0. else float_of_int t.global_msgs /. float_of_int t.decisions
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%-9s z=%d n=%-2d batch=%-3d | %10.0f txn/s | lat avg %7.1f ms p50 %7.1f p99 %7.1f | msgs/dec local %7.1f global %6.1f | vc %d"
+    t.protocol t.z t.n t.batch_size t.throughput_txn_s t.avg_latency_ms t.p50_latency_ms
+    t.p99_latency_ms (local_msgs_per_decision t) (global_msgs_per_decision t) t.view_changes
+
+let to_string t = Format.asprintf "%a" pp t

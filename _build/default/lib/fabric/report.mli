@@ -1,0 +1,32 @@
+(** The result of one simulated deployment run: throughput, latency
+    percentiles, traffic split (local/global), consensus decisions and
+    view changes within the measurement window. *)
+
+type t = {
+  protocol : string;
+  z : int;
+  n : int;
+  batch_size : int;
+  throughput_txn_s : float;
+  avg_latency_ms : float;
+  p50_latency_ms : float;
+  p95_latency_ms : float;
+  p99_latency_ms : float;
+  completed_batches : int;
+  completed_txns : int;
+  decisions : int;
+  local_msgs : int;
+  global_msgs : int;
+  local_mb : float;
+  global_mb : float;
+  view_changes : int;
+  window_sec : float;
+}
+
+val local_msgs_per_decision : t -> float
+(** The Table 2 quantities: messages per consensus decision. *)
+
+val global_msgs_per_decision : t -> float
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

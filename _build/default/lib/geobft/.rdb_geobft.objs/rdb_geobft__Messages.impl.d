@@ -1,0 +1,1 @@
+lib/geobft/messages.ml: Printf Rdb_crypto Rdb_pbft Rdb_types

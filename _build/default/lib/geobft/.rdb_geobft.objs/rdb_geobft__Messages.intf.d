@@ -1,0 +1,1 @@
+lib/geobft/messages.mli: Rdb_crypto Rdb_pbft Rdb_types

@@ -1,0 +1,1 @@
+lib/geobft/replica.ml: Array Hashtbl List Messages Printf Rdb_crypto Rdb_pbft Rdb_sim Rdb_types String

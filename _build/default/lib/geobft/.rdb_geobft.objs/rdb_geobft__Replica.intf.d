@@ -1,0 +1,1 @@
+lib/geobft/replica.mli: Messages Rdb_pbft Rdb_types

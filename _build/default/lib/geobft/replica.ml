@@ -1,0 +1,524 @@
+(* The GeoBFT replica (paper §2).
+
+   Round structure: in round ρ every cluster contributes the batch its
+   local Pbft instance committed at sequence number ρ.  The three steps
+   per round:
+
+   1. *Local replication* (§2.2): the embedded Pbft engine (one per
+      cluster) commits batches and emits commit certificates in
+      sequence order.
+
+   2. *Inter-cluster sharing* (§2.3): when the local primary's engine
+      commits round ρ, the primary sends (batch, certificate) to f+1
+      replicas of every other cluster (global phase, Figure 5 line 1-2,
+      targets rotated per round to spread WAN load); a replica that
+      receives a share from outside its cluster broadcasts it locally
+      (local phase, line 3-4).  Failure to receive a round from some
+      cluster triggers the remote view-change protocol (Figure 7),
+      implemented here in full: timer-based detection with exponential
+      back-off, DRVC local agreement (n−f), sharing m with lagging
+      peers (line 5-7), the f+1 adoption rule (line 8-11), signed RVC
+      to the same-id replica (line 12-13), in-cluster forwarding (line
+      14-15), and the guarded honor rule with replay protection (line
+      16) that ends in a forced local view-change.
+
+   3. *Ordering and execution* (§2.4): once certified batches for round
+      ρ are present from all z clusters, they execute in cluster order;
+      replicas reply only to their local clients.
+
+   Pipelining (§2.5): local replication and sharing run ahead of
+   execution; only execution is round-strict.  No-op batches fill
+   rounds when a cluster has no client load. *)
+
+module Batch = Rdb_types.Batch
+module Certificate = Rdb_types.Certificate
+module Config = Rdb_types.Config
+module Ctx = Rdb_types.Ctx
+module Wire = Rdb_types.Wire
+module Client_core = Rdb_types.Client_core
+module Time = Rdb_sim.Time
+module Cpu = Rdb_sim.Cpu
+module Keychain = Rdb_crypto.Keychain
+module Engine = Rdb_pbft.Engine
+open Messages
+
+let name = "GeoBFT"
+
+type msg = Messages.msg
+
+(* Per-remote-cluster bookkeeping for sharing and failure detection. *)
+type cluster_track = {
+  cluster : int;
+  certified : (int, Batch.t * Certificate.t) Hashtbl.t;  (* round -> m *)
+  mutable vc_count : int;                      (* v1 of Figure 7 *)
+  mutable detect_timer : Ctx.timer option;
+  mutable timeout : Time.t;                    (* exponential back-off *)
+  (* (round, v) -> local indices that sent DRVC *)
+  drvc_votes : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+  drvc_sent : (int * int, unit) Hashtbl.t;     (* our own DRVC broadcasts *)
+  rvc_sent : (int * int, unit) Hashtbl.t;      (* RVCs we dispatched *)
+}
+
+type replica = {
+  ctx : msg Ctx.t;
+  cfg : Config.t;
+  my_cluster : int;
+  my_local : int;                                (* local index in cluster *)
+  engine : Engine.t;
+  tracks : cluster_track array;                  (* indexed by cluster *)
+  mutable exec_round : int;                      (* next round to execute *)
+  mutable exec_busy : bool;                      (* a round is executing *)
+  (* Response role state (us as a member of a suspected cluster): *)
+  rvc_received : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* (requesting cluster, v) -> distinct requester node ids *)
+  rvc_honored : (int * int, unit) Hashtbl.t;     (* replay protection, line 16.4 *)
+  mutable rvc_rounds : (int * int) list;         (* (cluster, round) to re-serve *)
+  mutable last_local_vc : Time.t;                (* for the "recent vc" guard *)
+  mutable shares_sent : int;                     (* metrics *)
+  mutable remote_vcs_triggered : int;
+}
+
+(* -- sizes and verification costs -------------------------------------- *)
+
+let share_size cfg =
+  Wire.certificate_bytes ~batch_size:cfg.Config.batch_size ~sigs:(Config.cert_wire_sigs cfg)
+
+let size_of cfg = function
+  | Local _ -> assert false (* the engine sizes its own messages *)
+  | Request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
+  | Global_share _ -> share_size cfg
+  | Drvc _ | Rvc _ -> Wire.small
+  | Reply _ -> Wire.response_bytes ~batch_size:cfg.Config.batch_size
+
+(* Receiver floor only: certificate signatures are verified once per
+   *new* certificate on the certify thread (deduplication is a cheap
+   digest lookup and precedes verification), not per received copy. *)
+let vcost_of cfg m =
+  match m with
+  | Local _ -> assert false
+  | Rvc _ ->
+      Time.add
+        (Config.recv_floor_cost cfg ~bytes:Wire.small)
+        (Config.verify_cost cfg)
+  | m -> Config.recv_floor_cost cfg ~bytes:(size_of cfg m)
+
+let send r ~dst m = r.ctx.Ctx.send ~dst ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
+
+let local_members r = Config.replicas_of_cluster r.cfg r.my_cluster
+
+let broadcast_local r m =
+  List.iter (fun dst -> if dst <> r.ctx.Ctx.id then send r ~dst m) (local_members r)
+
+(* -- execution ----------------------------------------------------------- *)
+
+(* Execute rounds strictly in order; each round executes its z batches
+   in cluster order.  The execute thread is serialized by the CPU
+   model, so we drive one round at a time and re-check afterwards. *)
+let rec try_execute r =
+  if not r.exec_busy then begin
+    let round = r.exec_round in
+    let ready =
+      Array.for_all (fun tr -> Hashtbl.mem tr.certified round) r.tracks
+    in
+    if ready then begin
+      r.exec_busy <- true;
+      r.exec_round <- round + 1;
+      let batches =
+        Array.to_list
+          (Array.map (fun tr -> Hashtbl.find tr.certified round) r.tracks)
+      in
+      exec_batches r round batches
+    end
+    else update_detection_timers r
+  end
+
+and exec_batches r round = function
+  | [] ->
+      r.exec_busy <- false;
+      (* Round done: reset the failure-detection clocks; progress means
+         every cluster delivered. *)
+      Array.iter
+        (fun tr ->
+          if tr.cluster <> r.my_cluster then begin
+            tr.timeout <- Time.of_ms_f r.cfg.Config.remote_timeout_ms;
+            (* Remote rounds below the execution frontier are no longer
+               needed; our own are kept for a window so a new primary
+               can re-serve remote view-change requests. *)
+            Hashtbl.remove tr.certified round
+          end
+          else Hashtbl.remove tr.certified (round - 256))
+        r.tracks;
+      try_execute r
+  | (batch, cert) :: rest ->
+      r.ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
+          (* Inform only local clients (§2.4). *)
+          (if (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster then
+             let result_digest = Rdb_crypto.Sha256.digest_list [ "result"; batch.Batch.digest ] in
+             send r ~dst:batch.Batch.origin
+               (Reply
+                  {
+                    batch_id = batch.Batch.id;
+                    result_digest;
+                    primary = Engine.primary r.engine;
+                  }));
+          exec_batches r round rest)
+
+(* -- remote failure detection (initiation role, Figure 7) ---------------- *)
+
+and update_detection_timers r =
+  Array.iter
+    (fun tr ->
+      if tr.cluster <> r.my_cluster then begin
+        let needed = r.exec_round in
+        let missing = not (Hashtbl.mem tr.certified needed) in
+        match (missing, tr.detect_timer) with
+        | true, None ->
+            (* The timer is armed *for this round* (the paper sets a
+               timer for C1 at the start of round ρ): it only signals
+               failure if round [needed] is still the execution
+               frontier — and still missing — when it fires. *)
+            tr.detect_timer <-
+              Some
+                (r.ctx.Ctx.set_timer ~delay:tr.timeout (fun () ->
+                     tr.detect_timer <- None;
+                     on_detect_timeout r tr ~armed_round:needed))
+        | false, Some h ->
+            r.ctx.Ctx.cancel_timer h;
+            tr.detect_timer <- None
+        | _ -> ()
+      end)
+    r.tracks
+
+and on_detect_timeout r tr ~armed_round =
+  let round = r.exec_round in
+  if round = armed_round && not (Hashtbl.mem tr.certified round) then begin
+    (* Figure 7, lines 2-4: detect failure, seek local agreement. *)
+    let v = tr.vc_count in
+    tr.vc_count <- v + 1;
+    (* Exponential back-off for subsequent detections (§2.3). *)
+    tr.timeout <- Time.add tr.timeout tr.timeout;
+    send_drvc r tr ~round ~v
+  end;
+  update_detection_timers r
+
+and send_drvc r tr ~round ~v =
+  if not (Hashtbl.mem tr.drvc_sent (round, v)) then begin
+    Hashtbl.replace tr.drvc_sent (round, v) ();
+    r.ctx.Ctx.trace
+      (lazy (Printf.sprintf "geobft[%d] drvc: cluster %d silent at round %d (v=%d)"
+               r.ctx.Ctx.id tr.cluster round v));
+    broadcast_local r (Drvc { failed_cluster = tr.cluster; round; vc_count = v });
+    record_drvc r tr ~src_local:r.my_local ~round ~v
+  end
+
+and record_drvc r tr ~src_local ~round ~v =
+  let votes =
+    match Hashtbl.find_opt tr.drvc_votes (round, v) with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace tr.drvc_votes (round, v) h;
+        h
+  in
+  if not (Hashtbl.mem votes src_local) then begin
+    Hashtbl.replace votes src_local ();
+    let count = Hashtbl.length votes in
+    let f = Config.f r.cfg in
+    (* Lines 8-11: adopt the detection once f+1 peers report it. *)
+    if count >= f + 1 && tr.vc_count <= v then begin
+      tr.vc_count <- max tr.vc_count v;
+      send_drvc r tr ~round ~v
+    end;
+    (* Lines 12-13: with n−f in agreement, request the remote
+       view-change from our same-id peer in the failed cluster. *)
+    if count >= Config.quorum r.cfg && not (Hashtbl.mem tr.rvc_sent (round, v)) then begin
+      Hashtbl.replace tr.rvc_sent (round, v) ();
+      let payload =
+        rvc_payload ~failed_cluster:tr.cluster ~round ~vc_count:v ~requester:r.ctx.Ctx.id
+      in
+      let signature = Keychain.sign r.ctx.Ctx.keychain ~signer:r.ctx.Ctx.id payload in
+      let target = Config.replica_id r.cfg ~cluster:tr.cluster ~index:r.my_local in
+      r.ctx.Ctx.charge ~stage:Cpu.Worker ~cost:(Config.sign_cost r.cfg) (fun () ->
+          send r ~dst:target
+            (Rvc
+               {
+                 failed_cluster = tr.cluster;
+                 round;
+                 vc_count = v;
+                 requester = r.ctx.Ctx.id;
+                 signature;
+               }))
+    end
+  end
+
+(* -- response role (us as a member of the suspected cluster) -------------- *)
+
+and handle_rvc r (m : rvc) ~src =
+  if m.failed_cluster = r.my_cluster then begin
+    let payload =
+      rvc_payload ~failed_cluster:m.failed_cluster ~round:m.round ~vc_count:m.vc_count
+        ~requester:m.requester
+    in
+    if Keychain.verify r.ctx.Ctx.keychain ~signer:m.requester payload m.signature then begin
+      let req_cluster = Config.cluster_of_replica r.cfg m.requester in
+      if req_cluster <> r.my_cluster then begin
+        (* Lines 14-15: first receipt from outside — forward locally. *)
+        if not (Hashtbl.mem r.rvc_received (req_cluster, m.vc_count))
+           && src = m.requester then
+          broadcast_local r (Rvc m);
+        let seen =
+          match Hashtbl.find_opt r.rvc_received (req_cluster, m.vc_count) with
+          | Some h -> h
+          | None ->
+              let h = Hashtbl.create 8 in
+              Hashtbl.replace r.rvc_received (req_cluster, m.vc_count) h;
+              h
+        in
+        if not (Hashtbl.mem seen m.requester) then begin
+          Hashtbl.replace seen m.requester ();
+          r.rvc_rounds <- (req_cluster, m.round) :: r.rvc_rounds;
+          (* Line 16: f+1 distinct signers of one cluster, no recent
+             local view-change, first v-th request by that cluster. *)
+          let f = Config.f r.cfg in
+          let recent_vc =
+            Time.( < )
+              (Time.sub (r.ctx.Ctx.now ()) r.last_local_vc)
+              (Time.of_ms_f r.cfg.Config.local_timeout_ms)
+          in
+          if Hashtbl.length seen >= f + 1
+             && (not (Hashtbl.mem r.rvc_honored (req_cluster, m.vc_count)))
+             && not recent_vc
+          then begin
+            Hashtbl.replace r.rvc_honored (req_cluster, m.vc_count) ();
+            r.remote_vcs_triggered <- r.remote_vcs_triggered + 1;
+            r.ctx.Ctx.trace
+              (lazy (Printf.sprintf "geobft[%d] honoring remote vc from cluster %d (v=%d)"
+                       r.ctx.Ctx.id req_cluster m.vc_count));
+            Engine.force_view_change r.engine
+          end
+        end
+      end
+    end
+  end
+
+(* -- inter-cluster sharing (Figure 5) -------------------------------------- *)
+
+(* Global phase: the local primary sends m to f+1 replicas per remote
+   cluster.  Targets rotate with the round so the WAN load and the
+   local-phase rebroadcast duty spread over the receiving cluster. *)
+and share_round r ~round (batch : Batch.t) (cert : Certificate.t) =
+  let cfg = r.cfg in
+  let fanout = Config.share_fanout cfg in
+  let n_macs = (cfg.Config.z - 1) * fanout in
+  r.ctx.Ctx.charge ~stage:Cpu.Certify
+    ~cost:
+      (Time.add
+         (Config.hash_cost cfg ~bytes:(share_size cfg))
+         (Time.of_us_f (cfg.Config.costs.Config.mac_us *. float_of_int n_macs)))
+    (fun () ->
+      for c = 0 to cfg.Config.z - 1 do
+        if c <> r.my_cluster then
+          for i = 0 to fanout - 1 do
+            let idx = (round + i) mod cfg.Config.n in
+            let dst = Config.replica_id cfg ~cluster:c ~index:idx in
+            r.shares_sent <- r.shares_sent + 1;
+            send r ~dst (Global_share { round; batch; cert })
+          done
+      done)
+
+(* Accept a certified batch for (cluster, round); returns true if new. *)
+and accept_share r ~src ~round (batch : Batch.t) (cert : Certificate.t) =
+  let c = cert.Certificate.cluster in
+  if c < 0 || c >= r.cfg.Config.z || c = r.my_cluster then ()
+  else begin
+    let tr = r.tracks.(c) in
+    if (not (Hashtbl.mem tr.certified round)) && round >= r.exec_round then begin
+      (* Verify once, on the certify thread, then adopt. *)
+      r.ctx.Ctx.charge ~stage:Cpu.Certify ~cost:(Config.cert_verify_cost r.cfg) (fun () ->
+          if
+            (not (Hashtbl.mem tr.certified round))
+            && round >= r.exec_round
+            && cert.Certificate.seq = round
+            && String.equal cert.Certificate.digest batch.Batch.digest
+            && Certificate.verify ~keychain:r.ctx.Ctx.keychain ~quorum:(Config.quorum r.cfg) cert
+            && Batch.verify ~keychain:r.ctx.Ctx.keychain batch
+          then begin
+            Hashtbl.replace tr.certified round (batch, cert);
+            (* Local phase: receipts from outside the cluster are
+               rebroadcast to all local replicas (Figure 5, line 3-4). *)
+            if Config.cluster_of_replica r.cfg src <> r.my_cluster then
+              broadcast_local r (Global_share { round; batch; cert });
+            (* A primary that sees remote clusters running ahead while
+               it has nothing to propose fills its rounds with no-ops
+               (§2.5). *)
+            if Engine.is_primary r.engine then begin
+              let guard = ref 0 in
+              while
+                Engine.next_seq r.engine <= round
+                && Engine.pending_count r.engine = 0
+                && !guard < 4096
+              do
+                incr guard;
+                Engine.propose_noop r.engine
+              done
+            end;
+            try_execute r
+          end)
+    end
+    else if
+      (* Lagging peers ask via DRVC; sharing m directly (line 5-7)
+         happens in the Drvc handler.  Duplicates end here. *)
+      false
+    then ()
+  end
+
+(* -- construction ------------------------------------------------------------ *)
+
+let create_replica (ctx : msg Ctx.t) =
+  let cfg = ctx.Ctx.config in
+  let my_cluster = Config.cluster_of_replica cfg ctx.Ctx.id in
+  let members = Array.of_list (Config.replicas_of_cluster cfg my_cluster) in
+  let tracks =
+    Array.init cfg.Config.z (fun cluster ->
+        {
+          cluster;
+          certified = Hashtbl.create 128;
+          vc_count = 0;
+          detect_timer = None;
+          timeout = Time.of_ms_f cfg.Config.remote_timeout_ms;
+          drvc_votes = Hashtbl.create 8;
+          drvc_sent = Hashtbl.create 8;
+          rvc_sent = Hashtbl.create 8;
+        })
+  in
+  let r_ref = ref None in
+  let on_committed ~seq batch cert =
+    match !r_ref with
+    | None -> ()
+    | Some r ->
+        (* Local replication of round [seq] finished in our cluster. *)
+        Hashtbl.replace r.tracks.(my_cluster).certified seq (batch, cert);
+        if Engine.is_primary r.engine then share_round r ~round:seq batch cert;
+        try_execute r
+  in
+  let on_view_change ~view:_ =
+    match !r_ref with
+    | None -> ()
+    | Some r ->
+        r.last_local_vc <- r.ctx.Ctx.now ();
+        (* A new primary cannot know which rounds its (possibly faulty)
+           predecessor actually delivered (§2.3: it "determines the
+           rounds for which it needs to send requests").  It re-shares
+           (a) every round remote view-change requests asked for and
+           (b) the whole committed-but-possibly-undelivered window, to
+           every remote cluster. *)
+        if Engine.is_primary r.engine then begin
+          let upto = Engine.next_emit r.engine - 1 in
+          let requests = r.rvc_rounds in
+          r.rvc_rounds <- [];
+          let reshare c2 ~from_round =
+            for round = from_round to upto do
+              match Hashtbl.find_opt r.tracks.(my_cluster).certified round with
+              | Some (b, cert) ->
+                  let f = Config.share_fanout r.cfg - 1 in
+                  for i = 0 to f do
+                    let idx = (round + i) mod r.cfg.Config.n in
+                    let dst = Config.replica_id r.cfg ~cluster:c2 ~index:idx in
+                    send r ~dst (Global_share { round; batch = b; cert })
+                  done
+              | None -> ()
+            done
+          in
+          List.iter (fun (c2, from_round) -> reshare c2 ~from_round) requests;
+          let recent = max 0 (r.exec_round - 2) in
+          for c2 = 0 to r.cfg.Config.z - 1 do
+            if c2 <> r.my_cluster then reshare c2 ~from_round:recent
+          done
+        end
+  in
+  let engine_ctx = Ctx.map_send (fun m -> Local m) ctx in
+  let engine =
+    Engine.create ~ctx:engine_ctx ~members ~cluster:my_cluster ~on_committed ~on_view_change ()
+  in
+  let r =
+    {
+      ctx;
+      cfg;
+      my_cluster;
+      my_local = Config.local_index cfg ctx.Ctx.id;
+      engine;
+      tracks;
+      exec_round = 0;
+      exec_busy = false;
+      rvc_received = Hashtbl.create 8;
+      rvc_honored = Hashtbl.create 8;
+      rvc_rounds = [];
+      last_local_vc = Time.sub Time.zero (Time.sec 3600);
+      shares_sent = 0;
+      remote_vcs_triggered = 0;
+    }
+  in
+  r_ref := Some r;
+  (* Failure detection is armed from the start of round 0. *)
+  update_detection_timers r;
+  r
+
+let engine r = r.engine
+let exec_round r = r.exec_round
+let remote_vcs_triggered r = r.remote_vcs_triggered
+
+(* -- dispatch ----------------------------------------------------------------- *)
+
+let on_message (r : replica) ~src (m : msg) =
+  match m with
+  | Local em -> Engine.on_message r.engine ~src em
+  | Request batch ->
+      if batch.Batch.cluster = r.my_cluster && Batch.verify ~keychain:r.ctx.Ctx.keychain batch
+      then Engine.submit_batch r.engine batch
+  | Global_share { round; batch; cert } -> accept_share r ~src ~round batch cert
+  | Drvc { failed_cluster; round; vc_count } ->
+      if failed_cluster <> r.my_cluster
+         && Config.cluster_of_replica r.cfg src = r.my_cluster then begin
+        let tr = r.tracks.(failed_cluster) in
+        (* Lines 5-7: if we already hold m, hand it to the requester. *)
+        (match Hashtbl.find_opt tr.certified round with
+        | Some (b, cert) -> send r ~dst:src (Global_share { round; batch = b; cert })
+        | None -> ());
+        record_drvc r tr ~src_local:(Config.local_index r.cfg src) ~round ~v:vc_count
+      end
+  | Rvc rvc -> handle_rvc r rvc ~src
+  | Reply _ -> ()
+
+(* -- client agent --------------------------------------------------------------- *)
+
+type client = { core : msg Client_core.t; primary_guess : int ref }
+
+let create_client (ctx : msg Ctx.t) ~cluster =
+  let cfg = ctx.Ctx.config in
+  let size = Wire.batch_bytes ~batch_size:cfg.Config.batch_size in
+  let vcost = Config.recv_floor_cost cfg ~bytes:size in
+  (* Clients are assigned to their local cluster (§2); requests go to
+     its current primary — initially the view-0 primary, then whatever
+     the replies report after view changes. *)
+  let primary_guess = ref (Config.replica_id cfg ~cluster ~index:0) in
+  let transmit ~retry (batch : Batch.t) =
+    if retry then
+      (* Local broadcast: backups forward to the primary and arm the
+         censorship timer. *)
+      List.iter
+        (fun dst -> ctx.Ctx.send ~dst ~size ~vcost (Request batch))
+        (Config.replicas_of_cluster cfg cluster)
+    else ctx.Ctx.send ~dst:!primary_guess ~size ~vcost (Request batch)
+  in
+  { core = Client_core.create ~ctx ~threshold:(Config.weak_quorum cfg) ~transmit; primary_guess }
+
+let submit (c : client) batch = Client_core.submit c.core batch
+
+let on_client_message (c : client) ~src (m : msg) =
+  match m with
+  | Reply { batch_id; result_digest; primary } ->
+      c.primary_guess := primary;
+      Client_core.on_reply c.core ~src ~batch_id ~result_digest
+  | _ -> ()
+
+let view_changes (r : replica) = Engine.n_view_changes r.engine

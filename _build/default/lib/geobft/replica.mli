@@ -1,0 +1,42 @@
+(** The GeoBFT replica (paper §2) — the paper's primary contribution.
+    Satisfies {!Rdb_types.Protocol.S}.
+
+    Per round ρ: local replication via the embedded Pbft engine
+    (§2.2), optimistic inter-cluster sharing of (batch, certificate) to
+    f+1 replicas per remote cluster with local rebroadcast (§2.3,
+    Figure 5), and round-ordered execution with replies to local
+    clients only (§2.4).  Failures of a remote cluster's primary are
+    handled by the full remote view-change protocol of Figure 7:
+    timer detection with exponential back-off, DRVC local agreement,
+    signed RVC requests to same-id replicas, in-cluster forwarding,
+    and the guarded honor rule with replay protection that forces a
+    local view change at the faulty cluster. *)
+
+module Batch = Rdb_types.Batch
+module Ctx = Rdb_types.Ctx
+module Engine = Rdb_pbft.Engine
+
+val name : string
+
+type msg = Messages.msg
+
+type replica
+type client
+
+val create_replica : msg Ctx.t -> replica
+val on_message : replica -> src:int -> msg -> unit
+val view_changes : replica -> int
+
+val engine : replica -> Engine.t
+(** This replica's local-replication Pbft engine. *)
+
+val exec_round : replica -> int
+(** Next global round to execute (all below are executed). *)
+
+val remote_vcs_triggered : replica -> int
+(** Remote view-change requests this replica honored as a member of
+    the suspected cluster (Figure 7, line 16-17). *)
+
+val create_client : msg Ctx.t -> cluster:int -> client
+val submit : client -> Batch.t -> unit
+val on_client_message : client -> src:int -> msg -> unit

@@ -1,0 +1,1 @@
+lib/hotstuff/replica.ml: Array Hashtbl Queue Rdb_crypto Rdb_sim Rdb_types

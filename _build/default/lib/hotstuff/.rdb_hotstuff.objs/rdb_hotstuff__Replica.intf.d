@@ -1,0 +1,1 @@
+lib/hotstuff/replica.mli: Rdb_types

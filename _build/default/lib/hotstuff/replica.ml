@@ -1,0 +1,300 @@
+(* HotStuff (Yin et al., PODC 2019), in the exact configuration the
+   paper implemented in ResilientDB (§3 "Other protocols"):
+
+   - the four-phase basic protocol: prepare → precommit → commit →
+     decide, each phase a leader-broadcast followed by a vote round
+     back to the leader (O(8·zn) messages per decision, Table 2);
+   - *no threshold signatures* ("As there is no readily available
+     implementation for threshold signatures ... we skip the
+     construction and verification of threshold signatures"): quorum
+     certificates therefore carry n − f individual signatures, and
+     every replica receiving a QC pays n − f signature verifications —
+     the computational ceiling the paper observes ("the high
+     computational costs of the protocol prevent it from reaching high
+     throughput in any setting");
+   - *every replica acts as a primary in parallel, without
+     pacemaker-based synchronization*: replica i runs instance i,
+     ordering the batches submitted to it.  Instances are independent
+     logs; each replica executes an instance's decided batches in that
+     instance's height order.  A crashed replica stalls only its own
+     instance (clients rotate to a live leader on retransmission),
+     which reproduces HotStuff's moderate degradation under failures
+     in Figure 12.
+
+   Clients submit to their local region's replicas round-robin and wait
+   for f_global + 1 matching replies. *)
+
+module Batch = Rdb_types.Batch
+module Config = Rdb_types.Config
+module Ctx = Rdb_types.Ctx
+module Wire = Rdb_types.Wire
+module Client_core = Rdb_types.Client_core
+module Time = Rdb_sim.Time
+module Cpu = Rdb_sim.Cpu
+module Sha256 = Rdb_crypto.Sha256
+
+let name = "HotStuff"
+
+(* Heights a leader may run concurrently within one instance: chained
+   HotStuff keeps one proposal per phase in flight, i.e. a pipeline of
+   depth 4. *)
+let instance_window = 4
+
+type phase = Prepare | Precommit | Commit
+
+let phase_index = function Prepare -> 0 | Precommit -> 1 | Commit -> 2
+
+type msg =
+  | Request of Batch.t
+  | Propose of { inst : int; height : int; batch : Batch.t }
+  | Vote of { inst : int; height : int; phase : phase; digest : string }
+  (* Leader's phase certificate: precommit/commit/decide broadcast,
+     justified by n − f votes of the previous phase. *)
+  | Qc of { inst : int; height : int; phase : phase; digest : string }
+  | Reply of { batch_id : int; result_digest : string }
+
+(* Per-(instance, height) consensus state. *)
+type slot = {
+  mutable batch : Batch.t option;
+  votes : (int, int) Hashtbl.t array;    (* per phase: voter -> 1 *)
+  mutable qc_seen : bool array;          (* phases we advanced through *)
+  mutable decided : bool;
+}
+
+type inst_state = {
+  owner : int;
+  pending : Batch.t Queue.t;             (* leader-side queue *)
+  mutable next_height : int;             (* leader: next height to propose *)
+  mutable decided_below : int;           (* leader: heights decided (window) *)
+  slots : (int, slot) Hashtbl.t;
+  mutable next_exec : int;               (* executing this instance in order *)
+  seen : (string, unit) Hashtbl.t;       (* leader-side dedup *)
+}
+
+type replica = {
+  ctx : msg Ctx.t;
+  cfg : Config.t;
+  n : int;                               (* total replicas = instances *)
+  quorum : int;
+  insts : inst_state array;
+  mutable decided_total : int;
+}
+
+let result_digest (b : Batch.t) = Sha256.digest_list [ "result"; b.Batch.digest ]
+
+let size_of cfg = function
+  | Request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
+  | Propose _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
+  | Vote _ -> Wire.small
+  | Qc _ -> Wire.small + (Wire.commit_entry_bytes * 4) (* n−f sigs, compacted *)
+  | Reply _ -> Wire.response_bytes ~batch_size:cfg.Config.batch_size
+
+(* The paper's implementation "skips the construction and verification
+   of threshold signatures" entirely: votes and QCs are only
+   MAC-authenticated, which (with the parallel primaries) is what gives
+   their HotStuff its strong showing.  We reproduce that: every message
+   pays only the receive floor, plus the client-signature check on
+   proposals. *)
+let vcost_of cfg m =
+  let c = cfg in
+  match m with
+  | Propose _ ->
+      Time.add (Config.recv_floor_cost c ~bytes:(size_of c m)) (Config.verify_cost c)
+  | m -> Config.recv_floor_cost c ~bytes:(size_of c m)
+
+let send r ~dst m = r.ctx.Ctx.send ~dst ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
+
+let broadcast r m =
+  for dst = 0 to r.n - 1 do
+    if dst <> r.ctx.Ctx.id then send r ~dst m
+  done
+
+let slot_of inst height =
+  match Hashtbl.find_opt inst.slots height with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          batch = None;
+          votes = Array.init 3 (fun _ -> Hashtbl.create 8);
+          qc_seen = Array.make 3 false;
+          decided = false;
+        }
+      in
+      Hashtbl.replace inst.slots height s;
+      s
+
+let create_replica (ctx : msg Ctx.t) =
+  let cfg = ctx.Ctx.config in
+  let n = Config.n_replicas cfg in
+  let f = (n - 1) / 3 in
+  {
+    ctx;
+    cfg;
+    n;
+    quorum = n - f;
+    insts =
+      Array.init n (fun owner ->
+          {
+            owner;
+            pending = Queue.create ();
+            next_height = 0;
+            decided_below = 0;
+            slots = Hashtbl.create 64;
+            next_exec = 0;
+            seen = Hashtbl.create 256;
+          });
+    decided_total = 0;
+  }
+
+let view_changes (_ : replica) = 0
+let decided_total r = r.decided_total
+
+(* -- leader side ---------------------------------------------------------- *)
+
+let rec leader_propose r inst =
+  if
+    inst.owner = r.ctx.Ctx.id
+    && (not (Queue.is_empty inst.pending))
+    && inst.next_height < inst.decided_below + instance_window
+  then begin
+    let batch = Queue.pop inst.pending in
+    let height = inst.next_height in
+    inst.next_height <- height + 1;
+    r.ctx.Ctx.charge ~stage:Cpu.Batching ~cost:(Config.batch_asm_cost r.cfg) (fun () ->
+        let s = slot_of inst height in
+        s.batch <- Some batch;
+        broadcast r (Propose { inst = inst.owner; height; batch });
+        (* The leader's proposal is its own prepare vote. *)
+        record_vote r inst ~height ~phase:Prepare ~voter:r.ctx.Ctx.id ~digest:batch.Batch.digest);
+    leader_propose r inst
+  end
+
+and record_vote r inst ~height ~phase ~voter ~digest:_ =
+  let s = slot_of inst height in
+  let tbl = s.votes.(phase_index phase) in
+  if not (Hashtbl.mem tbl voter) then begin
+    Hashtbl.replace tbl voter 1;
+    if Hashtbl.length tbl >= r.quorum then begin
+      let pi = phase_index phase in
+      if not s.qc_seen.(pi) then begin
+        s.qc_seen.(pi) <- true;
+        match s.batch with
+        | None -> ()
+        | Some b ->
+            (* Broadcast the QC that opens the next phase (or decides);
+               QCs are MAC-authenticated (no threshold signatures). *)
+            let next = Qc { inst = inst.owner; height; phase; digest = b.Batch.digest } in
+            broadcast r next;
+            apply_qc r inst ~height ~phase
+      end
+    end
+  end
+
+(* A QC for [phase] advances the slot; at the leader it also counts as
+   the leader's own next-phase vote. *)
+and apply_qc r inst ~height ~phase =
+  let s = slot_of inst height in
+  match s.batch with
+  | None -> ()
+  | Some b -> (
+      let digest = b.Batch.digest in
+      let me = r.ctx.Ctx.id in
+      let i_am_leader = inst.owner = me in
+      match phase with
+      | Prepare ->
+          if i_am_leader then record_vote r inst ~height ~phase:Precommit ~voter:me ~digest
+          else vote r inst ~height ~phase:Precommit ~digest
+      | Precommit ->
+          if i_am_leader then record_vote r inst ~height ~phase:Commit ~voter:me ~digest
+          else vote r inst ~height ~phase:Commit ~digest
+      | Commit -> decide r inst ~height)
+
+and vote r inst ~height ~phase ~digest =
+  send r ~dst:inst.owner (Vote { inst = inst.owner; height; phase; digest })
+
+and decide r inst ~height =
+  let s = slot_of inst height in
+  if not s.decided then begin
+    s.decided <- true;
+    if inst.owner = r.ctx.Ctx.id then begin
+      inst.decided_below <- inst.decided_below + 1;
+      leader_propose r inst
+    end;
+    exec_ready r inst
+  end
+
+(* Execute this instance's decided heights in order. *)
+and exec_ready r inst =
+  match Hashtbl.find_opt inst.slots inst.next_exec with
+  | Some s when s.decided -> (
+      match s.batch with
+      | None -> ()
+      | Some batch ->
+          inst.next_exec <- inst.next_exec + 1;
+          Hashtbl.remove inst.slots (inst.next_exec - 64);
+          r.decided_total <- r.decided_total + 1;
+          r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+              (if not (Batch.is_noop batch) then
+                 send r ~dst:batch.Batch.origin
+                   (Reply { batch_id = batch.Batch.id; result_digest = result_digest batch }));
+              exec_ready r inst))
+  | _ -> ()
+
+(* -- dispatch --------------------------------------------------------------- *)
+
+let on_message r ~src (m : msg) =
+  match m with
+  | Request batch ->
+      (* We are this batch's designated leader: order it in our own
+         instance. *)
+      let inst = r.insts.(r.ctx.Ctx.id) in
+      if
+        (not (Hashtbl.mem inst.seen batch.Batch.digest))
+        && Batch.verify ~keychain:r.ctx.Ctx.keychain batch
+      then begin
+        Hashtbl.replace inst.seen batch.Batch.digest ();
+        Queue.push batch inst.pending;
+        leader_propose r inst
+      end
+  | Propose { inst = i; height; batch } ->
+      if i = src && i <> r.ctx.Ctx.id then begin
+        let inst = r.insts.(i) in
+        let s = slot_of inst height in
+        if s.batch = None then begin
+          s.batch <- Some batch;
+          vote r inst ~height ~phase:Prepare ~digest:batch.Batch.digest
+        end
+      end
+  | Vote { inst = i; height; phase; digest } ->
+      if i = r.ctx.Ctx.id then record_vote r r.insts.(i) ~height ~phase ~voter:src ~digest
+  | Qc { inst = i; height; phase; digest = _ } ->
+      if i = src && i <> r.ctx.Ctx.id then apply_qc r r.insts.(i) ~height ~phase
+  | Reply _ -> ()
+
+(* -- client ------------------------------------------------------------------ *)
+
+type client = { core : msg Client_core.t }
+
+let create_client (ctx : msg Ctx.t) ~cluster =
+  let cfg = ctx.Ctx.config in
+  let locals = Array.of_list (Config.replicas_of_cluster cfg cluster) in
+  let rr = ref 0 in
+  let size = Wire.batch_bytes ~batch_size:cfg.Config.batch_size in
+  let vcost = Config.recv_floor_cost cfg ~bytes:size in
+  let transmit ~retry:_ (batch : Batch.t) =
+    (* Round-robin over local replicas; a retry naturally rotates to
+       the next (live) leader. *)
+    let dst = locals.(!rr mod Array.length locals) in
+    incr rr;
+    ctx.Ctx.send ~dst ~size ~vcost (Request batch)
+  in
+  let f_global = (Config.n_replicas cfg - 1) / 3 in
+  { core = Client_core.create ~ctx ~threshold:(f_global + 1) ~transmit }
+
+let submit (c : client) batch = Client_core.submit c.core batch
+
+let on_client_message (c : client) ~src (m : msg) =
+  match m with
+  | Reply { batch_id; result_digest } -> Client_core.on_reply c.core ~src ~batch_id ~result_digest
+  | _ -> ()

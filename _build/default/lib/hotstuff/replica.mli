@@ -1,0 +1,41 @@
+(** HotStuff (Yin et al.) in the exact configuration the paper
+    implemented (§3): the four-phase basic protocol, no threshold
+    signatures, and every replica acting as a primary in parallel
+    without pacemaker synchronization — replica i orders the batches
+    submitted to it in instance i (a pipeline of depth
+    {!instance_window} heights, as in chained HotStuff).  Clients
+    submit round-robin to their local region's replicas and rotate
+    away from a crashed leader on retransmission.
+    Satisfies {!Rdb_types.Protocol.S}. *)
+
+module Batch = Rdb_types.Batch
+module Ctx = Rdb_types.Ctx
+
+val name : string
+
+val instance_window : int
+(** Heights a leader keeps in flight per instance (chained-HotStuff
+    pipeline depth: 4). *)
+
+type phase = Prepare | Precommit | Commit
+
+type msg =
+  | Request of Batch.t
+  | Propose of { inst : int; height : int; batch : Batch.t }
+  | Vote of { inst : int; height : int; phase : phase; digest : string }
+  | Qc of { inst : int; height : int; phase : phase; digest : string }
+  | Reply of { batch_id : int; result_digest : string }
+
+type replica
+type client
+
+val create_replica : msg Ctx.t -> replica
+val on_message : replica -> src:int -> msg -> unit
+val view_changes : replica -> int
+
+val decided_total : replica -> int
+(** Batches this replica has decided-and-executed, over all instances. *)
+
+val create_client : msg Ctx.t -> cluster:int -> client
+val submit : client -> Batch.t -> unit
+val on_client_message : client -> src:int -> msg -> unit

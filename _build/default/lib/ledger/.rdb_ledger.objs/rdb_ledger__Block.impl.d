@@ -1,0 +1,1 @@
+lib/ledger/block.ml: Format Rdb_crypto Rdb_types String

@@ -1,0 +1,1 @@
+lib/ledger/ledger.ml: Array Block Rdb_crypto Rdb_types String

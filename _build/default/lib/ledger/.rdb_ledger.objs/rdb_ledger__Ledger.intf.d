@@ -1,0 +1,1 @@
+lib/ledger/ledger.mli: Block Rdb_crypto Rdb_types

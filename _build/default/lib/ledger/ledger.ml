@@ -1,0 +1,108 @@
+(* The append-only ledger held by every replica (paper §3).
+
+   ResilientDB is fully replicated: each replica maintains a complete
+   copy.  The ledger supports:
+   - appending an executed batch together with its commit certificate;
+   - integrity audit ([verify]): recompute every hash and check the
+     chain links, so "tampering of its ledger by any replica can easily
+     be detected";
+   - recovery reads ([read_from]): a recovering replica can copy a
+     suffix from any peer and [verify] it independently (§3);
+   - certificate audit ([verify_certified]) for a full byzantine audit
+     including the n − f commit signatures of every block. *)
+
+module Batch = Rdb_types.Batch
+module Certificate = Rdb_types.Certificate
+module Keychain = Rdb_crypto.Keychain
+
+type t = {
+  mutable blocks : Block.t array;   (* dynamic array *)
+  mutable len : int;
+  mutable txn_count : int;          (* total transactions executed *)
+}
+
+let create () = { blocks = [||]; len = 0; txn_count = 0 }
+
+let length t = t.len
+let txn_count t = t.txn_count
+let is_empty t = t.len = 0
+
+let tip_hash t = if t.len = 0 then Block.genesis_hash else t.blocks.(t.len - 1).Block.hash
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ledger.get: height out of range";
+  t.blocks.(i)
+
+let ensure_capacity t =
+  let cap = Array.length t.blocks in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 256 else 2 * cap in
+    let narr = Array.make ncap t.blocks.(0) in
+    Array.blit t.blocks 0 narr 0 t.len;
+    t.blocks <- narr
+  end
+
+(* Append the next executed batch; returns the new block. *)
+let append t ~round ~cluster ~batch ~cert =
+  let prev_hash = tip_hash t in
+  let block = Block.create ~height:t.len ~round ~cluster ~batch ~cert ~prev_hash in
+  if t.len = 0 && Array.length t.blocks = 0 then t.blocks <- Array.make 256 block;
+  ensure_capacity t;
+  t.blocks.(t.len) <- block;
+  t.len <- t.len + 1;
+  t.txn_count <- t.txn_count + Array.length batch.Batch.txns;
+  block
+
+(* Structural integrity: heights, hash links, block hashes. *)
+let verify t : bool =
+  let ok = ref true in
+  let prev = ref Block.genesis_hash in
+  for i = 0 to t.len - 1 do
+    let b = t.blocks.(i) in
+    if b.Block.height <> i then ok := false;
+    if not (String.equal b.Block.prev_hash !prev) then ok := false;
+    if not (Block.hash_valid b) then ok := false;
+    prev := b.Block.hash
+  done;
+  !ok
+
+(* Full audit: structure plus batch signatures and commit certificates
+   (quorum = n − f of the issuing cluster). *)
+let verify_certified t ~keychain ~quorum : bool =
+  verify t
+  && (let ok = ref true in
+      for i = 0 to t.len - 1 do
+        let b = t.blocks.(i) in
+        if not (Batch.verify ~keychain b.Block.batch) then ok := false;
+        (match b.Block.cert with
+        | Some cert ->
+            if not (Certificate.verify ~keychain ~quorum cert) then ok := false;
+            if not (String.equal cert.Certificate.digest b.Block.batch.Batch.digest) then ok := false
+        | None -> ok := false)
+      done;
+      !ok)
+
+(* Suffix starting at [height]; used by recovering replicas. *)
+let read_from t ~height =
+  if height < 0 || height > t.len then invalid_arg "Ledger.read_from: bad height";
+  Array.sub t.blocks height (t.len - height) |> Array.to_list
+
+(* Tamper with a block in place (test/audit tooling: simulate a
+   malicious replica rewriting history, then observe [verify] fail). *)
+let tamper_for_test t ~height ~batch =
+  if height < 0 || height >= t.len then invalid_arg "Ledger.tamper_for_test: bad height";
+  let b = t.blocks.(height) in
+  t.blocks.(height) <- { b with Block.batch }
+
+(* Do two ledgers agree on a prefix?  Returns the length of the longest
+   common prefix; safety requires that any two non-faulty replicas'
+   ledgers are prefixes of one another. *)
+let common_prefix a b =
+  let m = min a.len b.len in
+  let i = ref 0 in
+  while !i < m && String.equal a.blocks.(!i).Block.hash b.blocks.(!i).Block.hash do
+    incr i
+  done;
+  !i
+
+let is_prefix_of a b = a.len <= b.len && common_prefix a b = a.len

@@ -1,0 +1,1 @@
+lib/pbft/engine.ml: Array Hashtbl List Messages Option Printf Queue Rdb_crypto Rdb_sim Rdb_types String

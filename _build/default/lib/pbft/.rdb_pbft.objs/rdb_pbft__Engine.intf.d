@@ -1,0 +1,1 @@
+lib/pbft/engine.mli: Messages Rdb_types

@@ -1,0 +1,1 @@
+lib/pbft/messages.ml: Rdb_crypto Rdb_types

@@ -1,0 +1,1 @@
+lib/pbft/messages.mli: Rdb_crypto Rdb_types

@@ -1,0 +1,1 @@
+lib/pbft/replica.ml: Array Engine Fun List Messages Rdb_crypto Rdb_sim Rdb_types

@@ -1,0 +1,1 @@
+lib/pbft/replica.mli: Engine Messages Rdb_types

@@ -1,0 +1,76 @@
+(** The Pbft replication engine (Castro & Liskov) for one cluster —
+    both GeoBFT's local-replication step (§2.2) and, over all z·n
+    replicas at once, the standalone Pbft baseline.
+
+    Beyond the three-phase normal case: commit certificates (n − f
+    signed commits), checkpointing with quorum-stable garbage
+    collection, full local view changes (censorship timers with
+    exponential back-off, prepared-certificate carry-over, the f+1 join
+    rule, immediate view change on provable equivocation), request
+    forwarding, no-op proposals, an external view-change trigger (the
+    hook GeoBFT's remote view-change protocol fires, Figure 7 line 17),
+    and Byzantine test hooks.
+
+    [on_committed] fires in strictly increasing sequence order. *)
+
+module Batch = Rdb_types.Batch
+module Certificate = Rdb_types.Certificate
+module Ctx = Rdb_types.Ctx
+
+type t
+
+val create :
+  ctx:Messages.msg Ctx.t ->
+  members:int array ->
+  cluster:int ->
+  ?window:int ->
+  ?checkpoint_every:int ->
+  on_committed:(seq:int -> Batch.t -> Certificate.t -> unit) ->
+  on_view_change:(view:int -> unit) ->
+  unit ->
+  t
+(** [members] are the global node ids of this cluster (index = local
+    id); [window] bounds in-flight sequence numbers (default: the
+    config's pipeline depth); [checkpoint_every] is in sequence numbers
+    (default: checkpoint_interval / batch_size).  [on_view_change]
+    fires at every replica when it enters a new view. *)
+
+(** {1 Operation} *)
+
+val submit_batch : t -> Batch.t -> unit
+(** At the primary: queue and propose.  At a backup: forward to the
+    primary and arm the anti-censorship timer. *)
+
+val propose_noop : t -> unit
+(** Propose a no-op if primary with an empty queue (GeoBFT §2.5). *)
+
+val on_message : t -> src:int -> Messages.msg -> unit
+(** Feed a protocol message; non-member senders are ignored. *)
+
+val force_view_change : t -> unit
+(** External failure detection: treat the current primary as faulty
+    (GeoBFT remote view change, Figure 7 line 17). *)
+
+(** {1 Inspection} *)
+
+val view : t -> int
+val n_view_changes : t -> int
+val primary : t -> int
+(** Global node id of the current primary. *)
+
+val is_primary : t -> bool
+val in_flight : t -> int
+val next_emit : t -> int
+(** Next sequence number to be delivered (all below are committed). *)
+
+val next_seq : t -> int
+(** Primary: next sequence number to assign. *)
+
+val pending_count : t -> int
+
+(** {1 Byzantine test hooks} *)
+
+val set_tamper : t -> (dst:int -> Messages.msg -> Messages.msg option) option -> unit
+(** Intercept every outgoing message: [None] drops it, [Some m']
+    replaces it — silent primaries, equivocation, partial sends
+    (Example 2.4's faulty primaries). *)

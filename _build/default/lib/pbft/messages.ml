@@ -1,0 +1,43 @@
+(* Pbft wire messages (Castro & Liskov, OSDI '99), in the configuration
+   the paper uses for GeoBFT's local replication (§2.2): digital
+   signatures only on client requests and commit messages (the messages
+   that get forwarded), MACs on everything else.
+
+   [Forward] carries a client request from a backup to the primary
+   (clients talk to the primary; if they suspect it, they broadcast,
+   and backups forward + start a view-change timer — the standard
+   Pbft anti-censorship mechanism, which §2.5 relies on to rule out
+   primaries indefinitely proposing no-ops). *)
+
+module Batch = Rdb_types.Batch
+module Schnorr = Rdb_crypto.Schnorr
+
+(* Proof that a replica had prepared (seq, digest) in some view; part
+   of a view-change message.  In production this carries n − f prepare
+   signatures; the simulator models its size and verification cost and
+   trusts the structure (Byzantine tests attack the protocol paths, not
+   the signature encoding). *)
+type prepared_proof = {
+  pp_seq : int;
+  pp_view : int;
+  pp_digest : string;
+  pp_batch : Batch.t;
+}
+
+type msg =
+  | Forward of Batch.t
+  | Preprepare of { view : int; seq : int; batch : Batch.t }
+  | Prepare of { view : int; seq : int; digest : string }
+  | Commit of { view : int; seq : int; digest : string; signature : Schnorr.signature }
+  | Checkpoint of { seq : int; state_digest : string }
+  | ViewChange of { target : int; last_stable : int; prepared : prepared_proof list }
+  | NewView of { target : int; preprepares : (int * Batch.t) list }
+
+let kind = function
+  | Forward _ -> "forward"
+  | Preprepare _ -> "preprepare"
+  | Prepare _ -> "prepare"
+  | Commit _ -> "commit"
+  | Checkpoint _ -> "checkpoint"
+  | ViewChange _ -> "view-change"
+  | NewView _ -> "new-view"

@@ -1,0 +1,99 @@
+(* Standalone Pbft — the baseline protocol of §4.
+
+   One flat Pbft group over all z·n replicas, with the primary placed
+   in region 0 (the experiments put it in Oregon, "as this region has
+   the highest bandwidth to all other regions").  Clients in every
+   region submit to the primary and wait for f_global + 1 matching
+   replies; every replica replies to the issuing client.
+
+   This is the configuration whose geo-scale behaviour Figure 10
+   documents: all-to-all prepare/commit traffic crosses regions, and
+   the single primary's WAN uplinks carry a full pre-prepare per
+   replica per decision. *)
+
+module Batch = Rdb_types.Batch
+module Config = Rdb_types.Config
+module Ctx = Rdb_types.Ctx
+module Wire = Rdb_types.Wire
+module Client_core = Rdb_types.Client_core
+module Time = Rdb_sim.Time
+
+let name = "Pbft"
+
+type msg =
+  | Engine_msg of Messages.msg
+  | Request of Batch.t
+  | Reply of { batch_id : int; result_digest : string; primary : int }
+
+type replica = { ctx : msg Ctx.t; engine : Engine.t }
+
+type client = { core : msg Client_core.t; primary_guess : int ref }
+
+(* All replicas of the deployment form one cluster. *)
+let members_of cfg = Array.init (Config.n_replicas cfg) (fun i -> i)
+
+let reply_size cfg = Wire.response_bytes ~batch_size:cfg.Config.batch_size
+
+(* Deterministic result digest so clients can match replies. *)
+let result_digest (b : Batch.t) = Rdb_crypto.Sha256.digest_list [ "result"; b.Batch.digest ]
+
+let create_replica (ctx : msg Ctx.t) =
+  let cfg = ctx.Ctx.config in
+  let engine_ctx = Ctx.map_send (fun m -> Engine_msg m) ctx in
+  let engine_ref = ref None in
+  let on_committed ~seq:_ (batch : Batch.t) cert =
+    ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
+        if not (Batch.is_noop batch) then
+          let primary = match !engine_ref with Some e -> Engine.primary e | None -> 0 in
+          ctx.Ctx.send ~dst:batch.Batch.origin ~size:(reply_size cfg)
+            ~vcost:(Config.recv_floor_cost cfg ~bytes:(reply_size cfg))
+            (Reply { batch_id = batch.Batch.id; result_digest = result_digest batch; primary }))
+  in
+  let engine =
+    Engine.create ~ctx:engine_ctx ~members:(members_of cfg) ~cluster:0 ~on_committed
+      ~on_view_change:(fun ~view:_ -> ()) ()
+  in
+  engine_ref := Some engine;
+  { ctx; engine }
+
+let on_message (r : replica) ~src (m : msg) =
+  match m with
+  | Engine_msg em -> Engine.on_message r.engine ~src em
+  | Request batch ->
+      if Batch.verify ~keychain:r.ctx.Ctx.keychain batch then Engine.submit_batch r.engine batch
+  | Reply _ -> ()
+
+let engine (r : replica) = r.engine
+
+(* -- client agent -------------------------------------------------------- *)
+
+let create_client (ctx : msg Ctx.t) ~cluster:_ =
+  let cfg = ctx.Ctx.config in
+  let size = Wire.batch_bytes ~batch_size:cfg.Config.batch_size in
+  let vcost = Config.recv_floor_cost cfg ~bytes:size in
+  (* The view-0 primary lives in region 0; replies update the guess
+     after view changes. *)
+  let primary_guess = ref 0 in
+  let transmit ~retry (batch : Batch.t) =
+    if retry then
+      (* Suspect the primary: broadcast so backups forward and start
+         censorship timers (standard Pbft client fallback). *)
+      List.iter
+        (fun dst -> ctx.Ctx.send ~dst ~size ~vcost (Request batch))
+        (List.init (Config.n_replicas cfg) Fun.id)
+    else ctx.Ctx.send ~dst:!primary_guess ~size ~vcost (Request batch)
+  in
+  (* Global f for the flat group. *)
+  let f_global = (Config.n_replicas cfg - 1) / 3 in
+  { core = Client_core.create ~ctx ~threshold:(f_global + 1) ~transmit; primary_guess }
+
+let submit (c : client) batch = Client_core.submit c.core batch
+
+let on_client_message (c : client) ~src (m : msg) =
+  match m with
+  | Reply { batch_id; result_digest; primary } ->
+      c.primary_guess := primary;
+      Client_core.on_reply c.core ~src ~batch_id ~result_digest
+  | _ -> ()
+
+let view_changes (r : replica) = Engine.n_view_changes r.engine

@@ -1,0 +1,28 @@
+(** Standalone Pbft — the baseline protocol of §4: one flat Pbft group
+    over all z·n replicas, primary initially in region 0 (Oregon, as in
+    the paper), clients waiting for f_global + 1 matching replies.
+    Satisfies {!Rdb_types.Protocol.S}. *)
+
+module Batch = Rdb_types.Batch
+module Ctx = Rdb_types.Ctx
+
+val name : string
+
+type msg =
+  | Engine_msg of Messages.msg
+  | Request of Batch.t
+  | Reply of { batch_id : int; result_digest : string; primary : int }
+
+type replica
+type client
+
+val create_replica : msg Ctx.t -> replica
+val on_message : replica -> src:int -> msg -> unit
+val view_changes : replica -> int
+
+val engine : replica -> Engine.t
+(** The underlying Pbft engine (tests and Byzantine hooks). *)
+
+val create_client : msg Ctx.t -> cluster:int -> client
+val submit : client -> Batch.t -> unit
+val on_client_message : client -> src:int -> msg -> unit

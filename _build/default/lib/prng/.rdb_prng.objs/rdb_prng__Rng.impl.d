@@ -1,0 +1,1 @@
+lib/prng/rng.ml: Array Bytes Char Int64 Splitmix64

@@ -1,0 +1,1 @@
+lib/prng/zipf.ml: Float Int64 Rng Splitmix64

@@ -1,0 +1,94 @@
+(* Deterministic pseudo-random stream used throughout the simulator.
+
+   The core generator is xoshiro256** (Blackman & Vigna, 2018): fast,
+   high quality, 256-bit state, and — crucially for a deterministic
+   discrete-event simulator — fully reproducible across platforms since
+   it only uses 64-bit integer arithmetic.  State is seeded from
+   SplitMix64 as recommended by the authors. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* Derive a decorrelated child stream, e.g. one per replica. *)
+let split t ~index =
+  create (Splitmix64.split_seed ~seed:(Int64.logxor t.s0 t.s3) ~index)
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(* Uniform float in [0, 1): use the top 53 bits, the standard trick for
+   filling a double's mantissa without bias. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+(* Uniform int in [0, bound): rejection-free Lemire-style reduction is
+   overkill here; modulo bias is negligible for bound << 2^63 and we
+   keep the simple, obviously-deterministic form. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Exponentially distributed sample with the given mean (inverse-CDF). *)
+let exponential t ~mean =
+  let u = float t in
+  -. mean *. log (1. -. u)
+
+(* Sample uniformly from [lo, hi). *)
+let float_range t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+(* Fisher-Yates shuffle of an array, in place. *)
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Pick one element uniformly. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let bytes t n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (next_int64 t) in
+    let k = min 8 (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set b (!i + j) (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + k
+  done;
+  b

@@ -1,0 +1,38 @@
+(* SplitMix64: a fast, statistically strong 64-bit generator with a
+   trivially splittable state.  Used to seed [Xoshiro256ss] streams and
+   wherever a tiny stateless mixer is needed (e.g. deterministic
+   per-replica seeds derived from a global experiment seed).
+
+   Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+   generators", OOPSLA 2014.  Constants match the public-domain C
+   reference by Sebastiano Vigna (https://prng.di.unimi.it/splitmix64.c),
+   which is also the generator used by Java's SplittableRandom. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* One output step of the reference implementation. *)
+let next (t : t) : int64 =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Stateless mix of a single 64-bit value; useful for hashing small keys
+   into seeds without allocating a generator. *)
+let mix (z : int64) : int64 =
+  let z = Int64.add z golden_gamma in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Derive an independent seed for a substream identified by [index].
+   Distinct indices give decorrelated streams. *)
+let split_seed ~seed ~index =
+  mix (Int64.add (mix seed) (Int64.mul (Int64.of_int index) golden_gamma))

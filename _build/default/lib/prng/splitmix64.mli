@@ -1,0 +1,23 @@
+(** SplitMix64: fast splittable 64-bit PRNG (Steele, Lea & Flood,
+    OOPSLA 2014).  Used to seed {!Rng} streams and as a stateless
+    mixer for deriving decorrelated per-entity seeds. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val next : t -> int64
+(** Next 64-bit output; advances the state. *)
+
+val mix : int64 -> int64
+(** Stateless finalizer: hash one 64-bit value (the output function of
+    SplitMix64).  Bijective on int64. *)
+
+val split_seed : seed:int64 -> index:int -> int64
+(** [split_seed ~seed ~index] derives an independent seed for substream
+    [index]; distinct indices give decorrelated streams. *)

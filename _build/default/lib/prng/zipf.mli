@@ -1,0 +1,19 @@
+(** Zipfian sampler over [0, n) following YCSB's ZipfianGenerator
+    (Gray et al., SIGMOD 1994).  The paper's workload draws keys from a
+    scrambled Zipfian over a 600k-record table (§4). *)
+
+type t
+
+val create : ?theta:float -> int -> t
+(** [create ~theta n] prepares a sampler over ranks [0..n-1].  [theta]
+    is YCSB's zipfian constant (default 0.99; 0 is uniform).
+    @raise Invalid_argument unless [n > 0] and [0 <= theta < 1]. *)
+
+val cardinality : t -> int
+
+val sample : t -> Rng.t -> int
+(** One draw; rank 0 is the most popular. *)
+
+val sample_scrambled : t -> Rng.t -> int
+(** Like {!sample}, with ranks hashed over the key space so hot keys
+    are spread out (YCSB's scrambled zipfian). *)

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Engine Float Int64 List Rdb_prng Stats Time Topology

@@ -1,0 +1,83 @@
+(* The discrete-event engine: a clock and an ordered queue of pending
+   events (closures).  Everything in the fabric — message deliveries,
+   protocol timers, CPU completions, client injections — is an event.
+
+   Determinism contract: with the same seed and the same sequence of
+   [schedule] calls, two runs execute identical event sequences.  This
+   is what lets the test suite assert exact cross-run agreement and lets
+   every experiment in EXPERIMENTS.md be replayed bit-for-bit. *)
+
+type event = { run : unit -> unit; mutable cancelled : bool }
+
+type t = {
+  mutable now : Time.t;
+  heap : event Heap.t;
+  mutable seq : int;
+  rng : Rdb_prng.Rng.t;
+  mutable executed : int;         (* events executed so far *)
+  mutable horizon : Time.t;       (* events beyond this are not executed *)
+}
+
+type timer = event
+
+let create ?(seed = 42) () =
+  {
+    now = Time.zero;
+    heap = Heap.create ();
+    seq = 0;
+    rng = Rdb_prng.Rng.create (Int64.of_int seed);
+    executed = 0;
+    horizon = Int64.max_int;
+  }
+
+let now t = t.now
+let rng t = t.rng
+let executed_events t = t.executed
+let pending_events t = Heap.length t.heap
+
+(* Schedule [f] to run at absolute simulated time [at] (clamped to now:
+   scheduling in the past runs "immediately", preserving causality). *)
+let schedule_at t ~at f =
+  let at = Time.max at t.now in
+  let ev = { run = f; cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time:at ~seq:t.seq ev;
+  ev
+
+let schedule_after t ~delay f = schedule_at t ~at:(Time.add t.now delay) f
+
+let cancel (ev : timer) = ev.cancelled <- true
+
+(* Execute the next pending event; [false] when the queue is exhausted
+   or the next event lies beyond the horizon. *)
+let step t =
+  match Heap.peek t.heap with
+  | None -> false
+  | Some e when Time.( > ) e.Heap.time t.horizon -> false
+  | Some _ -> (
+      match Heap.pop t.heap with
+      | None -> false
+      | Some { Heap.time; payload = ev; _ } ->
+          if not ev.cancelled then begin
+            t.now <- time;
+            t.executed <- t.executed + 1;
+            ev.run ()
+          end;
+          true)
+
+(* Run until the queue drains or simulated time would pass [until]. *)
+let run_until t ~until =
+  t.horizon <- until;
+  while step t do
+    ()
+  done;
+  (* Advance the clock to the horizon even if the queue drained early,
+     so back-to-back run_until calls observe monotone time. *)
+  if Time.( < ) t.now until then t.now <- until;
+  t.horizon <- Int64.max_int
+
+(* Run to quiescence (no pending events). *)
+let run t =
+  while step t do
+    ()
+  done

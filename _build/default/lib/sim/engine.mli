@@ -1,0 +1,44 @@
+(** The discrete-event engine: a clock plus an ordered queue of pending
+    events (closures).
+
+    Determinism contract: with the same seed and the same sequence of
+    [schedule] calls, two runs execute identical event sequences — ties
+    in time break by scheduling order. *)
+
+type t
+
+type timer
+(** Handle to a scheduled event, for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+
+val now : t -> Time.t
+
+val rng : t -> Rdb_prng.Rng.t
+(** The engine's deterministic randomness source. *)
+
+val executed_events : t -> int
+(** Events executed so far (diagnostics). *)
+
+val pending_events : t -> int
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> timer
+(** Schedule at an absolute time; times in the past run at [now]
+    (causality is preserved, never reordered). *)
+
+val schedule_after : t -> delay:Time.t -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+(** Cancelled events never run; cancelling twice is harmless. *)
+
+val step : t -> bool
+(** Execute the next pending event; false when drained (or the next
+    event is beyond a [run_until] horizon). *)
+
+val run_until : t -> until:Time.t -> unit
+(** Run events with timestamp <= [until]; afterwards [now t = until]
+    even if the queue drained early. *)
+
+val run : t -> unit
+(** Run to quiescence.  Beware protocols with self-rearming timers:
+    prefer {!run_until}. *)

@@ -1,0 +1,80 @@
+(* Binary min-heap of timestamped events.
+
+   Keys are (time, sequence-number): the sequence number breaks ties in
+   insertion order, which makes event ordering — and therefore the whole
+   simulation — deterministic regardless of heap internals. *)
+
+type 'a entry = { time : int64; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { arr = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let lt a b =
+  match Int64.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> Stdlib.( < ) c 0
+
+let grow t =
+  let cap = Array.length t.arr in
+  let ncap = if cap = 0 then 64 else 2 * cap in
+  (* dummy for padding slots; never read beyond [size] *)
+  let dummy = t.arr.(0) in
+  let narr = Array.make ncap dummy in
+  Array.blit t.arr 0 narr 0 t.size;
+  t.arr <- narr
+
+let push t ~time ~seq payload =
+  let e = { time; seq; payload } in
+  if t.size = 0 && Array.length t.arr = 0 then t.arr <- Array.make 64 e;
+  if t.size = Array.length t.arr then grow t;
+  t.arr.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt t.arr.(!i) t.arr.(parent) then begin
+      let tmp = t.arr.(!i) in
+      t.arr.(!i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek t = if t.size = 0 then None else Some t.arr.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.arr.(0) <- t.arr.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && lt t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.size && lt t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.arr.(!i) in
+          t.arr.(!i) <- t.arr.(!smallest);
+          t.arr.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some top
+  end

@@ -1,0 +1,16 @@
+(** Binary min-heap of timestamped events, keyed by (time, sequence
+    number) so that ties break in insertion order — the property that
+    makes the simulation deterministic. *)
+
+type 'a entry = { time : int64; seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+val peek : 'a t -> 'a entry option
+val pop : 'a t -> 'a entry option

@@ -1,0 +1,120 @@
+(* The simulated wide-area network.
+
+   Model (see DESIGN.md §5):
+   - Every node has, per destination region, a FIFO uplink whose
+     capacity is the Table 1 bandwidth between the two regions.  A
+     b-byte message sent at time t departs at
+         depart = max(t, uplink_busy) + b / bandwidth
+     and arrives at
+         arrive = depart + one_way_latency + jitter.
+     The uplink queue is what makes a single-primary protocol
+     bandwidth-bound: a primary broadcasting large pre-prepares to five
+     remote regions serializes through five finite pipes, exactly the
+     bottleneck behind Figures 10 and 13 of the paper.
+   - Intra-region messages use the (fast) local pipe of the same model.
+   - Failure injection: crashed nodes neither send nor receive; drop
+     rules model Byzantine senders/receivers that silently discard
+     traffic to or from selected peers (Example 2.4 of the paper);
+     region partitions sever all traffic between region pairs.
+
+   The payload type is polymorphic: each deployment instantiates the
+   network with its protocol's message type, so no serialization round
+   trip is needed inside the simulator (message *sizes* are still
+   modeled explicitly — they are supplied by the sender). *)
+
+type 'm t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  deliver : src:int -> dst:int -> 'm -> unit;
+  (* uplink_busy.(node).(dst_region): time the pipe frees up *)
+  uplink_busy : Time.t array array;
+  (* Aggregate cross-region egress of each node (all WAN flows of a
+     node serialize through this before their per-region pipe); 0 or
+     negative disables the cap. *)
+  wan_egress_mbps : float;
+  wan_busy : Time.t array;
+  crashed : bool array;
+  (* drop_rules: if any returns true the message is silently dropped *)
+  mutable drop_rules : (src:int -> dst:int -> bool) list;
+  jitter_ms : float;
+  stats : Stats.t;
+}
+
+let create ?(wan_egress_mbps = 0.) ~engine ~topo ~jitter_ms ~deliver () =
+  let n = Topology.n_nodes topo in
+  let r = Topology.n_regions topo in
+  {
+    engine;
+    topo;
+    deliver;
+    uplink_busy = Array.init n (fun _ -> Array.make r Time.zero);
+    wan_egress_mbps;
+    wan_busy = Array.make n Time.zero;
+    crashed = Array.make n false;
+    drop_rules = [];
+    jitter_ms;
+    stats = Stats.create ();
+  }
+
+let stats t = t.stats
+let topology t = t.topo
+
+let crash t node = t.crashed.(node) <- true
+let recover t node = t.crashed.(node) <- false
+let is_crashed t node = t.crashed.(node)
+
+let add_drop_rule t rule = t.drop_rules <- rule :: t.drop_rules
+let clear_drop_rules t = t.drop_rules <- []
+
+(* Sever all communication between two regions (both directions). *)
+let partition_regions t ~ra ~rb =
+  add_drop_rule t (fun ~src ~dst ->
+      let rs = Topology.region_of t.topo src and rd = Topology.region_of t.topo dst in
+      (rs = ra && rd = rb) || (rs = rb && rd = ra))
+
+let transmission_ns ~size_bytes ~bw_mbps =
+  (* Mbit/s -> bytes/ns: bw * 1e6 / 8 bytes per second = bw / 8e-3 per ns *)
+  let bytes_per_ns = bw_mbps *. 1e6 /. 8.0 /. 1e9 in
+  Int64.of_float (Float.of_int size_bytes /. bytes_per_ns)
+
+(* Send one message.  [size] is the wire size in bytes (headers and
+   authentication tags included by the caller's sizing function). *)
+let send t ~src ~dst ~size msg =
+  if t.crashed.(src) then ()
+  else if List.exists (fun rule -> rule ~src ~dst) t.drop_rules then
+    Stats.count_dropped t.stats ~size
+  else begin
+    let now = Engine.now t.engine in
+    let local = Topology.same_region t.topo src dst in
+    Stats.count_sent t.stats ~local ~size;
+    let dst_region = Topology.region_of t.topo dst in
+    let bw = Topology.bw_mbps t.topo ~a:src ~b:dst in
+    (* Cross-region traffic first serializes through the node's
+       aggregate WAN egress, then through the per-region-pair pipe. *)
+    let now =
+      if (not local) && t.wan_egress_mbps > 0. then begin
+        let out =
+          Time.add
+            (Time.max now t.wan_busy.(src))
+            (transmission_ns ~size_bytes:size ~bw_mbps:t.wan_egress_mbps)
+        in
+        t.wan_busy.(src) <- out;
+        out
+      end
+      else now
+    in
+    let busy = t.uplink_busy.(src).(dst_region) in
+    let depart = Time.add (Time.max now busy) (transmission_ns ~size_bytes:size ~bw_mbps:bw) in
+    t.uplink_busy.(src).(dst_region) <- depart;
+    let delay = Time.of_ms_f (Topology.one_way_ms t.topo ~a:src ~b:dst) in
+    let jitter =
+      if t.jitter_ms <= 0. then Time.zero
+      else Time.of_ms_f (Rdb_prng.Rng.float_range (Engine.rng t.engine) ~lo:0. ~hi:t.jitter_ms)
+    in
+    let arrive = Time.add depart (Time.add delay jitter) in
+    ignore
+      (Engine.schedule_at t.engine ~at:arrive (fun () ->
+           if not t.crashed.(dst) then t.deliver ~src ~dst msg))
+  end
+
+let multicast t ~src ~dsts ~size msg = List.iter (fun dst -> send t ~src ~dst ~size msg) dsts

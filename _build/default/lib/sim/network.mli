@@ -1,0 +1,43 @@
+(** The simulated wide-area network (see DESIGN.md §5).
+
+    A message of [size] bytes from [src] to [dst]:
+    + if cross-region, first serializes through [src]'s aggregate WAN
+      egress pipe (if enabled);
+    + then serializes through the [src]->[region dst] uplink at the
+      Table 1 bandwidth of the region pair;
+    + then travels for one-way latency (+ jitter) and is delivered.
+
+    Fault injection: crashed nodes neither send nor receive; drop rules
+    silently discard matching traffic (Byzantine senders/receivers,
+    Example 2.4); partitions sever region pairs. *)
+
+type 'm t
+(** A network carrying payloads of type ['m]. *)
+
+val create :
+  ?wan_egress_mbps:float ->
+  engine:Engine.t ->
+  topo:Topology.t ->
+  jitter_ms:float ->
+  deliver:(src:int -> dst:int -> 'm -> unit) ->
+  unit ->
+  'm t
+(** [wan_egress_mbps] caps one node's total cross-region egress
+    (0 = uncapped); [jitter_ms] adds uniform random delay in
+    [0, jitter_ms). *)
+
+val send : 'm t -> src:int -> dst:int -> size:int -> 'm -> unit
+val multicast : 'm t -> src:int -> dsts:int list -> size:int -> 'm -> unit
+
+val crash : 'm t -> int -> unit
+val recover : 'm t -> int -> unit
+val is_crashed : 'm t -> int -> bool
+
+val add_drop_rule : 'm t -> (src:int -> dst:int -> bool) -> unit
+val clear_drop_rules : 'm t -> unit
+
+val partition_regions : 'm t -> ra:int -> rb:int -> unit
+(** Sever all traffic between two regions (both directions). *)
+
+val stats : 'm t -> Stats.t
+val topology : 'm t -> Topology.t

@@ -1,0 +1,23 @@
+(** Network traffic counters, split local (intra-region) vs global
+    (inter-region) — the distinction at the heart of the paper's
+    Table 2. *)
+
+type t
+
+val create : unit -> t
+
+val count_sent : t -> local:bool -> size:int -> unit
+val count_dropped : t -> size:int -> unit
+
+val local_msgs : t -> int
+val global_msgs : t -> int
+val local_bytes : t -> int
+val global_bytes : t -> int
+val dropped_msgs : t -> int
+
+type snapshot = { l_msgs : int; g_msgs : int; l_bytes : int; g_bytes : int }
+
+val snapshot : t -> snapshot
+
+val diff : after:snapshot -> before:snapshot -> snapshot
+(** Traffic between two snapshots (a measurement window). *)

@@ -1,0 +1,34 @@
+(* Simulated time: int64 nanoseconds since the start of the run.
+
+   Nanosecond granularity keeps every quantity in the model (CPU costs
+   of a few microseconds, WAN latencies of hundreds of milliseconds,
+   runs of minutes) exactly representable, and integer time makes the
+   simulation bit-for-bit deterministic. *)
+
+type t = int64
+
+let zero = 0L
+let ns n : t = Int64.of_int n
+let us n : t = Int64.of_int (n * 1_000)
+let ms n : t = Int64.of_int (n * 1_000_000)
+let sec n : t = Int64.of_int (n * 1_000_000_000)
+
+let of_us_f (x : float) : t = Int64.of_float (x *. 1e3)
+let of_ms_f (x : float) : t = Int64.of_float (x *. 1e6)
+let of_sec_f (x : float) : t = Int64.of_float (x *. 1e9)
+
+let to_us_f (t : t) : float = Int64.to_float t /. 1e3
+let to_ms_f (t : t) : float = Int64.to_float t /. 1e6
+let to_sec_f (t : t) : float = Int64.to_float t /. 1e9
+
+let add = Int64.add
+let sub = Int64.sub
+let compare = Int64.compare
+let ( < ) a b = Int64.compare a b < 0
+let ( <= ) a b = Int64.compare a b <= 0
+let ( > ) a b = Int64.compare a b > 0
+let ( >= ) a b = Int64.compare a b >= 0
+let max a b = if Stdlib.( >= ) (Int64.compare a b) 0 then a else b
+let min a b = if Stdlib.( <= ) (Int64.compare a b) 0 then a else b
+
+let pp fmt (t : t) = Format.fprintf fmt "%.3fms" (to_ms_f t)

@@ -1,0 +1,35 @@
+(** Simulated time: int64 nanoseconds since the start of the run.
+    Integer time keeps the simulation exactly deterministic while
+    representing everything from microsecond CPU costs to minutes-long
+    runs. *)
+
+type t = int64
+
+val zero : t
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val of_us_f : float -> t
+val of_ms_f : float -> t
+val of_sec_f : float -> t
+
+val to_us_f : t -> float
+val to_ms_f : t -> float
+val to_sec_f : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val compare : t -> t -> int
+
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val max : t -> t -> t
+val min : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/steward/replica.ml: Hashtbl List Printf Queue Rdb_crypto Rdb_sim Rdb_types String

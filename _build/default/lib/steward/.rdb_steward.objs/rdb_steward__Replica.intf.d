@@ -1,0 +1,1 @@
+lib/steward/replica.mli: Rdb_types

@@ -1,0 +1,330 @@
+(* Steward: hierarchical Byzantine fault tolerance for wide-area
+   networks (Amir et al., TDSC 2010), as implemented in ResilientDB
+   (§3: "This protocol groups replicas into clusters, similar to
+   GeoBFT.  Different from GeoBFT, Steward designates one of these
+   clusters as the primary cluster, which coordinates all operations").
+
+   Shape implemented (one global decision):
+   1. a client submits to its site's representative, which runs a
+      *local threshold-certification round* over the request (each
+      site acts as one logical trusted entity by threshold-signing its
+      site messages);
+   2. the origin representative forwards the certified request to the
+      representative of the primary site (Oregon, cluster 0);
+   3. the primary site assigns the global sequence number and
+      threshold-certifies the assignment (a second local round);
+   4. the certified global proposal goes to every site representative,
+      which distributes it locally and runs a local *accept*
+      certification (a third local round, one per site);
+   5. accepts are exchanged representative-to-representative; a global
+      sequence slot commits once a majority of sites accept, after
+      which every replica executes in sequence order and replies to
+      its local clients.
+
+   Why Steward loses despite its topology-awareness (§4.1: "the high
+   computational costs and the centralized design of Steward prevent
+   high throughput in all cases"):
+   - every local round costs threshold-RSA partial signatures at each
+     replica and a combine at the representative — RSA-class costs,
+     charged via [Config.threshold_partial_cost]/[threshold_combine_cost]
+     (the paper's own implementation skipped threshold signatures but
+     still observed the protocol's compute-bound profile);
+   - all global ordering serializes through the primary site's
+     representative.
+
+   Steward view changes are not implemented, matching the paper ("it
+   does not provide a readily-usable and complete view-change
+   implementation"). *)
+
+module Batch = Rdb_types.Batch
+module Config = Rdb_types.Config
+module Ctx = Rdb_types.Ctx
+module Wire = Rdb_types.Wire
+module Client_core = Rdb_types.Client_core
+module Time = Rdb_sim.Time
+module Cpu = Rdb_sim.Cpu
+module Sha256 = Rdb_crypto.Sha256
+
+let name = "Steward"
+
+(* Outstanding global proposals the primary site keeps in flight;
+   Steward's global ordering is largely sequential. *)
+let global_window = 8
+
+type msg =
+  | Request of Batch.t
+  | Certify_req of { tag : string; digest : string; batch : Batch.t option }
+  | Partial_sig of { tag : string; digest : string }
+  | Site_forward of { batch : Batch.t }             (* origin rep -> leader rep *)
+  | Global_proposal of { g : int; batch : Batch.t } (* leader rep -> site reps *)
+  | Global_accept of { g : int; site : int; digest : string }
+  | Local_bcast of { g : int; batch : Batch.t }     (* rep -> site members *)
+  | Local_commit of { g : int }                     (* rep -> site members *)
+  | Reply of { batch_id : int; result_digest : string }
+
+type certify_round = {
+  c_digest : string;
+  partials : (int, unit) Hashtbl.t;    (* local indices that signed *)
+  mutable c_done : bool;
+  on_cert : unit -> unit;
+}
+
+type replica = {
+  ctx : msg Ctx.t;
+  cfg : Config.t;
+  my_cluster : int;
+  my_local : int;
+  (* Representative duties (local index 0 of each site): *)
+  certifying : (string, certify_round) Hashtbl.t;
+  mutable next_g : int;                 (* leader rep: next global seq *)
+  assign_queue : Batch.t Queue.t;       (* leader rep: awaiting assignment *)
+  seen : (string, unit) Hashtbl.t;
+  accepts : (int, (int, unit) Hashtbl.t) Hashtbl.t;   (* g -> accepting sites *)
+  accepted_digest : (int, string) Hashtbl.t;
+  (* All replicas: *)
+  proposals : (int, Batch.t) Hashtbl.t; (* g -> batch *)
+  committed : (int, unit) Hashtbl.t;
+  mutable next_exec : int;
+  mutable commit_sent : (int, unit) Hashtbl.t;  (* rep: local commits sent *)
+}
+
+let result_digest (b : Batch.t) = Sha256.digest_list [ "result"; b.Batch.digest ]
+
+let cert_size cfg = Wire.certificate_bytes ~batch_size:cfg.Config.batch_size ~sigs:1
+
+let size_of cfg = function
+  | Request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
+  | Certify_req { batch = Some _; _ } -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
+  | Certify_req _ | Partial_sig _ | Local_commit _ | Global_accept _ -> Wire.small
+  | Site_forward _ | Global_proposal _ | Local_bcast _ -> cert_size cfg
+  | Reply _ -> Wire.response_bytes ~batch_size:cfg.Config.batch_size
+
+(* Threshold-signature verification is RSA-verify class; model it with
+   the standard signature-verification cost. *)
+let vcost_of cfg m =
+  match m with
+  | Site_forward _ | Global_proposal _ | Global_accept _ | Local_bcast _ ->
+      Time.add (Config.recv_floor_cost cfg ~bytes:(size_of cfg m)) (Config.verify_cost cfg)
+  | Partial_sig _ ->
+      Time.add (Config.recv_floor_cost cfg ~bytes:Wire.small) (Config.verify_cost cfg)
+  | m -> Config.recv_floor_cost cfg ~bytes:(size_of cfg m)
+
+let send r ~dst m = r.ctx.Ctx.send ~dst ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
+
+let rep_of cfg ~cluster = Config.replica_id cfg ~cluster ~index:0
+let is_rep r = r.my_local = 0
+let leader_rep r = rep_of r.cfg ~cluster:0
+let is_leader_rep r = r.ctx.Ctx.id = leader_rep r
+
+let site_members r = Config.replicas_of_cluster r.cfg r.my_cluster
+
+let broadcast_site r m =
+  List.iter (fun dst -> if dst <> r.ctx.Ctx.id then send r ~dst m) (site_members r)
+
+let majority_sites cfg = (cfg.Config.z / 2) + 1
+
+let create_replica (ctx : msg Ctx.t) =
+  let cfg = ctx.Ctx.config in
+  {
+    ctx;
+    cfg;
+    my_cluster = Config.cluster_of_replica cfg ctx.Ctx.id;
+    my_local = Config.local_index cfg ctx.Ctx.id;
+    certifying = Hashtbl.create 64;
+    next_g = 0;
+    assign_queue = Queue.create ();
+    seen = Hashtbl.create 256;
+    accepts = Hashtbl.create 64;
+    accepted_digest = Hashtbl.create 64;
+    proposals = Hashtbl.create 128;
+    committed = Hashtbl.create 128;
+    next_exec = 0;
+    commit_sent = Hashtbl.create 64;
+  }
+
+let view_changes (_ : replica) = 0
+
+(* -- local threshold certification (representative-driven) ---------------- *)
+
+(* Start a certification round for [tag]; [on_cert] fires at the
+   representative once n − f partial signatures are combined. *)
+let rec start_certify r ~tag ~digest ?batch ~on_cert () =
+  if not (Hashtbl.mem r.certifying tag) then begin
+    let round = { c_digest = digest; partials = Hashtbl.create 8; c_done = false; on_cert } in
+    Hashtbl.replace r.certifying tag round;
+    broadcast_site r (Certify_req { tag; digest; batch });
+    (* Our own partial signature. *)
+    r.ctx.Ctx.charge ~stage:Cpu.Worker ~cost:(Config.threshold_partial_cost r.cfg) (fun () ->
+        Hashtbl.replace round.partials r.my_local ();
+        check_certified r round)
+  end
+
+and check_certified r round =
+  if (not round.c_done) && Hashtbl.length round.partials >= Config.quorum r.cfg then begin
+    round.c_done <- true;
+    (* Combine the threshold shares; the round record is no longer
+       needed once combined (late partials are simply ignored). *)
+    r.ctx.Ctx.charge ~stage:Cpu.Certify ~cost:(Config.threshold_combine_cost r.cfg) (fun () ->
+        round.on_cert ())
+  end
+
+(* -- execution -------------------------------------------------------------- *)
+
+let rec exec_ready r =
+  if Hashtbl.mem r.committed r.next_exec then
+    match Hashtbl.find_opt r.proposals r.next_exec with
+    | None -> ()
+    | Some batch ->
+        r.next_exec <- r.next_exec + 1;
+        let old = r.next_exec - 512 in
+        Hashtbl.remove r.proposals old;
+        Hashtbl.remove r.committed old;
+        Hashtbl.remove r.accepts old;
+        Hashtbl.remove r.accepted_digest old;
+        Hashtbl.remove r.commit_sent old;
+        r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+            (if (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster then
+               send r ~dst:batch.Batch.origin
+                 (Reply { batch_id = batch.Batch.id; result_digest = result_digest batch }));
+            exec_ready r)
+
+(* -- leader-site global ordering --------------------------------------------- *)
+
+let rec assign_more r =
+  if
+    is_leader_rep r
+    && (not (Queue.is_empty r.assign_queue))
+    && r.next_g - r.next_exec < global_window
+  then begin
+    let batch = Queue.pop r.assign_queue in
+    let g = r.next_g in
+    r.next_g <- g + 1;
+    (* Certify the assignment within the primary site, then propose
+       globally. *)
+    let tag = Printf.sprintf "prop:%d" g in
+    start_certify r ~tag ~digest:batch.Batch.digest ~on_cert:(fun () ->
+        for c = 0 to r.cfg.Config.z - 1 do
+          if c <> r.my_cluster then send r ~dst:(rep_of r.cfg ~cluster:c) (Global_proposal { g; batch })
+        done;
+        accept_proposal r ~g ~batch;
+        assign_more r)
+      ()
+  end
+
+(* A site representative processes global proposal [g]: distribute
+   locally, certify the site's accept, exchange it. *)
+and accept_proposal r ~g ~batch =
+  if not (Hashtbl.mem r.proposals g) then begin
+    Hashtbl.replace r.proposals g batch;
+    broadcast_site r (Local_bcast { g; batch });
+    let tag = Printf.sprintf "acc:%d" g in
+    start_certify r ~tag ~digest:batch.Batch.digest ~on_cert:(fun () ->
+        for c = 0 to r.cfg.Config.z - 1 do
+          if c <> r.my_cluster then
+            send r ~dst:(rep_of r.cfg ~cluster:c)
+              (Global_accept { g; site = r.my_cluster; digest = batch.Batch.digest })
+        done;
+        record_accept r ~g ~site:r.my_cluster ~digest:batch.Batch.digest)
+      ()
+  end
+
+and record_accept r ~g ~site ~digest =
+  let tbl =
+    match Hashtbl.find_opt r.accepts g with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace r.accepts g t;
+        Hashtbl.replace r.accepted_digest g digest;
+        t
+  in
+  (match Hashtbl.find_opt r.accepted_digest g with
+  | Some d when String.equal d digest -> Hashtbl.replace tbl site ()
+  | _ -> ());
+  if Hashtbl.length tbl >= majority_sites r.cfg && not (Hashtbl.mem r.commit_sent g) then begin
+    Hashtbl.replace r.commit_sent g ();
+    Hashtbl.replace r.committed g ();
+    broadcast_site r (Local_commit { g });
+    exec_ready r;
+    assign_more r
+  end
+
+(* -- dispatch ------------------------------------------------------------------ *)
+
+let on_message r ~src (m : msg) =
+  match m with
+  | Request batch ->
+      (* Site representative: certify locally, then route to the
+         primary site for sequencing. *)
+      if
+        is_rep r
+        && (not (Hashtbl.mem r.seen batch.Batch.digest))
+        && batch.Batch.cluster = r.my_cluster
+        && Batch.verify ~keychain:r.ctx.Ctx.keychain batch
+      then begin
+        Hashtbl.replace r.seen batch.Batch.digest ();
+        let tag = "req:" ^ Rdb_crypto.Hex.of_string (String.sub batch.Batch.digest 0 8) in
+        start_certify r ~tag ~digest:batch.Batch.digest ~batch ~on_cert:(fun () ->
+            if is_leader_rep r then begin
+              Queue.push batch r.assign_queue;
+              assign_more r
+            end
+            else send r ~dst:(leader_rep r) (Site_forward { batch }))
+          ()
+      end
+  | Certify_req { tag; digest; batch = _ } ->
+      (* Generate our partial signature for the site certificate. *)
+      if Config.cluster_of_replica r.cfg src = r.my_cluster && src = rep_of r.cfg ~cluster:r.my_cluster
+      then
+        r.ctx.Ctx.charge ~stage:Cpu.Worker ~cost:(Config.threshold_partial_cost r.cfg) (fun () ->
+            send r ~dst:src (Partial_sig { tag; digest }))
+  | Partial_sig { tag; digest } ->
+      if is_rep r && Config.cluster_of_replica r.cfg src = r.my_cluster then begin
+        match Hashtbl.find_opt r.certifying tag with
+        | Some round when String.equal round.c_digest digest ->
+            Hashtbl.replace round.partials (Config.local_index r.cfg src) ();
+            check_certified r round
+        | _ -> ()
+      end
+  | Site_forward { batch } ->
+      if is_leader_rep r && not (Hashtbl.mem r.seen batch.Batch.digest) then begin
+        Hashtbl.replace r.seen batch.Batch.digest ();
+        Queue.push batch r.assign_queue;
+        assign_more r
+      end
+  | Global_proposal { g; batch } ->
+      if is_rep r && src = leader_rep r then accept_proposal r ~g ~batch
+  | Global_accept { g; site; digest } ->
+      if is_rep r then record_accept r ~g ~site ~digest
+  | Local_bcast { g; batch } ->
+      if src = rep_of r.cfg ~cluster:r.my_cluster && not (Hashtbl.mem r.proposals g) then begin
+        Hashtbl.replace r.proposals g batch;
+        exec_ready r
+      end
+  | Local_commit { g } ->
+      if src = rep_of r.cfg ~cluster:r.my_cluster then begin
+        Hashtbl.replace r.committed g ();
+        exec_ready r
+      end
+  | Reply _ -> ()
+
+(* -- client ---------------------------------------------------------------------- *)
+
+type client = { core : msg Client_core.t }
+
+let create_client (ctx : msg Ctx.t) ~cluster =
+  let cfg = ctx.Ctx.config in
+  let size = Wire.batch_bytes ~batch_size:cfg.Config.batch_size in
+  let vcost = Config.recv_floor_cost cfg ~bytes:size in
+  let transmit ~retry:_ (batch : Batch.t) =
+    (* Clients talk to their site's representative. *)
+    ctx.Ctx.send ~dst:(rep_of cfg ~cluster) ~size ~vcost (Request batch)
+  in
+  { core = Client_core.create ~ctx ~threshold:(Config.weak_quorum cfg) ~transmit }
+
+let submit (c : client) batch = Client_core.submit c.core batch
+
+let on_client_message (c : client) ~src (m : msg) =
+  match m with
+  | Reply { batch_id; result_digest } -> Client_core.on_reply c.core ~src ~batch_id ~result_digest
+  | _ -> ()

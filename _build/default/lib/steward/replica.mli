@@ -1,0 +1,38 @@
+(** Steward (Amir et al.): hierarchical BFT for wide-area networks, as
+    characterized in the paper (§3): sites act as logical entities via
+    threshold-signed site messages, and a designated primary site
+    (Oregon) assigns the global order — three local
+    threshold-certification rounds and two representative-level
+    exchanges per decision, whose RSA-class costs are what keep
+    Steward's throughput low and flat (§4.1).  No view change,
+    matching the paper.  Satisfies {!Rdb_types.Protocol.S}. *)
+
+module Batch = Rdb_types.Batch
+module Ctx = Rdb_types.Ctx
+
+val name : string
+
+val global_window : int
+(** Outstanding global proposals the primary site keeps in flight. *)
+
+type msg =
+  | Request of Batch.t
+  | Certify_req of { tag : string; digest : string; batch : Batch.t option }
+  | Partial_sig of { tag : string; digest : string }
+  | Site_forward of { batch : Batch.t }
+  | Global_proposal of { g : int; batch : Batch.t }
+  | Global_accept of { g : int; site : int; digest : string }
+  | Local_bcast of { g : int; batch : Batch.t }
+  | Local_commit of { g : int }
+  | Reply of { batch_id : int; result_digest : string }
+
+type replica
+type client
+
+val create_replica : msg Ctx.t -> replica
+val on_message : replica -> src:int -> msg -> unit
+val view_changes : replica -> int
+
+val create_client : msg Ctx.t -> cluster:int -> client
+val submit : client -> Batch.t -> unit
+val on_client_message : client -> src:int -> msg -> unit

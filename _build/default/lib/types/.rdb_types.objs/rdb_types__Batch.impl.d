@@ -1,0 +1,1 @@
+lib/types/batch.ml: Array Buffer Format Import Int32 Int64 Keychain Schnorr Sha256 String Time Txn

@@ -1,0 +1,1 @@
+lib/types/batch.mli: Format Import Keychain Schnorr Time Txn

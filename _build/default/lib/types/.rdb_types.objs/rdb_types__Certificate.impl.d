@@ -1,0 +1,1 @@
+lib/types/certificate.ml: Format Import Keychain List Printf Schnorr

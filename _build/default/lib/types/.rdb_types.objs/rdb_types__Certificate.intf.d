@@ -1,0 +1,1 @@
+lib/types/certificate.mli: Format Import Keychain Schnorr

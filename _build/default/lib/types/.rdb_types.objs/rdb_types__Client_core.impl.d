@@ -1,0 +1,1 @@
+lib/types/client_core.ml: Batch Config Ctx Hashtbl Import String Time

@@ -1,0 +1,1 @@
+lib/types/client_core.mli: Batch Ctx

@@ -1,0 +1,1 @@
+lib/types/config.ml: Import List Option Time

@@ -1,0 +1,1 @@
+lib/types/config.mli: Import Time

@@ -1,0 +1,1 @@
+lib/types/ctx.ml: Batch Certificate Config Cpu Engine Import Keychain Lazy List Rng Time

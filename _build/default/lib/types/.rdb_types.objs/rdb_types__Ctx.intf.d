@@ -1,0 +1,1 @@
+lib/types/ctx.mli: Batch Certificate Config Cpu Engine Import Keychain Lazy Rng Time

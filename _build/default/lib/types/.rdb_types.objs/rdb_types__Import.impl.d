@@ -1,0 +1,1 @@
+lib/types/import.ml: Rdb_crypto Rdb_prng Rdb_sim

@@ -1,0 +1,1 @@
+lib/types/protocol.ml: Batch Ctx

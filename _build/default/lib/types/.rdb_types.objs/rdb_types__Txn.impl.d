@@ -1,0 +1,1 @@
+lib/types/txn.ml: Buffer Format Int32 Int64

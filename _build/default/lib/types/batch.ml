@@ -1,0 +1,63 @@
+open Import
+
+(* A batch of client transactions — the unit of consensus.
+
+   Clients group requests into batches (paper §3, "Request batching");
+   the consensus protocols order whole batches, so the cost of one
+   consensus decision is shared by every transaction in it.  A batch is
+   signed by the issuing client group, which is the digital signature
+   the protocols forward and verify (§2.1: "we sign these messages
+   using digital signatures ... client requests and commit messages"). *)
+
+type t = {
+  id : int;                    (* globally unique batch id *)
+  cluster : int;               (* cluster whose clients issued it *)
+  origin : int;                (* node id of the issuing client group *)
+  txns : Txn.t array;
+  created : Time.t;            (* submission time, for latency metrics *)
+  signature : Schnorr.signature; (* client signature over the digest *)
+  digest : string;             (* SHA-256 of the serialized payload *)
+}
+
+(* No-op batches (paper §2.5): proposed by a primary when its cluster
+   has no client requests for a round, so other clusters do not stall.
+   Negative ids mark no-ops; the nonce keeps distinct no-op rounds
+   distinguishable (distinct digests). *)
+let noop_id_of_nonce nonce = -(nonce + 1)
+
+let serialize_payload ~id ~cluster ~origin ~(txns : Txn.t array) : string =
+  let b = Buffer.create (24 * (Array.length txns + 1)) in
+  Buffer.add_int64_le b (Int64.of_int id);
+  Buffer.add_int32_le b (Int32.of_int cluster);
+  Buffer.add_int32_le b (Int32.of_int origin);
+  Array.iter (fun t -> Buffer.add_string b (Txn.serialize t)) txns;
+  Buffer.contents b
+
+let digest_of ~id ~cluster ~origin ~txns =
+  Sha256.digest (serialize_payload ~id ~cluster ~origin ~txns)
+
+let create ~keychain ~id ~cluster ~origin ~txns ~created =
+  let digest = digest_of ~id ~cluster ~origin ~txns in
+  let signature = Keychain.sign keychain ~signer:origin digest in
+  { id; cluster; origin; txns; created; signature; digest }
+
+let noop ~keychain ~cluster ~origin ~created ~nonce =
+  let txns = [||] in
+  let id = noop_id_of_nonce nonce in
+  let digest = digest_of ~id ~cluster ~origin ~txns in
+  let signature = Keychain.sign keychain ~signer:origin digest in
+  { id; cluster; origin; txns; created; signature; digest }
+
+let is_noop t = t.id < 0
+let size t = Array.length t.txns
+
+(* Verify the client signature and digest integrity.  Replicas discard
+   batches that fail this check (§2.1: "Replicas will discard any
+   messages that are not well-formed ... or have invalid signatures"). *)
+let verify ~keychain (t : t) : bool =
+  String.equal t.digest (digest_of ~id:t.id ~cluster:t.cluster ~origin:t.origin ~txns:t.txns)
+  && Keychain.verify keychain ~signer:t.origin t.digest t.signature
+
+let pp fmt t =
+  if is_noop t then Format.fprintf fmt "noop[c%d]" t.cluster
+  else Format.fprintf fmt "batch#%d[c%d,%d txns]" t.id t.cluster (Array.length t.txns)

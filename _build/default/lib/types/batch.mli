@@ -1,0 +1,48 @@
+open Import
+
+(** A batch of client transactions — the unit of consensus (paper §3,
+    "Request batching").  Batches are signed by the issuing client
+    group; the digest covers id, cluster, origin and every transaction,
+    so any tampering is detectable. *)
+
+type t = {
+  id : int;                      (** globally unique batch id (< 0 for no-ops) *)
+  cluster : int;                 (** cluster whose clients issued it *)
+  origin : int;                  (** node id of the issuing client group *)
+  txns : Txn.t array;
+  created : Time.t;              (** submission time, for latency metrics *)
+  signature : Schnorr.signature; (** client signature over the digest *)
+  digest : string;               (** SHA-256 of the canonical payload *)
+}
+
+val create :
+  keychain:Keychain.t ->
+  id:int ->
+  cluster:int ->
+  origin:int ->
+  txns:Txn.t array ->
+  created:Time.t ->
+  t
+(** Build and sign a batch ([origin] must hold a key in [keychain]). *)
+
+val noop :
+  keychain:Keychain.t -> cluster:int -> origin:int -> created:Time.t -> nonce:int -> t
+(** A no-op batch (paper §2.5): fills a consensus round when a cluster
+    has no client requests.  Distinct nonces give distinct digests. *)
+
+val is_noop : t -> bool
+
+val noop_id_of_nonce : int -> int
+(** The (negative) id a no-op with this nonce carries. *)
+
+val size : t -> int
+(** Number of transactions. *)
+
+val digest_of : id:int -> cluster:int -> origin:int -> txns:Txn.t array -> string
+(** The canonical digest (what {!create} signs). *)
+
+val verify : keychain:Keychain.t -> t -> bool
+(** Digest integrity plus the client signature; replicas discard
+    batches failing this (§2.1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+open Import
+
+(* Commit certificates.
+
+   A commit certificate [⟨T⟩c, ρ]_C proves that cluster C committed
+   client request T in round ρ: it consists of the client request and
+   n − f identical, signed commit messages from distinct replicas of C
+   (paper §2.2).  Certificates are the only consensus artifact that
+   crosses cluster boundaries in GeoBFT, and they are what makes ledger
+   blocks tamper-proof (§3, "The ledger").
+
+   The signed payload of each commit message binds (cluster, view,
+   sequence number, batch digest), so a certificate for one batch can
+   never be replayed for another. *)
+
+type commit_sig = {
+  replica : int;                  (* global node id of the signer *)
+  signature : Schnorr.signature;
+}
+
+type t = {
+  cluster : int;
+  view : int;
+  seq : int;                      (* local Pbft sequence = GeoBFT round *)
+  digest : string;                (* batch digest the commits endorse *)
+  commits : commit_sig list;      (* n − f distinct signers *)
+}
+
+let commit_payload ~cluster ~view ~seq ~digest =
+  Printf.sprintf "commit:%d:%d:%d:" cluster view seq ^ digest
+
+(* Number of signatures a verifier must check; drives the modeled CPU
+   cost of certificate verification. *)
+let n_signatures t = List.length t.commits
+
+let make ~cluster ~view ~seq ~digest ~commits = { cluster; view; seq; digest; commits }
+
+(* Full verification: enough distinct signers, every signature valid,
+   all endorsing the same (cluster, view, seq, digest).  [quorum] is
+   n − f for the signing cluster. *)
+let verify ~keychain ~quorum (t : t) : bool =
+  let payload = commit_payload ~cluster:t.cluster ~view:t.view ~seq:t.seq ~digest:t.digest in
+  let signers = List.sort_uniq compare (List.map (fun c -> c.replica) t.commits) in
+  List.length signers >= quorum
+  && List.length signers = List.length t.commits
+  && List.for_all (fun c -> Keychain.verify keychain ~signer:c.replica payload c.signature) t.commits
+
+let pp fmt t =
+  Format.fprintf fmt "cert[c%d v%d seq%d %d sigs]" t.cluster t.view t.seq (n_signatures t)

@@ -1,0 +1,33 @@
+open Import
+
+(** Commit certificates: the proof [⟨T⟩c, ρ]_C that cluster [C]
+    committed a batch in round [ρ] — n − f signed commit messages from
+    distinct replicas (paper §2.2).  The only consensus artifact that
+    crosses cluster boundaries in GeoBFT, and what makes ledger blocks
+    tamper-proof (§3). *)
+
+type commit_sig = { replica : int; signature : Schnorr.signature }
+
+type t = {
+  cluster : int;
+  view : int;
+  seq : int;              (** local Pbft sequence = GeoBFT round *)
+  digest : string;        (** batch digest the commits endorse *)
+  commits : commit_sig list;
+}
+
+val commit_payload : cluster:int -> view:int -> seq:int -> digest:string -> string
+(** The signed payload of one commit message: binds cluster, view,
+    sequence number and batch digest, preventing replays. *)
+
+val make :
+  cluster:int -> view:int -> seq:int -> digest:string -> commits:commit_sig list -> t
+
+val n_signatures : t -> int
+(** Signatures a verifier must check (drives the modeled CPU cost). *)
+
+val verify : keychain:Keychain.t -> quorum:int -> t -> bool
+(** At least [quorum] distinct signers, no duplicates, every signature
+    valid over the same payload. *)
+
+val pp : Format.formatter -> t -> unit

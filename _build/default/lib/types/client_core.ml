@@ -1,0 +1,80 @@
+open Import
+
+(* Generic client agent logic: submit a batch, collect replies, accept
+   once [threshold] replicas sent matching results, retransmit on
+   timeout.
+
+   The paper's argument for f+1 matching responses (§2.4): at most f
+   replicas per cluster are faulty and faulty replicas cannot
+   impersonate non-faulty ones, so among f+1 identical responses at
+   least one is from a non-faulty replica.  Zyzzyva needs richer client
+   behaviour (3f+1 fast path, commit-certificate recovery), so it layers
+   its own logic on top of this core rather than using the threshold
+   path. *)
+
+type pending = {
+  batch : Batch.t;
+  replies : (int, string) Hashtbl.t;   (* replica -> result digest *)
+  mutable resolved : bool;
+  mutable timer : Ctx.timer option;
+}
+
+type 'm t = {
+  ctx : 'm Ctx.t;
+  threshold : int;
+  (* [transmit ~retry batch] actually sends the request; retry = true
+     on retransmission (protocols typically broadcast then). *)
+  transmit : retry:bool -> Batch.t -> unit;
+  inflight : (int, pending) Hashtbl.t;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable retransmits : int;
+}
+
+let create ~(ctx : 'm Ctx.t) ~threshold ~transmit =
+  { ctx; threshold; transmit; inflight = Hashtbl.create 64; submitted = 0; completed = 0; retransmits = 0 }
+
+let inflight_count t = Hashtbl.length t.inflight
+let submitted t = t.submitted
+let completed t = t.completed
+let retransmits t = t.retransmits
+
+let rec arm_timer t (p : pending) =
+  let delay = Time.of_ms_f t.ctx.Ctx.config.Config.client_timeout_ms in
+  p.timer <-
+    Some
+      (t.ctx.Ctx.set_timer ~delay (fun () ->
+           if not p.resolved then begin
+             t.retransmits <- t.retransmits + 1;
+             t.transmit ~retry:true p.batch;
+             arm_timer t p
+           end))
+
+let submit t (batch : Batch.t) =
+  if not (Hashtbl.mem t.inflight batch.Batch.id) then begin
+    let p = { batch; replies = Hashtbl.create 8; resolved = false; timer = None } in
+    Hashtbl.replace t.inflight batch.Batch.id p;
+    t.submitted <- t.submitted + 1;
+    t.transmit ~retry:false batch;
+    arm_timer t p
+  end
+
+(* Record a reply from [src]; fires [Ctx.complete] at the threshold. *)
+let on_reply t ~src ~batch_id ~result_digest =
+  match Hashtbl.find_opt t.inflight batch_id with
+  | None -> ()
+  | Some p when p.resolved -> ()
+  | Some p ->
+      Hashtbl.replace p.replies src result_digest;
+      let matching =
+        Hashtbl.fold
+          (fun _ d acc -> if String.equal d result_digest then acc + 1 else acc)
+          p.replies 0
+      in
+      if matching >= t.threshold then begin
+        p.resolved <- true;
+        (match p.timer with Some h -> t.ctx.Ctx.cancel_timer h | None -> ());
+        Hashtbl.remove t.inflight batch_id;
+        t.completed <- t.completed + 1;
+        t.ctx.Ctx.complete p.batch
+      end

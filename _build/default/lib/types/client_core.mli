@@ -1,0 +1,27 @@
+(** Generic client-agent logic: submit a batch, collect replies, accept
+    at [threshold] matching results (f+1 per §2.4: at least one of f+1
+    identical responses is from a non-faulty replica), retransmit on
+    timeout.  Zyzzyva layers its richer client protocol on top of its
+    own state instead. *)
+
+type 'm t
+
+val create :
+  ctx:'m Ctx.t ->
+  threshold:int ->
+  transmit:(retry:bool -> Batch.t -> unit) ->
+  'm t
+(** [transmit ~retry batch] performs the actual send; [retry] is true
+    on retransmissions (protocols typically broadcast then). *)
+
+val submit : 'm t -> Batch.t -> unit
+(** Register and transmit; duplicate ids are ignored. *)
+
+val on_reply : 'm t -> src:int -> batch_id:int -> result_digest:string -> unit
+(** Record a reply; at [threshold] matching digests the batch completes
+    via [Ctx.complete] and its timer is cancelled. *)
+
+val inflight_count : 'm t -> int
+val submitted : 'm t -> int
+val completed : 'm t -> int
+val retransmits : 'm t -> int

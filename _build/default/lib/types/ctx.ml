@@ -1,0 +1,61 @@
+open Import
+
+(* The capability record handed to every replica and client agent.
+
+   Protocol implementations never touch the engine, the network or the
+   CPU model directly: everything flows through this record, which the
+   fabric constructs per node.  That keeps protocol code independent of
+   the substrate (the test suite also instantiates protocols over a
+   loopback harness) and makes the charging of CPU/network costs
+   uniform and auditable.
+
+   Conventions:
+   - [send] declares the wire [size] (bandwidth model) and the
+     receiver-side verification cost [vcost] (charged to the receiver's
+     worker thread before its handler runs).
+   - Sender-side CPU (signing, certificate construction, batch
+     assembly) is charged explicitly with [charge]; continuations fire
+     when the stage completes.
+   - [execute] is the single entry point for "this batch is ordered":
+     the fabric charges the execute thread, applies the transactions to
+     the node's store, appends a ledger block, and then calls [on_done]
+     so the protocol can reply to clients. *)
+
+type timer = Engine.timer
+
+type 'm t = {
+  id : int;                                  (* this node's global id *)
+  config : Config.t;
+  keychain : Keychain.t;
+  rng : Rng.t;
+  now : unit -> Time.t;
+  send : dst:int -> size:int -> vcost:Time.t -> 'm -> unit;
+  charge : stage:Cpu.stage -> cost:Time.t -> (unit -> unit) -> unit;
+  set_timer : delay:Time.t -> (unit -> unit) -> timer;
+  cancel_timer : timer -> unit;
+  execute : Batch.t -> cert:Certificate.t option -> on_done:(unit -> unit) -> unit;
+  complete : Batch.t -> unit;                (* client agents: batch done *)
+  trace : (string Lazy.t -> unit);           (* debug trace hook *)
+}
+
+let multicast t ~dsts ~size ~vcost msg =
+  List.iter (fun dst -> t.send ~dst ~size ~vcost msg) dsts
+
+(* Restrict a context to an embedded sub-protocol speaking its own
+   message type (e.g. the Pbft engine inside GeoBFT): sends are mapped
+   through [inject] into the outer wire type. *)
+let map_send (inject : 'a -> 'b) (t : 'b t) : 'a t =
+  {
+    id = t.id;
+    config = t.config;
+    keychain = t.keychain;
+    rng = t.rng;
+    now = t.now;
+    send = (fun ~dst ~size ~vcost m -> t.send ~dst ~size ~vcost (inject m));
+    charge = t.charge;
+    set_timer = t.set_timer;
+    cancel_timer = t.cancel_timer;
+    execute = t.execute;
+    complete = t.complete;
+    trace = t.trace;
+  }

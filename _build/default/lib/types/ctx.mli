@@ -1,0 +1,44 @@
+open Import
+
+(** The capability record handed to every replica and client agent.
+
+    Protocols never touch the engine, network or CPU model directly:
+    everything flows through this record, built per node by the fabric.
+    This keeps protocol code substrate-independent and makes the
+    charging of CPU/network costs uniform and auditable.
+
+    Conventions:
+    - [send] declares the wire [size] (for the bandwidth model) and the
+      receiver-side verification cost [vcost] (charged to the
+      receiver's input threads before its handler runs);
+    - sender-side CPU (signing, certificate construction, batch
+      assembly) is charged explicitly with [charge];
+    - [execute] is the single "this batch is ordered" entry point: the
+      fabric charges the execute thread, applies the transactions,
+      appends a ledger block, then calls [on_done] so the protocol can
+      reply to clients;
+    - [complete] is used by client agents to signal a finished batch. *)
+
+type timer = Engine.timer
+
+type 'm t = {
+  id : int;                        (** this node's global id *)
+  config : Config.t;
+  keychain : Keychain.t;
+  rng : Rng.t;
+  now : unit -> Time.t;
+  send : dst:int -> size:int -> vcost:Time.t -> 'm -> unit;
+  charge : stage:Cpu.stage -> cost:Time.t -> (unit -> unit) -> unit;
+  set_timer : delay:Time.t -> (unit -> unit) -> timer;
+  cancel_timer : timer -> unit;
+  execute : Batch.t -> cert:Certificate.t option -> on_done:(unit -> unit) -> unit;
+  complete : Batch.t -> unit;
+  trace : string Lazy.t -> unit;   (** debug trace hook *)
+}
+
+val multicast : 'm t -> dsts:int list -> size:int -> vcost:Time.t -> 'm -> unit
+
+val map_send : ('a -> 'b) -> 'b t -> 'a t
+(** Restrict a context to an embedded sub-protocol speaking its own
+    message type (e.g. the Pbft engine inside GeoBFT): sends are mapped
+    through the injection into the outer wire type. *)

@@ -1,0 +1,33 @@
+(* The interface every consensus protocol implements.
+
+   A protocol provides two state machines:
+   - the *replica* machine, instantiated at every replica node;
+   - the *client agent* machine, instantiated at each cluster's client
+     group node.  It submits batches, counts replies, and signals
+     completion via [Ctx.complete] (Zyzzyva's agent additionally drives
+     the commit-certificate recovery path, which is why client logic is
+     protocol-owned rather than fabric-owned).
+
+   Replicas and clients exchange values of the protocol's [msg] type;
+   the fabric delivers them with [on_message] / [on_client_message]
+   after charging the receiver-side verification cost declared by the
+   sender. *)
+
+module type S = sig
+  val name : string
+
+  type msg
+  type replica
+  type client
+
+  val create_replica : msg Ctx.t -> replica
+  val on_message : replica -> src:int -> msg -> unit
+
+  (* View changes this replica has completed (0 for protocols without
+     a view-change notion); used by the failure experiments. *)
+  val view_changes : replica -> int
+
+  val create_client : msg Ctx.t -> cluster:int -> client
+  val submit : client -> Batch.t -> unit
+  val on_client_message : client -> src:int -> msg -> unit
+end

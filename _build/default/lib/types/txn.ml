@@ -1,0 +1,29 @@
+(* A client transaction: one YCSB operation against the replicated
+   table.  The paper's evaluation uses write queries ("as those are
+   typically more costly than read-only queries"); reads are supported
+   for completeness and for the example applications. *)
+
+type op = Read | Write
+
+type t = {
+  op : op;
+  key : int;          (* row key in the YCSB table *)
+  value : int64;      (* written value; ignored for reads *)
+  client_id : int;    (* logical client that issued the txn *)
+}
+
+let make ?(op = Write) ~key ~value ~client_id () = { op; key; value; client_id }
+
+(* Compact canonical serialization, used for digests and signatures. *)
+let serialize (t : t) : string =
+  let b = Buffer.create 24 in
+  Buffer.add_char b (match t.op with Read -> 'R' | Write -> 'W');
+  Buffer.add_int64_le b (Int64.of_int t.key);
+  Buffer.add_int64_le b t.value;
+  Buffer.add_int32_le b (Int32.of_int t.client_id);
+  Buffer.contents b
+
+let pp fmt t =
+  Format.fprintf fmt "%s(key=%d,val=%Ld,client=%d)"
+    (match t.op with Read -> "read" | Write -> "write")
+    t.key t.value t.client_id

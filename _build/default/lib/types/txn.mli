@@ -1,0 +1,19 @@
+(** A client transaction: one YCSB operation against the replicated
+    table.  The evaluation uses write queries (§4); reads exist for
+    completeness and the examples. *)
+
+type op = Read | Write
+
+type t = {
+  op : op;
+  key : int;        (** row key in the YCSB table *)
+  value : int64;    (** written value; ignored for reads *)
+  client_id : int;  (** logical client that issued the txn *)
+}
+
+val make : ?op:op -> key:int -> value:int64 -> client_id:int -> unit -> t
+
+val serialize : t -> string
+(** Compact canonical serialization (digests and signatures). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Wire-size model, calibrated from §4 of the paper: with batch size
+    100, "the messages have sizes of 5.4 kB (preprepare), 6.4 kB
+    (commit certificates ...), 1.5 kB (client responses), and 250 B
+    (other messages)".  Payloads travel as OCaml values inside the
+    simulator; these sizes are what enters the bandwidth model. *)
+
+val header_bytes : int
+val per_txn_bytes : int
+val commit_entry_bytes : int
+val per_result_bytes : int
+val small_bytes : int
+
+val batch_bytes : batch_size:int -> int
+(** A client request / batch carrying [batch_size] transactions
+    (5400 B at batch size 100). *)
+
+val preprepare_bytes : batch_size:int -> int
+(** Alias of {!batch_bytes}: a preprepare embeds the batch. *)
+
+val certificate_bytes : batch_size:int -> sigs:int -> int
+(** Commit certificate: embedded preprepare plus one signed commit
+    entry per certificate signature (6401 B at batch 100 / 7 sigs). *)
+
+val response_bytes : batch_size:int -> int
+(** Client response (1500 B at batch size 100). *)
+
+val small : int
+(** Prepare, commit, checkpoint, votes, acks, ... (250 B). *)
+
+val view_change_bytes : batch_size:int -> prepared:int -> int
+(** A view-change message carrying [prepared] prepared certificates. *)

@@ -1,0 +1,1 @@
+lib/ycsb/table.ml: Array Bigarray Bytes Int64 Rdb_crypto Rdb_prng Rdb_types

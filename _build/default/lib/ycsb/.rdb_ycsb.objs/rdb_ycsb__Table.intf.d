@@ -1,0 +1,1 @@
+lib/ycsb/table.mli: Rdb_types

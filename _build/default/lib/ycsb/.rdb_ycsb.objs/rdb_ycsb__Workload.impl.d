@@ -1,0 +1,1 @@
+lib/ycsb/workload.ml: Array Int64 Rdb_prng Rdb_types Table

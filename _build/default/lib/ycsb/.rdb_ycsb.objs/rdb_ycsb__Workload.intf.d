@@ -1,0 +1,1 @@
+lib/ycsb/workload.mli: Rdb_types

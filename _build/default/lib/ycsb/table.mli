@@ -1,0 +1,36 @@
+(** The replicated YCSB table (paper §4: "an active set of 600k
+    records", identically initialized on every replica).  Deterministic
+    execution of the same batch sequence yields identical state
+    digests on all non-faulty replicas.
+
+    Storage is an unboxed Bigarray so dozens of per-replica tables do
+    not burden the OCaml GC. *)
+
+module Txn = Rdb_types.Txn
+
+type t
+
+val default_records : int
+(** 600_000, as in the paper. *)
+
+val create : ?n_records:int -> unit -> t
+
+val n_records : t -> int
+
+val read : t -> key:int -> int64
+
+val apply : t -> Txn.t -> int64
+(** Apply one transaction; returns the read result or written value.
+    Writes mix in the previous value, so execution {e order} is
+    visible in the state (ordering bugs corrupt digests). *)
+
+val apply_batch : t -> Txn.t array -> int64 array
+
+val writes : t -> int
+val reads : t -> int
+
+val state_digest : t -> string
+(** SHA-256 over the full state (O(n); tests and checkpoint audits). *)
+
+val quick_fingerprint : ?k:int -> t -> int64
+(** Cheap fingerprint over the first [k] records (default 4096). *)

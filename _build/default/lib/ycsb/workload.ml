@@ -1,0 +1,45 @@
+(* YCSB workload generator (Cooper et al., SoCC 2010).
+
+   Configuration matches §4 of the paper: an active set of 600 k
+   records, Zipfian key selection (YCSB's default constant 0.99,
+   scrambled over the key space), write queries, and client-side
+   batching at a configurable batch size.
+
+   The generator is deterministic per (seed, client group), so two
+   simulator runs submit identical transaction streams. *)
+
+module Txn = Rdb_types.Txn
+module Rng = Rdb_prng.Rng
+module Zipf = Rdb_prng.Zipf
+
+type t = {
+  rng : Rng.t;
+  zipf : Zipf.t;
+  write_fraction : float;
+  mutable next_txn : int;         (* per-generator txn counter *)
+  client_base : int;              (* logical client ids start here *)
+  n_clients : int;                (* logical clients multiplexed *)
+}
+
+let create ?(n_records = Table.default_records) ?(theta = 0.99) ?(write_fraction = 1.0)
+    ?(n_clients = 1000) ~seed ~client_base () =
+  {
+    rng = Rng.create (Int64.of_int seed);
+    zipf = Zipf.create ~theta n_records;
+    write_fraction;
+    next_txn = 0;
+    client_base;
+    n_clients;
+  }
+
+let next_txn t : Txn.t =
+  let key = Zipf.sample_scrambled t.zipf t.rng in
+  let op = if Rng.float t.rng < t.write_fraction then Txn.Write else Txn.Read in
+  let client_id = t.client_base + (t.next_txn mod t.n_clients) in
+  let value = Rdb_prng.Rng.next_int64 t.rng in
+  t.next_txn <- t.next_txn + 1;
+  Txn.make ~op ~key ~value ~client_id ()
+
+let next_batch_txns t ~batch_size : Txn.t array = Array.init batch_size (fun _ -> next_txn t)
+
+let generated t = t.next_txn

@@ -1,0 +1,27 @@
+(** YCSB workload generator (Cooper et al., SoCC 2010), configured as
+    in §4: Zipfian key choice (constant 0.99, scrambled) over the
+    record space, write queries, deterministic per seed. *)
+
+module Txn = Rdb_types.Txn
+
+type t
+
+val create :
+  ?n_records:int ->
+  ?theta:float ->
+  ?write_fraction:float ->
+  ?n_clients:int ->
+  seed:int ->
+  client_base:int ->
+  unit ->
+  t
+(** [write_fraction] defaults to 1.0 (the paper uses write queries);
+    [n_clients] logical clients are multiplexed round-robin starting at
+    id [client_base]. *)
+
+val next_txn : t -> Txn.t
+
+val next_batch_txns : t -> batch_size:int -> Txn.t array
+
+val generated : t -> int
+(** Transactions generated so far. *)

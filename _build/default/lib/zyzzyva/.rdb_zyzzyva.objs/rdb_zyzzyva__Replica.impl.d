@@ -1,0 +1,1 @@
+lib/zyzzyva/replica.ml: Hashtbl List Option Rdb_crypto Rdb_sim Rdb_types String

@@ -1,0 +1,1 @@
+lib/zyzzyva/replica.mli: Rdb_types

@@ -1,0 +1,42 @@
+(** Zyzzyva: speculative BFT (Kotla et al.) as implemented in
+    ResilientDB (§3).  Replicas execute speculatively in primary order
+    and reply directly to clients; clients need all n matching replies
+    (fast path) or fall back, after a commit timer, to broadcasting a
+    commit certificate built from n − f matching replies — which is
+    why any replica failure collapses throughput (Figure 12).
+    No view change (the paper excludes Zyzzyva from the
+    primary-failure experiment for the same reason).
+    Satisfies {!Rdb_types.Protocol.S}. *)
+
+module Batch = Rdb_types.Batch
+module Ctx = Rdb_types.Ctx
+
+val name : string
+
+type msg =
+  | Request of Batch.t
+  | Order_req of { view : int; seq : int; batch : Batch.t; history : string }
+  | Spec_reply of { batch_id : int; seq : int; history : string; result_digest : string }
+  | Commit_cert of { batch_id : int; seq : int; history : string; responders : int list }
+  | Local_commit of { batch_id : int; seq : int }
+
+type replica
+type client
+
+val commit_timer_ms : float
+(** The client-side τ1: how long a client waits for the full-n fast
+    path before driving the commit-certificate recovery. *)
+
+val create_replica : msg Ctx.t -> replica
+val on_message : replica -> src:int -> msg -> unit
+val view_changes : replica -> int
+
+val create_client : msg Ctx.t -> cluster:int -> client
+val submit : client -> Batch.t -> unit
+val on_client_message : client -> src:int -> msg -> unit
+
+val fast_completions : client -> int
+(** Batches completed on the all-n fast path. *)
+
+val slow_completions : client -> int
+(** Batches completed through the commit-certificate path. *)

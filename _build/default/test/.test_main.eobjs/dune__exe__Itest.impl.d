@@ -1,0 +1,1 @@
+test/itest.ml: Alcotest Array Int64 Rdb_ledger Rdb_sim Rdb_types Rdb_ycsb

@@ -1,0 +1,1 @@
+test/suite_byzantine.ml: Alcotest Array Itest List Printf Rdb_fabric Rdb_geobft Rdb_ledger Rdb_pbft Rdb_sim Rdb_types

@@ -1,0 +1,1 @@
+test/suite_crypto.ml: Aes128 Alcotest Char Cmac Field61 Hex Hmac Int64 Keychain Lazy List Printf QCheck QCheck_alcotest Rdb_crypto Schnorr Sha256 String

@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest Itest List Printf Rdb_experiments Rdb_fabric Rdb_sim Rdb_types

@@ -1,0 +1,1 @@
+test/suite_fabric.ml: Alcotest Array Itest Rdb_fabric Rdb_ledger Rdb_pbft Rdb_sim Rdb_types

@@ -1,0 +1,1 @@
+test/suite_geobft.ml: Alcotest Array Itest List Printf QCheck QCheck_alcotest Rdb_fabric Rdb_geobft Rdb_ledger Rdb_pbft Rdb_sim Rdb_types

@@ -1,0 +1,1 @@
+test/suite_hotstuff.ml: Alcotest Array Hashtbl Itest Printf Rdb_fabric Rdb_hotstuff Rdb_ledger Rdb_sim Rdb_types

@@ -1,0 +1,1 @@
+test/suite_ledger.ml: Alcotest Array Int64 Lazy List QCheck QCheck_alcotest Rdb_crypto Rdb_ledger Rdb_sim Rdb_types

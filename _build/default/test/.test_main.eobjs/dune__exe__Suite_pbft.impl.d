@@ -1,0 +1,1 @@
+test/suite_pbft.ml: Alcotest Array Itest List Printf Rdb_fabric Rdb_ledger Rdb_pbft Rdb_sim Rdb_types

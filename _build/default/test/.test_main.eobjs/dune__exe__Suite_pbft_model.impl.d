@@ -1,0 +1,1 @@
+test/suite_pbft_model.ml: Alcotest Array Fun Int64 List QCheck QCheck_alcotest Rdb_crypto Rdb_pbft Rdb_prng Rdb_sim Rdb_types

@@ -1,0 +1,1 @@
+test/suite_prng.ml: Alcotest Array Fun Int64 List QCheck QCheck_alcotest Rdb_prng Rng Splitmix64 Zipf

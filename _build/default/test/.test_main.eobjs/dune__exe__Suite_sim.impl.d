@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Cpu Engine Heap Int64 List Network Option Printf QCheck QCheck_alcotest Rdb_sim Time Topology

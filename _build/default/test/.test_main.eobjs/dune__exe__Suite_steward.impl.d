@@ -1,0 +1,1 @@
+test/suite_steward.ml: Alcotest Array Itest Printf Rdb_fabric Rdb_ledger Rdb_sim Rdb_steward Rdb_types

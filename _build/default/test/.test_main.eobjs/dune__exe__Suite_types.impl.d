@@ -1,0 +1,1 @@
+test/suite_types.ml: Alcotest Array Int64 Lazy List Printf Rdb_crypto Rdb_prng Rdb_sim Rdb_types String

@@ -1,0 +1,1 @@
+test/suite_ycsb.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Rdb_crypto Rdb_types Rdb_ycsb String

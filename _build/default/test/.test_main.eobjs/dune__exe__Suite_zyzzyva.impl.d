@@ -1,0 +1,1 @@
+test/suite_zyzzyva.ml: Alcotest Array Itest Printf Rdb_fabric Rdb_sim Rdb_types Rdb_zyzzyva

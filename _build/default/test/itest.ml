@@ -1,0 +1,54 @@
+(* Shared helpers for the protocol integration tests: small, fast
+   deployments plus cross-replica safety checks. *)
+
+module Config = Rdb_types.Config
+module Time = Rdb_sim.Time
+module Ledger = Rdb_ledger.Ledger
+module Table = Rdb_ycsb.Table
+module Block = Rdb_ledger.Block
+module Batch = Rdb_types.Batch
+
+(* Small and fast: 1000-record table, small batches, short timeouts so
+   failure tests recover within a few simulated seconds. *)
+let small_cfg ?(z = 2) ?(n = 4) ?(batch = 5) ?(inflight = 4) ?(seed = 1) () =
+  let base =
+    {
+      Config.default with
+      Config.local_timeout_ms = 500.0;
+      remote_timeout_ms = 1_000.0;
+      client_timeout_ms = 1_500.0;
+      checkpoint_interval = 60;
+    }
+  in
+  Config.make ~base ~z ~n ~batch_size:batch ~client_inflight:inflight ~seed ()
+
+let records = 1000
+
+(* All pairwise ledgers must be prefix-compatible; the shortest must
+   not be trivially empty if [min_len] is given. *)
+let check_ledger_prefixes ?(min_len = 1) ~ledgers () =
+  let n = Array.length ledgers in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = ledgers.(i) and b = ledgers.(j) in
+      let ok = Ledger.is_prefix_of a b || Ledger.is_prefix_of b a in
+      if not ok then
+        Alcotest.failf "ledgers %d and %d diverge (lengths %d, %d; common prefix %d)" i j
+          (Ledger.length a) (Ledger.length b) (Ledger.common_prefix a b)
+    done
+  done;
+  let min_length = Array.fold_left (fun acc l -> min acc (Ledger.length l)) max_int ledgers in
+  if min_length < min_len then
+    Alcotest.failf "expected every ledger to reach %d blocks, shortest has %d" min_len min_length
+
+(* Replicas whose ledgers have equal length must have identical YCSB
+   state (deterministic execution). *)
+let check_state_agreement ~ledgers ~tables () =
+  let n = Array.length ledgers in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Ledger.length ledgers.(i) = Ledger.length ledgers.(j) then
+        if not (Int64.equal (Table.quick_fingerprint tables.(i)) (Table.quick_fingerprint tables.(j)))
+        then Alcotest.failf "replicas %d and %d executed same height but diverged in state" i j
+    done
+  done

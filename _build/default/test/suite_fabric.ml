@@ -1,0 +1,114 @@
+(* Fabric tests: metrics/report math, deployment wiring, payload
+   retention modes, run windows, and cross-protocol reproducibility. *)
+
+module Config = Rdb_types.Config
+module Time = Rdb_sim.Time
+module Metrics = Rdb_fabric.Metrics
+module Report = Rdb_fabric.Report
+module Ledger = Rdb_ledger.Ledger
+module Block = Rdb_ledger.Block
+module Batch = Rdb_types.Batch
+module Dep = Rdb_fabric.Deployment.Make (Rdb_pbft.Replica)
+
+(* -- Metrics ---------------------------------------------------------------- *)
+
+let test_metrics_window () =
+  let m = Metrics.create () in
+  (* Completions outside the window are ignored. *)
+  Metrics.record_completion m ~now:Time.zero ~txns:10 ~latency:(Time.ms 5);
+  Metrics.open_window m ~now:(Time.sec 1);
+  Metrics.record_completion m ~now:(Time.sec 2) ~txns:10 ~latency:(Time.ms 5);
+  Metrics.record_completion m ~now:(Time.sec 2) ~txns:20 ~latency:(Time.ms 15);
+  Metrics.close_window m ~now:(Time.sec 11);
+  Metrics.record_completion m ~now:(Time.sec 12) ~txns:10 ~latency:(Time.ms 5);
+  Alcotest.(check int) "completed txns in window" 30 m.Metrics.completed_txns;
+  Alcotest.(check (float 0.001)) "throughput" 3.0 (Metrics.throughput_txn_s m);
+  let lat = Metrics.latency_summary m in
+  Alcotest.(check (float 0.001)) "avg latency" 10.0 lat.Metrics.avg_ms
+
+let test_latency_percentiles () =
+  let m = Metrics.create () in
+  Metrics.open_window m ~now:Time.zero;
+  for i = 1 to 100 do
+    Metrics.record_completion m ~now:(Time.sec 1) ~txns:1 ~latency:(Time.ms i)
+  done;
+  Metrics.close_window m ~now:(Time.sec 10);
+  let lat = Metrics.latency_summary m in
+  Alcotest.(check bool) "p50 around 50" true (abs_float (lat.Metrics.p50_ms -. 50.) <= 2.);
+  Alcotest.(check bool) "p99 around 99" true (abs_float (lat.Metrics.p99_ms -. 99.) <= 2.);
+  Alcotest.(check (float 0.001)) "max" 100.0 lat.Metrics.max_ms
+
+(* -- Deployment wiring -------------------------------------------------------- *)
+
+let test_deployment_layout_validation () =
+  Alcotest.check_raises "z=7 rejected"
+    (Invalid_argument "Deployment.create: z must be within the paper's six regions") (fun () ->
+      ignore (Dep.create (Config.make ~z:7 ~n:4 ())))
+
+let test_retain_payloads_modes () =
+  let cfg = Itest.small_cfg ~z:1 ~n:4 () in
+  let d1 = Dep.create ~n_records:Itest.records ~retain_payloads:true cfg in
+  let _ = Dep.run ~warmup:(Time.sec 1) ~measure:(Time.sec 1) d1 in
+  let l1 = Dep.ledger d1 ~replica:0 in
+  Alcotest.(check bool) "payloads retained" true
+    (Array.length (Ledger.get l1 0).Block.batch.Batch.txns > 0);
+  let d2 = Dep.create ~n_records:Itest.records ~retain_payloads:false cfg in
+  let _ = Dep.run ~warmup:(Time.sec 1) ~measure:(Time.sec 1) d2 in
+  let l2 = Dep.ledger d2 ~replica:0 in
+  Alcotest.(check int) "payloads dropped" 0 (Array.length (Ledger.get l2 0).Block.batch.Batch.txns);
+  (* Identical consensus either way. *)
+  Alcotest.(check int) "same chain length" (Ledger.length l1) (Ledger.length l2);
+  Alcotest.(check bool) "compact chain still verifies" true (Ledger.verify l2)
+
+let test_decisions_counted () =
+  let cfg = Itest.small_cfg ~z:1 ~n:4 () in
+  let d = Dep.create ~n_records:Itest.records cfg in
+  let report = Dep.run ~warmup:(Time.sec 1) ~measure:(Time.sec 2) d in
+  Alcotest.(check bool) "decisions > 0" true (report.Report.decisions > 0);
+  Alcotest.(check bool) "traffic measured" true (report.Report.local_msgs > 0)
+
+let test_report_per_decision_math () =
+  let r =
+    {
+      Report.protocol = "x"; z = 1; n = 4; batch_size = 10; throughput_txn_s = 0.;
+      avg_latency_ms = 0.; p50_latency_ms = 0.; p95_latency_ms = 0.; p99_latency_ms = 0.;
+      completed_batches = 0; completed_txns = 0; decisions = 10; local_msgs = 240;
+      global_msgs = 30; local_mb = 0.; global_mb = 0.; view_changes = 0; window_sec = 1.;
+    }
+  in
+  Alcotest.(check (float 0.001)) "local per decision" 24.0 (Report.local_msgs_per_decision r);
+  Alcotest.(check (float 0.001)) "global per decision" 3.0 (Report.global_msgs_per_decision r)
+
+let test_cross_run_reproducibility_across_protocols () =
+  (* Two separately-constructed deployments with the same seed produce
+     byte-identical ledgers. *)
+  let cfg = Itest.small_cfg ~z:1 ~n:4 () in
+  let run () =
+    let d = Dep.create ~n_records:Itest.records cfg in
+    let _ = Dep.run ~warmup:(Time.sec 1) ~measure:(Time.sec 2) d in
+    Dep.ledger d ~replica:0
+  in
+  let l1 = run () and l2 = run () in
+  Alcotest.(check int) "same length" (Ledger.length l1) (Ledger.length l2);
+  Alcotest.(check string) "same tip hash" (Ledger.tip_hash l1) (Ledger.tip_hash l2)
+
+let test_different_seeds_differ () =
+  let mk seed =
+    let cfg = Itest.small_cfg ~z:1 ~n:4 ~seed () in
+    let d = Dep.create ~n_records:Itest.records cfg in
+    let _ = Dep.run ~warmup:(Time.sec 1) ~measure:(Time.sec 1) d in
+    Ledger.tip_hash (Dep.ledger d ~replica:0)
+  in
+  Alcotest.(check bool) "different seeds, different histories" true (mk 1 <> mk 2)
+
+let suite =
+  [
+    ("metrics window", `Quick, test_metrics_window);
+    ("latency percentiles", `Quick, test_latency_percentiles);
+    ("deployment validation", `Quick, test_deployment_layout_validation);
+    ("retain_payloads modes", `Quick, test_retain_payloads_modes);
+    ("decisions counted", `Quick, test_decisions_counted);
+    ("report math", `Quick, test_report_per_decision_math);
+    ("reproducibility", `Quick, test_cross_run_reproducibility_across_protocols);
+    ("seed sensitivity", `Quick, test_different_seeds_differ);
+  ]

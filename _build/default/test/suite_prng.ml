@@ -1,0 +1,146 @@
+(* PRNG substrate tests: reference outputs, determinism, and the
+   statistical properties the YCSB workload relies on. *)
+
+open Rdb_prng
+
+(* Reference outputs of the public-domain splitmix64.c with seed 0:
+   first three outputs. *)
+let test_splitmix_reference () =
+  let g = Splitmix64.create 0L in
+  Alcotest.(check int64) "out1" 0xE220A8397B1DCDAFL (Splitmix64.next g);
+  Alcotest.(check int64) "out2" 0x6E789E6AA1B965F4L (Splitmix64.next g);
+  Alcotest.(check int64) "out3" 0x06C45D188009454FL (Splitmix64.next g)
+
+let test_splitmix_split_seeds_differ () =
+  let a = Splitmix64.split_seed ~seed:42L ~index:0 in
+  let b = Splitmix64.split_seed ~seed:42L ~index:1 in
+  Alcotest.(check bool) "distinct" true (not (Int64.equal a b));
+  Alcotest.(check int64) "stable" a (Splitmix64.split_seed ~seed:42L ~index:0)
+
+let test_rng_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done;
+  let c = Rng.create 8L in
+  Alcotest.(check bool) "different seed differs" true
+    (not (Int64.equal (Rng.next_int64 a) (Rng.next_int64 c)))
+
+let test_rng_copy_and_split () =
+  let a = Rng.create 9L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b);
+  let s1 = Rng.split a ~index:1 and s2 = Rng.split a ~index:2 in
+  Alcotest.(check bool) "split streams differ" true
+    (not (Int64.equal (Rng.next_int64 s1) (Rng.next_int64 s2)))
+
+let test_rng_ranges () =
+  let g = Rng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 17 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 17);
+    let f = Rng.float g in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0. && f < 1.)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int g 0))
+
+let test_rng_float_mean () =
+  let g = Rng.create 2L in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float g
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_shuffle_permutation () =
+  let g = Rng.create 3L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_exponential_mean () =
+  let g = Rng.create 4L in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential g ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 3" true (abs_float (mean -. 3.0) < 0.1)
+
+(* -- Zipf ---------------------------------------------------------------- *)
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~theta:0.99 1000 in
+  let g = Rng.create 5L in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample z g in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 1000)
+  done
+
+let test_zipf_skew () =
+  (* With theta = 0.99, rank 0 must be drawn far more often than a
+     mid-range rank; and the head must dominate. *)
+  let z = Zipf.create ~theta:0.99 10_000 in
+  let g = Rng.create 6L in
+  let counts = Array.make 10_000 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Zipf.sample z g in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let head = Array.fold_left ( + ) 0 (Array.sub counts 0 100) in
+  Alcotest.(check bool) "rank 0 hot" true (counts.(0) > counts.(5000) * 10);
+  Alcotest.(check bool)
+    "top-1% gets > 30% of draws" true
+    (float_of_int head /. float_of_int n > 0.3)
+
+let test_zipf_scrambled_spreads () =
+  (* Scrambling must spread the hot ranks over the key space: the most
+     popular *key* should no longer be key 0. *)
+  let z = Zipf.create ~theta:0.99 10_000 in
+  let g = Rng.create 7L in
+  let counts = Array.make 10_000 0 in
+  for _ = 1 to 50_000 do
+    let v = Zipf.sample_scrambled z g in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10_000);
+    counts.(v) <- counts.(v) + 1
+  done;
+  let max_key = ref 0 in
+  Array.iteri (fun k c -> if c > counts.(!max_key) then max_key := k) counts;
+  Alcotest.(check bool) "hot key scrambled away from 0" true (!max_key <> 0)
+
+let prop_zipf_theta_zero_near_uniform =
+  QCheck.Test.make ~name:"zipf theta=0 is near-uniform" ~count:5 QCheck.small_nat (fun seed ->
+      let z = Zipf.create ~theta:0.0 100 in
+      let g = Rng.create (Int64.of_int (seed + 1)) in
+      let counts = Array.make 100 0 in
+      let n = 50_000 in
+      for _ = 1 to n do
+        let v = Zipf.sample z g in
+        counts.(v) <- counts.(v) + 1
+      done;
+      (* Every bucket within 3x of the uniform expectation. *)
+      Array.for_all (fun c -> c < 3 * n / 100) counts)
+
+let suite =
+  [
+    ("splitmix64 reference", `Quick, test_splitmix_reference);
+    ("splitmix64 split seeds", `Quick, test_splitmix_split_seeds_differ);
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng copy/split", `Quick, test_rng_copy_and_split);
+    ("rng ranges", `Quick, test_rng_ranges);
+    ("rng float mean", `Quick, test_rng_float_mean);
+    ("rng shuffle", `Quick, test_shuffle_permutation);
+    ("rng exponential", `Quick, test_exponential_mean);
+    ("zipf bounds", `Quick, test_zipf_bounds);
+    ("zipf skew", `Quick, test_zipf_skew);
+    ("zipf scrambled", `Quick, test_zipf_scrambled_spreads);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_zipf_theta_zero_near_uniform ]

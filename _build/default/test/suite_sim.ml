@@ -1,0 +1,323 @@
+(* Discrete-event simulator tests: event heap ordering, engine
+   semantics (determinism, cancellation, horizons), the Table-1
+   topology, the network model (latency, bandwidth queueing, FIFO,
+   faults) and the pipelined CPU model. *)
+
+open Rdb_sim
+
+(* -- Heap --------------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  let seq = ref 0 in
+  List.iter
+    (fun t ->
+      incr seq;
+      Heap.push h ~time:(Int64.of_int t) ~seq:!seq t)
+    [ 5; 3; 9; 1; 7; 3; 0; 8 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some e ->
+        out := e.Heap.payload :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted pop" [ 0; 1; 3; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    Heap.push h ~time:42L ~seq:i i
+  done;
+  let prev = ref 0 in
+  let rec drain () =
+    match Heap.pop h with
+    | Some e ->
+        Alcotest.(check bool) "insertion order on ties" true (e.Heap.payload = !prev + 1);
+        prev := e.Heap.payload;
+        drain ()
+    | None -> ()
+  in
+  drain ()
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap always pops in nondecreasing time order" ~count:100
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun i t -> Heap.push h ~time:(Int64.of_int t) ~seq:i t) times;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some e -> e.Heap.payload >= last && drain e.Heap.payload
+      in
+      drain min_int)
+
+(* -- Engine --------------------------------------------------------------- *)
+
+let test_engine_ordering_and_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_after e ~delay:(Time.ms 10) (fun () -> log := (10, Engine.now e) :: !log));
+  ignore (Engine.schedule_after e ~delay:(Time.ms 5) (fun () -> log := (5, Engine.now e) :: !log));
+  ignore (Engine.schedule_after e ~delay:(Time.ms 20) (fun () -> log := (20, Engine.now e) :: !log));
+  Engine.run e;
+  match List.rev !log with
+  | [ (5, t5); (10, t10); (20, t20) ] ->
+      Alcotest.(check int64) "t5" (Time.ms 5) t5;
+      Alcotest.(check int64) "t10" (Time.ms 10) t10;
+      Alcotest.(check int64) "t20" (Time.ms 20) t20
+  | _ -> Alcotest.fail "wrong event order"
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule_after e ~delay:(Time.ms 1) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled timer does not fire" false !fired
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule_after e ~delay:(Time.ms 10) tick)
+  in
+  ignore (Engine.schedule_after e ~delay:(Time.ms 10) tick);
+  Engine.run_until e ~until:(Time.ms 105);
+  Alcotest.(check int) "10 ticks in 105ms" 10 !count;
+  Alcotest.(check int64) "clock at horizon" (Time.ms 105) (Engine.now e);
+  Engine.run_until e ~until:(Time.ms 205);
+  Alcotest.(check int) "20 ticks in 205ms" 20 !count
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let order = ref [] in
+  ignore
+    (Engine.schedule_after e ~delay:(Time.ms 1) (fun () ->
+         order := "a" :: !order;
+         (* Schedule in the past: must still run, at current time. *)
+         ignore (Engine.schedule_at e ~at:Time.zero (fun () -> order := "b" :: !order))));
+  Engine.run e;
+  Alcotest.(check (list string)) "causal order" [ "a"; "b" ] (List.rev !order)
+
+(* -- Topology --------------------------------------------------------------- *)
+
+let test_topology_table1 () =
+  let t = Topology.clustered ~z:6 ~n:2 in
+  Alcotest.(check int) "nodes" (12 + 6) (Topology.n_nodes t);
+  (* Oregon <-> Sydney RTT from Table 1. *)
+  Alcotest.(check (float 0.01)) "O-S rtt" 161.0 (Topology.rtt_ms t ~a:0 ~b:10);
+  Alcotest.(check (float 0.01)) "symmetric" 161.0 (Topology.rtt_ms t ~a:10 ~b:0);
+  Alcotest.(check (float 0.01)) "intra" 0.5 (Topology.rtt_ms t ~a:0 ~b:1);
+  Alcotest.(check (float 0.01)) "B-T bw" 79.0 (Topology.bw_mbps t ~a:6 ~b:8);
+  Alcotest.(check bool) "same region" true (Topology.same_region t 0 1);
+  Alcotest.(check bool) "diff region" false (Topology.same_region t 0 2);
+  (* Client node of cluster 3 lives in region 3. *)
+  Alcotest.(check int) "client region" 3 (Topology.region_of t (12 + 3))
+
+let test_topology_validation () =
+  Alcotest.check_raises "z > 6 rejected"
+    (Invalid_argument "Topology.of_paper: n_regions must be in 1..6") (fun () ->
+      ignore (Topology.of_paper ~n_regions:7 ~node_region:[||]))
+
+(* -- Network ------------------------------------------------------------------ *)
+
+type probe = { mutable arrivals : (int * int * Time.t) list }
+
+let mk_net ?(jitter = 0.) ~z ~n () =
+  let engine = Engine.create () in
+  let topo = Topology.clustered ~z ~n in
+  let p = { arrivals = [] } in
+  let net =
+    Network.create ~engine ~topo ~jitter_ms:jitter
+      ~deliver:(fun ~src ~dst _msg -> p.arrivals <- (src, dst, Engine.now engine) :: p.arrivals)
+      ()
+  in
+  (engine, net, p)
+
+let test_network_latency () =
+  let engine, net, p = mk_net ~z:2 ~n:1 () in
+  (* Oregon (node 0) -> Iowa (node 1): one-way = 19 ms + transmission. *)
+  Network.send net ~src:0 ~dst:1 ~size:250 ();
+  Engine.run engine;
+  match p.arrivals with
+  | [ (0, 1, t) ] ->
+      let ms = Time.to_ms_f t in
+      Alcotest.(check bool) (Printf.sprintf "arrival ~19ms (got %.3f)" ms) true
+        (ms >= 19.0 && ms < 19.2)
+  | _ -> Alcotest.fail "expected one arrival"
+
+let test_network_bandwidth_queueing () =
+  let engine, net, p = mk_net ~z:2 ~n:1 () in
+  (* Two 1 MB messages Oregon -> Iowa share the 669 Mbit/s uplink: the
+     second's arrival is one transmission time (~12 ms) after the
+     first. *)
+  Network.send net ~src:0 ~dst:1 ~size:1_000_000 ();
+  Network.send net ~src:0 ~dst:1 ~size:1_000_000 ();
+  Engine.run engine;
+  match List.rev p.arrivals with
+  | [ (_, _, t1); (_, _, t2) ] ->
+      let tx_ms = 1_000_000. *. 8. /. 669. /. 1000. in
+      let gap = Time.to_ms_f (Time.sub t2 t1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "gap ~%.2fms (got %.2f)" tx_ms gap)
+        true
+        (abs_float (gap -. tx_ms) < 0.5)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_network_parallel_uplinks () =
+  (* Uplinks to different regions do not queue behind each other. *)
+  let engine, net, p = mk_net ~z:3 ~n:1 () in
+  Network.send net ~src:0 ~dst:1 ~size:1_000_000 ();
+  Network.send net ~src:0 ~dst:2 ~size:250 ();
+  Engine.run engine;
+  let t_small =
+    List.find_map (fun (_, d, t) -> if d = 2 then Some t else None) p.arrivals |> Option.get
+  in
+  (* Montreal one-way is 32.5 ms; the small message must not wait for
+     the 1 MB transfer on the Iowa pipe. *)
+  Alcotest.(check bool) "no cross-pipe queueing" true (Time.to_ms_f t_small < 33.0)
+
+let test_network_crash_and_drop () =
+  let engine, net, p = mk_net ~z:2 ~n:2 () in
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();   (* to crashed: dropped *)
+  Network.send net ~src:1 ~dst:0 ~size:100 ();   (* from crashed: dropped *)
+  Network.add_drop_rule net (fun ~src ~dst -> src = 0 && dst = 2);
+  Network.send net ~src:0 ~dst:2 ~size:100 ();   (* dropped by rule *)
+  Network.send net ~src:0 ~dst:3 ~size:100 ();   (* delivered *)
+  Engine.run engine;
+  Alcotest.(check int) "only one delivery" 1 (List.length p.arrivals);
+  Alcotest.(check int) "dropped counted" 1 (Rdb_sim.Stats.dropped_msgs (Network.stats net))
+
+let test_network_partition () =
+  let engine, net, p = mk_net ~z:2 ~n:1 () in
+  Network.partition_regions net ~ra:0 ~rb:1;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();
+  Network.send net ~src:1 ~dst:0 ~size:100 ();
+  Engine.run engine;
+  Alcotest.(check int) "partitioned" 0 (List.length p.arrivals)
+
+let test_network_stats_local_global () =
+  let engine, net, _ = mk_net ~z:2 ~n:2 () in
+  Network.send net ~src:0 ~dst:1 ~size:100 ();  (* same region *)
+  Network.send net ~src:0 ~dst:2 ~size:200 ();  (* cross region *)
+  Engine.run engine;
+  let s = Network.stats net in
+  Alcotest.(check int) "local" 1 (Rdb_sim.Stats.local_msgs s);
+  Alcotest.(check int) "global" 1 (Rdb_sim.Stats.global_msgs s);
+  Alcotest.(check int) "local bytes" 100 (Rdb_sim.Stats.local_bytes s);
+  Alcotest.(check int) "global bytes" 200 (Rdb_sim.Stats.global_bytes s)
+
+(* -- CPU ------------------------------------------------------------------------- *)
+
+let test_cpu_stage_serialization () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create ~engine ~n_nodes:2 () in
+  let log = ref [] in
+  (* Two 10 ms jobs on the same stage serialize; a job on another stage
+     (or node) runs in parallel. *)
+  Cpu.charge cpu ~node:0 ~stage:Cpu.Execute ~cost:(Time.ms 10) (fun () ->
+      log := ("a", Engine.now engine) :: !log);
+  Cpu.charge cpu ~node:0 ~stage:Cpu.Execute ~cost:(Time.ms 10) (fun () ->
+      log := ("b", Engine.now engine) :: !log);
+  Cpu.charge cpu ~node:0 ~stage:Cpu.Worker ~cost:(Time.ms 10) (fun () ->
+      log := ("w", Engine.now engine) :: !log);
+  Cpu.charge cpu ~node:1 ~stage:Cpu.Execute ~cost:(Time.ms 10) (fun () ->
+      log := ("n1", Engine.now engine) :: !log);
+  Engine.run engine;
+  let at name = List.assoc name !log in
+  Alcotest.(check int64) "first exec at 10ms" (Time.ms 10) (at "a");
+  Alcotest.(check int64) "second exec serialized at 20ms" (Time.ms 20) (at "b");
+  Alcotest.(check int64) "other stage parallel" (Time.ms 10) (at "w");
+  Alcotest.(check int64) "other node parallel" (Time.ms 10) (at "n1")
+
+let test_cpu_fast_path_and_accounting () =
+  let engine = Engine.create () in
+  let cpu = Cpu.create ~engine ~n_nodes:1 () in
+  let ran = ref false in
+  (* Tiny cost on an idle stage runs synchronously. *)
+  Cpu.charge cpu ~node:0 ~stage:Cpu.Worker ~cost:(Time.us 1) (fun () -> ran := true);
+  Alcotest.(check bool) "sync fast path" true !ran;
+  Cpu.charge cpu ~node:0 ~stage:Cpu.Worker ~cost:(Time.ms 5) (fun () -> ());
+  Engine.run engine;
+  Alcotest.(check (float 0.0001) ) "busy accounting" 0.005001
+    (Cpu.busy_sec cpu ~node:0 ~stage:Cpu.Worker)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ("heap ordering", `Quick, test_heap_ordering);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("engine ordering", `Quick, test_engine_ordering_and_time);
+    ("engine cancel", `Quick, test_engine_cancel);
+    ("engine run_until", `Quick, test_engine_run_until);
+    ("engine nested scheduling", `Quick, test_engine_nested_scheduling);
+    ("topology table1", `Quick, test_topology_table1);
+    ("topology validation", `Quick, test_topology_validation);
+    ("network latency", `Quick, test_network_latency);
+    ("network bandwidth queueing", `Quick, test_network_bandwidth_queueing);
+    ("network parallel uplinks", `Quick, test_network_parallel_uplinks);
+    ("network crash and drop", `Quick, test_network_crash_and_drop);
+    ("network partition", `Quick, test_network_partition);
+    ("network stats", `Quick, test_network_stats_local_global);
+    ("cpu stage serialization", `Quick, test_cpu_stage_serialization);
+    ("cpu fast path", `Quick, test_cpu_fast_path_and_accounting);
+  ]
+  @ qsuite [ prop_heap_sorted ]
+
+(* -- WAN egress cap ----------------------------------------------------- *)
+
+let test_wan_egress_serialization () =
+  (* With an aggregate WAN cap, two large messages to *different*
+     regions serialize through the shared egress pipe; local traffic
+     is unaffected. *)
+  let engine = Engine.create () in
+  let topo = Topology.clustered ~z:3 ~n:2 in
+  let arrivals = ref [] in
+  let net =
+    Network.create ~wan_egress_mbps:100. ~engine ~topo ~jitter_ms:0.
+      ~deliver:(fun ~src:_ ~dst _ -> arrivals := (dst, Engine.now engine) :: !arrivals)
+      ()
+  in
+  (* 1 MB to Iowa (node 2) and 1 MB to Montreal (node 4): each takes
+     80 ms through the 100 Mbit/s aggregate pipe, so the second cannot
+     depart before 160 ms. *)
+  Network.send net ~src:0 ~dst:2 ~size:1_000_000 ();
+  Network.send net ~src:0 ~dst:4 ~size:1_000_000 ();
+  (* A local message is not throttled by the WAN pipe. *)
+  Network.send net ~src:0 ~dst:1 ~size:1_000_000 ();
+  Engine.run engine;
+  let at dst = List.assoc dst !arrivals in
+  Alcotest.(check bool) "second WAN msg serialized behind first" true
+    (Time.to_ms_f (at 4) > 160.);
+  Alcotest.(check bool) "local msg unaffected by WAN cap" true (Time.to_ms_f (at 1) < 5.)
+
+let test_wan_egress_disabled () =
+  let engine = Engine.create () in
+  let topo = Topology.clustered ~z:3 ~n:1 in
+  let arrivals = ref [] in
+  let net =
+    Network.create ~engine ~topo ~jitter_ms:0.
+      ~deliver:(fun ~src:_ ~dst _ -> arrivals := (dst, Engine.now engine) :: !arrivals)
+      ()
+  in
+  Network.send net ~src:0 ~dst:1 ~size:1_000_000 ();
+  Network.send net ~src:0 ~dst:2 ~size:1_000_000 ();
+  Engine.run engine;
+  (* Without the cap, the two transfers ride independent region pipes
+     in parallel: Montreal (371 Mbit/s ~ 21.6ms + 32.5ms delay). *)
+  Alcotest.(check bool) "parallel without cap" true
+    (Time.to_ms_f (List.assoc 2 !arrivals) < 60.)
+
+let suite =
+  suite
+  @ [
+      ("network wan egress serialization", `Quick, test_wan_egress_serialization);
+      ("network wan egress disabled", `Quick, test_wan_egress_disabled);
+    ]

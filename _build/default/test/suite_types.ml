@@ -1,0 +1,268 @@
+(* Shared-type tests: transactions, batches (signing, integrity),
+   commit certificates, wire sizes (the §4 calibration points),
+   configuration layout/quorums, and the generic client core. *)
+
+module Txn = Rdb_types.Txn
+module Batch = Rdb_types.Batch
+module Certificate = Rdb_types.Certificate
+module Config = Rdb_types.Config
+module Ctx = Rdb_types.Ctx
+module Wire = Rdb_types.Wire
+module Client_core = Rdb_types.Client_core
+module Keychain = Rdb_crypto.Keychain
+module Engine = Rdb_sim.Engine
+module Time = Rdb_sim.Time
+
+let kc = lazy (Keychain.create ~seed:"types-test" ~n_nodes:10)
+
+let mk_batch ?(id = 1) ?(cluster = 0) ?(origin = 8) () =
+  let txns = Array.init 5 (fun i -> Txn.make ~key:i ~value:(Int64.of_int (i * i)) ~client_id:3 ()) in
+  Batch.create ~keychain:(Lazy.force kc) ~id ~cluster ~origin ~txns ~created:Time.zero
+
+(* -- Txn / Batch ------------------------------------------------------------ *)
+
+let test_txn_serialize_distinct () =
+  let a = Txn.make ~key:1 ~value:2L ~client_id:3 () in
+  let b = Txn.make ~key:1 ~value:2L ~client_id:4 () in
+  let c = Txn.make ~op:Txn.Read ~key:1 ~value:2L ~client_id:3 () in
+  Alcotest.(check bool) "client distinguishes" false (Txn.serialize a = Txn.serialize b);
+  Alcotest.(check bool) "op distinguishes" false (Txn.serialize a = Txn.serialize c)
+
+let test_batch_verify () =
+  let b = mk_batch () in
+  Alcotest.(check bool) "valid batch verifies" true (Batch.verify ~keychain:(Lazy.force kc) b);
+  (* Tampering with a transaction invalidates the digest. *)
+  let tampered =
+    { b with Batch.txns = Array.map (fun t -> { t with Txn.value = 999L }) b.Batch.txns }
+  in
+  Alcotest.(check bool) "tampered batch rejected" false
+    (Batch.verify ~keychain:(Lazy.force kc) tampered);
+  (* A different origin cannot have produced this signature. *)
+  let forged = { b with Batch.origin = 9 } in
+  Alcotest.(check bool) "forged origin rejected" false
+    (Batch.verify ~keychain:(Lazy.force kc) forged)
+
+let test_batch_noop () =
+  let kc = Lazy.force kc in
+  let n1 = Batch.noop ~keychain:kc ~cluster:0 ~origin:0 ~created:Time.zero ~nonce:1 in
+  let n2 = Batch.noop ~keychain:kc ~cluster:0 ~origin:0 ~created:Time.zero ~nonce:2 in
+  Alcotest.(check bool) "noop flagged" true (Batch.is_noop n1);
+  Alcotest.(check bool) "real batch not noop" false (Batch.is_noop (mk_batch ()));
+  Alcotest.(check bool) "distinct nonces, distinct digests" false
+    (String.equal n1.Batch.digest n2.Batch.digest);
+  Alcotest.(check bool) "noop verifies" true (Batch.verify ~keychain:kc n1)
+
+(* -- Certificate -------------------------------------------------------------- *)
+
+let mk_cert ?(signers = [ 0; 1; 2; 3; 4 ]) ?(cluster = 0) ?(view = 0) ?(seq = 7) digest =
+  let kc = Lazy.force kc in
+  let payload = Certificate.commit_payload ~cluster ~view ~seq ~digest in
+  let commits =
+    List.map
+      (fun r -> { Certificate.replica = r; signature = Keychain.sign kc ~signer:r payload })
+      signers
+  in
+  Certificate.make ~cluster ~view ~seq ~digest ~commits
+
+let test_certificate_verify () =
+  let kc = Lazy.force kc in
+  let cert = mk_cert "digest-value" in
+  Alcotest.(check bool) "valid cert" true (Certificate.verify ~keychain:kc ~quorum:5 cert);
+  Alcotest.(check bool) "insufficient quorum" false (Certificate.verify ~keychain:kc ~quorum:6 cert)
+
+let test_certificate_duplicate_signers () =
+  let kc = Lazy.force kc in
+  let cert = mk_cert ~signers:[ 0; 0; 0; 1; 2 ] "d" in
+  (* Five entries but only three distinct signers. *)
+  Alcotest.(check bool) "duplicate signers rejected" false
+    (Certificate.verify ~keychain:kc ~quorum:5 cert)
+
+let test_certificate_wrong_payload () =
+  let kc = Lazy.force kc in
+  let cert = mk_cert "d" in
+  (* Re-binding the certificate to another sequence number invalidates
+     every signature. *)
+  let moved = { cert with Certificate.seq = 8 } in
+  Alcotest.(check bool) "rebound cert rejected" false
+    (Certificate.verify ~keychain:kc ~quorum:5 moved)
+
+(* -- Wire sizes: the §4 calibration points ------------------------------------- *)
+
+let test_wire_sizes_match_paper () =
+  (* "messages have sizes of 5.4 kB (preprepare), 6.4 kB (commit
+     certificates containing seven commit messages...), 1.5 kB (client
+     responses), and 250 B (other messages)" — batch size 100. *)
+  Alcotest.(check int) "preprepare 5.4kB" 5400 (Wire.preprepare_bytes ~batch_size:100);
+  Alcotest.(check int) "certificate 6.4kB" 6401 (Wire.certificate_bytes ~batch_size:100 ~sigs:7);
+  Alcotest.(check int) "response 1.5kB" 1500 (Wire.response_bytes ~batch_size:100);
+  Alcotest.(check int) "small 250B" 250 Wire.small
+
+(* -- Config --------------------------------------------------------------------- *)
+
+let test_config_layout () =
+  let cfg = Config.make ~z:3 ~n:7 () in
+  Alcotest.(check int) "f" 2 (Config.f cfg);
+  Alcotest.(check int) "quorum" 5 (Config.quorum cfg);
+  Alcotest.(check int) "weak quorum" 3 (Config.weak_quorum cfg);
+  Alcotest.(check int) "replicas" 21 (Config.n_replicas cfg);
+  Alcotest.(check int) "nodes" 24 (Config.n_nodes cfg);
+  Alcotest.(check int) "cluster of replica 15" 2 (Config.cluster_of_replica cfg 15);
+  Alcotest.(check int) "local index" 1 (Config.local_index cfg 15);
+  Alcotest.(check int) "replica id" 15 (Config.replica_id cfg ~cluster:2 ~index:1);
+  Alcotest.(check (list int)) "cluster members" [ 7; 8; 9; 10; 11; 12; 13 ]
+    (Config.replicas_of_cluster cfg 1);
+  Alcotest.(check int) "client node" 22 (Config.client_node cfg ~cluster:1);
+  Alcotest.(check bool) "client detection" true (Config.is_client cfg 22);
+  Alcotest.(check int) "client cluster" 1 (Config.cluster_of_client cfg 22);
+  Alcotest.(check int) "primary view 0" 7 (Config.primary cfg ~cluster:1 ~view:0);
+  Alcotest.(check int) "primary rotates" 8 (Config.primary cfg ~cluster:1 ~view:8)
+
+let test_config_f_values () =
+  List.iter
+    (fun (n, f) -> Alcotest.(check int) (Printf.sprintf "f(n=%d)" n) f (Config.f (Config.make ~n ())))
+    [ (4, 1); (7, 2); (10, 3); (12, 3); (13, 4); (15, 4) ]
+
+(* -- Client core ------------------------------------------------------------------ *)
+
+(* A minimal ctx over a bare engine for unit-testing the client core. *)
+let mk_client_ctx () =
+  let engine = Engine.create () in
+  let cfg = Config.make ~z:1 ~n:4 () in
+  let sent = ref [] in
+  let completed = ref [] in
+  let ctx =
+    {
+      Ctx.id = 4;
+      config = { cfg with Config.client_timeout_ms = 100.0 };
+      keychain = Lazy.force kc;
+      rng = Rdb_prng.Rng.create 1L;
+      now = (fun () -> Engine.now engine);
+      send = (fun ~dst ~size:_ ~vcost:_ () -> sent := dst :: !sent);
+      charge = (fun ~stage:_ ~cost:_ k -> k ());
+      set_timer = (fun ~delay k -> Engine.schedule_after engine ~delay k);
+      cancel_timer = Engine.cancel;
+      execute = (fun _ ~cert:_ ~on_done -> on_done ());
+      complete = (fun b -> completed := b.Batch.id :: !completed);
+      trace = (fun _ -> ());
+    }
+  in
+  (engine, ctx, sent, completed)
+
+let test_client_core_threshold () =
+  let engine, ctx, _sent, completed = mk_client_ctx () in
+  let transmits = ref 0 in
+  let core =
+    Client_core.create ~ctx ~threshold:2 ~transmit:(fun ~retry:_ _ -> incr transmits)
+  in
+  let b = mk_batch ~id:42 () in
+  Client_core.submit core b;
+  Alcotest.(check int) "transmitted once" 1 !transmits;
+  Client_core.on_reply core ~src:0 ~batch_id:42 ~result_digest:"r";
+  Alcotest.(check (list int)) "below threshold: not complete" [] !completed;
+  (* A mismatching reply does not count towards the quorum. *)
+  Client_core.on_reply core ~src:1 ~batch_id:42 ~result_digest:"WRONG";
+  Alcotest.(check (list int)) "mismatch ignored" [] !completed;
+  Client_core.on_reply core ~src:2 ~batch_id:42 ~result_digest:"r";
+  Alcotest.(check (list int)) "threshold reached" [ 42 ] !completed;
+  (* Late duplicate replies are harmless. *)
+  Client_core.on_reply core ~src:3 ~batch_id:42 ~result_digest:"r";
+  Alcotest.(check (list int)) "no double completion" [ 42 ] !completed;
+  Engine.run engine;
+  Alcotest.(check int) "no retransmit after completion" 1 !transmits
+
+let test_client_core_retransmit () =
+  let engine, ctx, _sent, completed = mk_client_ctx () in
+  let retries = ref 0 in
+  let core =
+    Client_core.create ~ctx ~threshold:2 ~transmit:(fun ~retry _ -> if retry then incr retries)
+  in
+  Client_core.submit core (mk_batch ~id:1 ());
+  Engine.run_until engine ~until:(Time.ms 350);
+  Alcotest.(check int) "retransmits at 100ms timeout" 3 !retries;
+  Alcotest.(check (list int)) "still incomplete" [] !completed
+
+let test_client_core_duplicate_submit () =
+  let _, ctx, _, _ = mk_client_ctx () in
+  let transmits = ref 0 in
+  let core = Client_core.create ~ctx ~threshold:1 ~transmit:(fun ~retry:_ _ -> incr transmits) in
+  let b = mk_batch ~id:5 () in
+  Client_core.submit core b;
+  Client_core.submit core b;
+  Alcotest.(check int) "duplicate submit ignored" 1 !transmits
+
+let suite =
+  [
+    ("txn serialization", `Quick, test_txn_serialize_distinct);
+    ("batch sign/verify/tamper", `Quick, test_batch_verify);
+    ("batch noop", `Quick, test_batch_noop);
+    ("certificate verify", `Quick, test_certificate_verify);
+    ("certificate duplicate signers", `Quick, test_certificate_duplicate_signers);
+    ("certificate payload binding", `Quick, test_certificate_wrong_payload);
+    ("wire sizes match paper", `Quick, test_wire_sizes_match_paper);
+    ("config layout", `Quick, test_config_layout);
+    ("config f values", `Quick, test_config_f_values);
+    ("client core threshold", `Quick, test_client_core_threshold);
+    ("client core retransmit", `Quick, test_client_core_retransmit);
+    ("client core duplicate submit", `Quick, test_client_core_duplicate_submit);
+  ]
+
+let test_ctx_map_send () =
+  (* map_send must translate payloads and preserve size/vcost. *)
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let cfg = Config.make ~z:1 ~n:4 () in
+  let ctx : string Ctx.t =
+    {
+      Ctx.id = 1;
+      config = cfg;
+      keychain = Lazy.force kc;
+      rng = Rdb_prng.Rng.create 1L;
+      now = (fun () -> Engine.now engine);
+      send = (fun ~dst ~size ~vcost m -> sent := (dst, size, vcost, m) :: !sent);
+      charge = (fun ~stage:_ ~cost:_ k -> k ());
+      set_timer = (fun ~delay k -> Engine.schedule_after engine ~delay k);
+      cancel_timer = Engine.cancel;
+      execute = (fun _ ~cert:_ ~on_done -> on_done ());
+      complete = (fun _ -> ());
+      trace = (fun _ -> ());
+    }
+  in
+  let inner : int Ctx.t = Ctx.map_send string_of_int ctx in
+  inner.Ctx.send ~dst:3 ~size:99 ~vcost:(Time.us 7) 42;
+  (match !sent with
+  | [ (3, 99, vc, "42") ] -> Alcotest.(check int64) "vcost preserved" (Time.us 7) vc
+  | _ -> Alcotest.fail "map_send mangled the message");
+  Ctx.multicast inner ~dsts:[ 0; 1; 2 ] ~size:10 ~vcost:Time.zero 7;
+  Alcotest.(check int) "multicast fanout" 4 (List.length !sent)
+
+let test_view_change_sizes () =
+  (* A view-change message grows with the prepared certificates it
+     carries. *)
+  let base = Wire.view_change_bytes ~batch_size:100 ~prepared:0 in
+  let five = Wire.view_change_bytes ~batch_size:100 ~prepared:5 in
+  Alcotest.(check int) "empty = small" Wire.small base;
+  Alcotest.(check bool) "grows with prepared" true (five > base + (5 * 5000))
+
+let test_noop_id_space () =
+  (* No-op ids never collide with client batch ids (which are >= 0). *)
+  List.iter
+    (fun nonce ->
+      Alcotest.(check bool) "negative id" true (Batch.noop_id_of_nonce nonce < 0))
+    [ 0; 1; 5; 1_000_000 ]
+
+let test_threshold_cert_costs () =
+  let plain = Config.make ~z:4 ~n:13 () in
+  let thr = { plain with Config.threshold_certs = true } in
+  Alcotest.(check bool) "threshold verify cheaper at n=13" true
+    (Config.cert_verify_cost thr < Config.cert_verify_cost plain);
+  Alcotest.(check int) "one wire signature" 1 (Config.cert_wire_sigs thr);
+  Alcotest.(check int) "n-f wire signatures" 9 (Config.cert_wire_sigs plain)
+
+let suite =
+  suite
+  @ [
+      ("ctx map_send & multicast", `Quick, test_ctx_map_send);
+      ("view-change sizes", `Quick, test_view_change_sizes);
+      ("noop id space", `Quick, test_noop_id_space);
+      ("threshold cert costs", `Quick, test_threshold_cert_costs);
+    ]

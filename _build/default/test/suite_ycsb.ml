@@ -1,0 +1,123 @@
+(* YCSB substrate tests: identical initialization, deterministic
+   execution, state digests, and workload generation (§4's setup: 600 k
+   records, Zipfian, write queries). *)
+
+module Txn = Rdb_types.Txn
+module Table = Rdb_ycsb.Table
+module Workload = Rdb_ycsb.Workload
+
+let test_identical_initialization () =
+  let a = Table.create ~n_records:10_000 () in
+  let b = Table.create ~n_records:10_000 () in
+  Alcotest.(check string) "same initial digest" (Rdb_crypto.Hex.of_string (Table.state_digest a))
+    (Rdb_crypto.Hex.of_string (Table.state_digest b));
+  Alcotest.(check int64) "same fingerprint" (Table.quick_fingerprint a) (Table.quick_fingerprint b)
+
+let test_default_size () =
+  let t = Table.create () in
+  Alcotest.(check int) "600k records (paper)" 600_000 (Table.n_records t)
+
+let test_apply_read_write () =
+  let t = Table.create ~n_records:100 () in
+  let before = Table.read t ~key:5 in
+  let r = Table.apply t (Txn.make ~op:Txn.Read ~key:5 ~value:0L ~client_id:1 ()) in
+  Alcotest.(check int64) "read returns value" before r;
+  let w = Table.apply t (Txn.make ~key:5 ~value:42L ~client_id:1 ()) in
+  Alcotest.(check int64) "write updates" w (Table.read t ~key:5);
+  Alcotest.(check bool) "write changed value" true (not (Int64.equal before (Table.read t ~key:5)));
+  Alcotest.(check int) "write counted" 1 (Table.writes t);
+  Alcotest.(check int) "read counted" 1 (Table.reads t)
+
+let test_order_sensitivity () =
+  (* Execution order must be visible in the state: replicas that apply
+     the same batches in different orders diverge (this is what the
+     safety tests detect). *)
+  let t1 = Table.create ~n_records:100 () in
+  let t2 = Table.create ~n_records:100 () in
+  let a = Txn.make ~key:7 ~value:1L ~client_id:1 () in
+  let b = Txn.make ~key:7 ~value:2L ~client_id:1 () in
+  ignore (Table.apply t1 a);
+  ignore (Table.apply t1 b);
+  ignore (Table.apply t2 b);
+  ignore (Table.apply t2 a);
+  Alcotest.(check bool) "order matters" true
+    (not (Int64.equal (Table.read t1 ~key:7) (Table.read t2 ~key:7)))
+
+let test_deterministic_replay () =
+  let t1 = Table.create ~n_records:1000 () in
+  let t2 = Table.create ~n_records:1000 () in
+  let w = Workload.create ~n_records:1000 ~seed:9 ~client_base:0 () in
+  let batches = Array.init 20 (fun _ -> Workload.next_batch_txns w ~batch_size:10) in
+  Array.iter (fun b -> ignore (Table.apply_batch t1 b)) batches;
+  Array.iter (fun b -> ignore (Table.apply_batch t2 b)) batches;
+  Alcotest.(check int64) "identical state after replay" (Table.quick_fingerprint t1)
+    (Table.quick_fingerprint t2)
+
+let test_workload_determinism () =
+  let w1 = Workload.create ~n_records:1000 ~seed:5 ~client_base:0 () in
+  let w2 = Workload.create ~n_records:1000 ~seed:5 ~client_base:0 () in
+  for _ = 1 to 100 do
+    Alcotest.(check string) "same stream" (Txn.serialize (Workload.next_txn w1))
+      (Txn.serialize (Workload.next_txn w2))
+  done;
+  let w3 = Workload.create ~n_records:1000 ~seed:6 ~client_base:0 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Txn.serialize (Workload.next_txn w1) <> Txn.serialize (Workload.next_txn w3))
+
+let test_workload_write_queries () =
+  (* §4: "we use write queries".  Default write fraction is 1.0. *)
+  let w = Workload.create ~n_records:1000 ~seed:1 ~client_base:0 () in
+  for _ = 1 to 200 do
+    let t = Workload.next_txn w in
+    Alcotest.(check bool) "write query" true (t.Txn.op = Txn.Write)
+  done
+
+let test_workload_mixed () =
+  let w = Workload.create ~n_records:1000 ~write_fraction:0.5 ~seed:1 ~client_base:0 () in
+  let writes = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    if (Workload.next_txn w).Txn.op = Txn.Write then incr writes
+  done;
+  let frac = float_of_int !writes /. float_of_int n in
+  Alcotest.(check bool) "about half writes" true (abs_float (frac -. 0.5) < 0.05)
+
+let test_workload_keys_in_range () =
+  let w = Workload.create ~n_records:500 ~seed:2 ~client_base:0 () in
+  for _ = 1 to 1000 do
+    let t = Workload.next_txn w in
+    Alcotest.(check bool) "key in range" true (t.Txn.key >= 0 && t.Txn.key < 500)
+  done
+
+let test_workload_batches () =
+  let w = Workload.create ~n_records:1000 ~seed:3 ~client_base:100 () in
+  let b = Workload.next_batch_txns w ~batch_size:50 in
+  Alcotest.(check int) "batch size" 50 (Array.length b);
+  Alcotest.(check int) "generated counter" 50 (Workload.generated w);
+  Array.iter
+    (fun t -> Alcotest.(check bool) "client ids from base" true (t.Txn.client_id >= 100))
+    b
+
+let prop_digest_changes_on_write =
+  QCheck.Test.make ~name:"state digest changes on every write" ~count:30
+    QCheck.(pair (int_bound 999) small_int)
+    (fun (key, v) ->
+      let t = Table.create ~n_records:1000 () in
+      let d0 = Table.state_digest t in
+      ignore (Table.apply t (Txn.make ~key ~value:(Int64.of_int (v + 1)) ~client_id:0 ()));
+      not (String.equal d0 (Table.state_digest t)))
+
+let suite =
+  [
+    ("identical initialization", `Quick, test_identical_initialization);
+    ("default 600k records", `Quick, test_default_size);
+    ("apply read/write", `Quick, test_apply_read_write);
+    ("order sensitivity", `Quick, test_order_sensitivity);
+    ("deterministic replay", `Quick, test_deterministic_replay);
+    ("workload determinism", `Quick, test_workload_determinism);
+    ("workload write queries", `Quick, test_workload_write_queries);
+    ("workload mixed read/write", `Quick, test_workload_mixed);
+    ("workload key range", `Quick, test_workload_keys_in_range);
+    ("workload batching", `Quick, test_workload_batches);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_digest_changes_on_write ]
