@@ -29,7 +29,12 @@ let fault_arg =
     | "one" | "one-nonprimary" -> Ok Runner.One_nonprimary
     | "f" | "f-nonprimary" -> Ok Runner.F_nonprimary
     | "primary" -> Ok Runner.Primary_failure
-    | _ -> Error (`Msg "fault must be one of: none, one, f, primary")
+    | "chaos" -> Ok (Runner.Chaos (-1))
+    | s when String.length s > 6 && String.sub s 0 6 = "chaos:" -> (
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some seed when seed >= 0 -> Ok (Runner.Chaos seed)
+        | _ -> Error (`Msg "chaos seed must be a non-negative integer"))
+    | _ -> Error (`Msg "fault must be one of: none, one, f, primary, chaos[:SEED]")
   in
   let print fmt f = Format.pp_print_string fmt (Runner.fault_name f) in
   Arg.conv (parse, print)
@@ -66,7 +71,8 @@ let run_cmd =
          & info [ "fault" ] ~docv:"FAULT"
              ~doc:
                "Failure scenario: none, one (non-primary crash), f (f crashes per cluster), \
-                primary (mid-run primary crash).")
+                primary (mid-run primary crash), chaos or chaos:SEED (seeded fault timeline \
+                with continuous safety-invariant checking; same seed, same faults).")
   in
   let go protocol z n batch inflight warmup measure seed fault =
     let cfg = Config.make ~z ~n ~batch_size:batch ~client_inflight:inflight ~seed () in

@@ -30,6 +30,8 @@
      {!Pbft}, {!Zyzzyva}, {!Hotstuff}, {!Steward} — all satisfying
      {!Protocol.S};
    - {!Deployment}, {!Metrics}, {!Report}: the fabric;
+   - {!Chaos}: seeded fault injection with continuous safety-invariant
+     checking over a running deployment;
    - {!Experiments}: the §4 evaluation (Figures 10-13, Tables 1-2). *)
 
 (* Randomness *)
@@ -87,6 +89,9 @@ module Steward = Rdb_steward.Replica
 module Deployment = Rdb_fabric.Deployment
 module Metrics = Rdb_fabric.Metrics
 module Report = Rdb_fabric.Report
+
+(* Chaos fault injection + invariant monitoring *)
+module Chaos = Rdb_chaos.Chaos
 
 (* Paper evaluation *)
 module Experiments = struct

@@ -4,7 +4,11 @@
 
 module Config = Rdb_types.Config
 module Time = Rdb_sim.Time
+module Engine = Rdb_sim.Engine
+module Rng = Rdb_prng.Rng
 module Report = Rdb_fabric.Report
+module Ledger = Rdb_ledger.Ledger
+module Chaos = Rdb_chaos.Chaos
 
 module GeoDep = Rdb_fabric.Deployment.Make (Rdb_geobft.Replica)
 module PbftDep = Rdb_fabric.Deployment.Make (Rdb_pbft.Replica)
@@ -32,18 +36,21 @@ let proto_of_string s =
   | "steward" -> Some Steward
   | _ -> None
 
-(* The failure scenarios of §4.3. *)
+(* The failure scenarios of §4.3, plus seeded chaos injection. *)
 type fault =
   | No_fault
   | One_nonprimary           (* one backup crashed from the start *)
   | F_nonprimary             (* f backups per cluster crashed from the start *)
   | Primary_failure          (* the (initial) primary crashes mid-run *)
+  | Chaos of int             (* seeded fault timeline + invariant monitor;
+                                a negative seed means "use cfg.seed" *)
 
 let fault_name = function
   | No_fault -> "none"
   | One_nonprimary -> "one non-primary"
   | F_nonprimary -> "f non-primary per cluster"
   | Primary_failure -> "primary"
+  | Chaos s -> if s < 0 then "chaos" else Printf.sprintf "chaos (seed %d)" s
 
 (* Simulated measurement windows.  The paper runs 60 s + 120 s on the
    cloud; a deterministic simulator needs less: throughput is stable
@@ -60,28 +67,207 @@ module type DEP = sig
   val create : ?trace:bool -> ?n_records:int -> ?retain_payloads:bool -> Config.t -> t
   val run : ?warmup:Time.t -> ?measure:Time.t -> t -> Report.t
   val crash_replica : t -> int -> unit
+  val recover_replica : t -> int -> unit
   val crash_primary : t -> cluster:int -> unit
   val crash_f_per_cluster : t -> unit
+  val partition_clusters : t -> ca:int -> cb:int -> unit
+  val heal_clusters : t -> ca:int -> cb:int -> unit
+  val sever_link : t -> src:int -> dst:int -> unit
+  val restore_link : t -> src:int -> dst:int -> unit
+  val set_link_loss : t -> src:int -> dst:int -> p:float -> unit
+  val set_link_dup : t -> src:int -> dst:int -> p:float -> unit
+  val ledger : t -> replica:int -> Ledger.t
+  val engine : t -> Engine.t
   val at : t -> time:Time.t -> (unit -> unit) -> unit
 end
 
+(* -- chaos wiring ------------------------------------------------------ *)
+
+(* What each protocol is expected to absorb — the scheduler only draws
+   faults a protocol must survive, so a violation is always a bug.
+   The envelopes are empirical statements about *this codebase*, not
+   aspirations (DESIGN.md documents each exclusion):
+   - GeoBFT carries the paper's full recovery machinery (local view
+     change, DRVC re-serve, remote view change with re-share), so it
+     takes the whole menu: any replica may crash and recover, clusters
+     may partition and heal, links may flap/lose/duplicate, and a
+     Byzantine primary may equivocate at the sharing step;
+   - Pbft recovers from message loss and severed links through its
+     view-change timer, but a crashed-and-recovered replica gets no
+     state transfer: view-change rotation eventually elects the stale
+     replica primary and the view wedges, so crashes are off its menu;
+   - Zyzzyva has no view change at all: node 0 is not crashable;
+     backup crashes and link faults push clients onto the
+     commit-certificate slow path, which recovers;
+   - HotStuff replicas interleave independent instance logs
+     (agreement is per-executed-batch-set with in-flight slack rather
+     than prefix equality) and have no catch-up layer: a crash or a
+     lossy/severed link leaves permanent holes in the victim's
+     executed set, so only duplication — which must be absorbed
+     idempotently — is injected;
+   - Steward's inter-site traffic is threshold-signed shares routed
+     through site representatives with no retransmission: dropping
+     them stalls the site protocol permanently, so only
+     non-representative crashes are injected. *)
+let chaos_profile (p : proto) (cfg : Config.t) :
+    Chaos.caps * Chaos.agreement_mode * float =
+  let everyone _ = true in
+  let nobody _ = false in
+  match p with
+  | Geobft ->
+      ( { Chaos.crashable = everyone; partitions = true; link_down = true;
+          link_loss = true; link_dup = true; equivocation = true },
+        Chaos.Prefix,
+        8000. )
+  | Pbft ->
+      ( { Chaos.crashable = nobody; partitions = false; link_down = true;
+          link_loss = true; link_dup = true; equivocation = false },
+        Chaos.Prefix,
+        6000. )
+  | Zyzzyva ->
+      ( { Chaos.crashable = (fun v -> v <> 0); partitions = false;
+          link_down = true; link_loss = true; link_dup = true;
+          equivocation = false },
+        Chaos.Prefix,
+        6000. )
+  | Hotstuff ->
+      ( { Chaos.crashable = nobody; partitions = false; link_down = false;
+          link_loss = false; link_dup = true; equivocation = false },
+        Chaos.Eventual_set 256,
+        6000. )
+  | Steward ->
+      ( { Chaos.crashable = (fun v -> v mod cfg.Config.n <> 0);
+          partitions = false; link_down = false; link_loss = false;
+          link_dup = false; equivocation = false },
+        Chaos.Prefix,
+        6000. )
+
+(* GeoBFT's Byzantine-equivocation hook: make every replica of the
+   target cluster withhold its global shares from the [skip] clusters
+   (installed cluster-wide so a local view change does not silently
+   cure the fault — recovery must come from the remote view-change
+   machinery of Figure 7, whose re-share path is deliberate and
+   unfiltered). *)
+let geo_equiv (d : GeoDep.t) (cfg : Config.t) =
+  let set_all cluster filter =
+    for i = 0 to cfg.Config.n - 1 do
+      Rdb_geobft.Replica.set_share_filter
+        (GeoDep.replica d ((cluster * cfg.Config.n) + i))
+        filter
+    done
+  in
+  ( (fun ~cluster ~skip ->
+      set_all cluster
+        (Some (fun ~round:_ ~cluster:c -> not (List.mem c skip)))),
+    (fun ~cluster -> set_all cluster None) )
+
+let chaos_surface (type a) (module D : DEP with type t = a) (d : a)
+    (cfg : Config.t) ~caps ~agreement ~equiv : Chaos.surface =
+  {
+    Chaos.z = cfg.Config.z;
+    n = cfg.Config.n;
+    f = Config.f cfg;
+    caps;
+    agreement;
+    crash = (fun v -> D.crash_replica d v);
+    recover = (fun v -> D.recover_replica d v);
+    partition = (fun ~ca ~cb -> D.partition_clusters d ~ca ~cb);
+    heal = (fun ~ca ~cb -> D.heal_clusters d ~ca ~cb);
+    sever_link = (fun ~src ~dst -> D.sever_link d ~src ~dst);
+    restore_link = (fun ~src ~dst -> D.restore_link d ~src ~dst);
+    set_link_loss = (fun ~src ~dst ~p -> D.set_link_loss d ~src ~dst ~p);
+    set_link_dup = (fun ~src ~dst ~p -> D.set_link_dup d ~src ~dst ~p);
+    equivocate = Option.map fst equiv;
+    stop_equivocate = Option.map snd equiv;
+    ledger = (fun r -> D.ledger d ~replica:r);
+    now = (fun () -> Engine.now (D.engine d));
+    at = (fun time k -> D.at d ~time k);
+  }
+
+(* Plan a timeline for one freshly created deployment.  The planner
+   RNG is split off the engine's stream (parent not advanced), so the
+   timeline is a pure function of (cfg, protocol, seed) and the
+   simulation itself consumes exactly the stream it would without
+   chaos. *)
+let chaos_plan (type a) (module D : DEP with type t = a) (d : a) (p : proto)
+    ~(windows : windows) ~seed (cfg : Config.t) ~equiv =
+  let seed = if seed >= 0 then seed else cfg.Config.seed in
+  let caps, agreement, liveness_window_ms = chaos_profile p cfg in
+  let surface = chaos_surface (module D) d cfg ~caps ~agreement ~equiv in
+  let rng = Rng.split (Engine.rng (D.engine d)) ~index:(0x0C7A05 + seed) in
+  let horizon = Time.add windows.warmup windows.measure in
+  let tail_ms =
+    Float.min (liveness_window_ms +. 1000.) (Time.to_ms_f horizon /. 2.)
+  in
+  let pc = Chaos.default_plan ~horizon ~tail:(Time.of_ms_f tail_ms) in
+  let timeline = Chaos.plan ~rng ~surface pc in
+  (seed, surface, timeline, liveness_window_ms)
+
 let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) (cfg : Config.t) :
     Report.t =
-  let go (module D : DEP) =
+  let go : type a.
+      (module DEP with type t = a) ->
+      equiv:
+        (a ->
+        ((cluster:int -> skip:int list -> unit) * (cluster:int -> unit)) option) ->
+      Report.t =
+   fun (module D) ~equiv ->
     (* Experiments sweep many large deployments: keep ledgers compact. *)
     let d = D.create ~retain_payloads:false cfg in
-    (match fault with
-    | No_fault -> ()
-    | One_nonprimary -> D.crash_replica d (cfg.Config.n - 1)
-    | F_nonprimary -> D.crash_f_per_cluster d
-    | Primary_failure ->
-        D.at d ~time:(Time.add windows.warmup (Time.ms 2000)) (fun () ->
-            D.crash_primary d ~cluster:0));
-    D.run ~warmup:windows.warmup ~measure:windows.measure d
+    match fault with
+    | Chaos s ->
+        let seed, surface, timeline, liveness_window_ms =
+          chaos_plan (module D) d p ~windows ~seed:s cfg ~equiv:(equiv d)
+        in
+        Chaos.install surface timeline;
+        let mon = Chaos.monitor ~liveness_window_ms surface timeline in
+        let report = D.run ~warmup:windows.warmup ~measure:windows.measure d in
+        Chaos.check_now mon;
+        (match Chaos.first_violation mon with
+        | Some violation ->
+            Chaos.fail ~protocol:(proto_name p) ~seed ~timeline ~violation
+        | None -> report)
+    | _ ->
+        (match fault with
+        | No_fault | Chaos _ -> ()
+        | One_nonprimary -> D.crash_replica d (cfg.Config.n - 1)
+        | F_nonprimary -> D.crash_f_per_cluster d
+        | Primary_failure ->
+            D.at d ~time:(Time.add windows.warmup (Time.ms 2000)) (fun () ->
+                D.crash_primary d ~cluster:0));
+        D.run ~warmup:windows.warmup ~measure:windows.measure d
   in
   match p with
-  | Geobft -> go (module GeoDep)
-  | Pbft -> go (module PbftDep)
-  | Zyzzyva -> go (module ZyzDep)
-  | Hotstuff -> go (module HsDep)
-  | Steward -> go (module StwDep)
+  | Geobft -> go (module GeoDep) ~equiv:(fun d -> Some (geo_equiv d cfg))
+  | Pbft -> go (module PbftDep) ~equiv:(fun _ -> None)
+  | Zyzzyva -> go (module ZyzDep) ~equiv:(fun _ -> None)
+  | Hotstuff -> go (module HsDep) ~equiv:(fun _ -> None)
+  | Steward -> go (module StwDep) ~equiv:(fun _ -> None)
+
+(* The fault timeline a chaos run with this seed would execute, without
+   running it — lets tests (and curious users) verify event-for-event
+   reproducibility cheaply. *)
+let chaos_timeline (p : proto) ?(windows = default_windows) ~seed
+    (cfg : Config.t) : Chaos.timeline =
+  let go : type a.
+      (module DEP with type t = a) ->
+      equiv:
+        (a ->
+        ((cluster:int -> skip:int list -> unit) * (cluster:int -> unit)) option) ->
+      Chaos.timeline =
+   fun (module D) ~equiv ->
+    (* Planning happens before the first simulated event, and YCSB
+       table population never touches the engine RNG, so a tiny table
+       yields the identical timeline at a fraction of the setup cost. *)
+    let d = D.create ~retain_payloads:false ~n_records:1000 cfg in
+    let _, _, timeline, _ =
+      chaos_plan (module D) d p ~windows ~seed cfg ~equiv:(equiv d)
+    in
+    timeline
+  in
+  match p with
+  | Geobft -> go (module GeoDep) ~equiv:(fun d -> Some (geo_equiv d cfg))
+  | Pbft -> go (module PbftDep) ~equiv:(fun _ -> None)
+  | Zyzzyva -> go (module ZyzDep) ~equiv:(fun _ -> None)
+  | Hotstuff -> go (module HsDep) ~equiv:(fun _ -> None)
+  | Steward -> go (module StwDep) ~equiv:(fun _ -> None)

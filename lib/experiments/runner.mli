@@ -4,6 +4,7 @@
 module Config = Rdb_types.Config
 module Time = Rdb_sim.Time
 module Report = Rdb_fabric.Report
+module Chaos = Rdb_chaos.Chaos
 
 type proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
 
@@ -12,12 +13,18 @@ val all_protocols : proto list
 val proto_name : proto -> string
 val proto_of_string : string -> proto option
 
-(** The §4.3 failure scenarios. *)
+(** The §4.3 failure scenarios, plus seeded chaos injection. *)
 type fault =
   | No_fault
   | One_nonprimary   (** one backup crashed from the start *)
   | F_nonprimary     (** f backups per cluster crashed from the start *)
   | Primary_failure  (** the initial primary crashes mid-measurement *)
+  | Chaos of int
+      (** sample a fault timeline from this seed (negative: use
+          [cfg.seed]), run it under the continuous invariant monitor,
+          and raise {!Chaos.Violation} — with the seed, the full
+          timeline and the first broken invariant — if safety or
+          post-heal liveness is ever violated *)
 
 val fault_name : fault -> string
 
@@ -32,4 +39,16 @@ val full_windows : windows
 
 val run_proto : proto -> ?windows:windows -> ?fault:fault -> Config.t -> Report.t
 (** Build the deployment (compact-ledger mode), inject the fault,
-    run warm-up + measurement, return the report. *)
+    run warm-up + measurement, return the report.
+    @raise Chaos.Violation under [Chaos _] if an invariant breaks. *)
+
+val chaos_profile : proto -> Config.t -> Chaos.caps * Chaos.agreement_mode * float
+(** What the chaos scheduler may throw at each protocol (capabilities,
+    agreement mode, liveness window in ms) — the faults it is
+    {e required} to survive, so a violation is always a bug. *)
+
+val chaos_timeline :
+  proto -> ?windows:windows -> seed:int -> Config.t -> Chaos.timeline
+(** The exact fault timeline [run_proto ~fault:(Chaos seed)] would
+    execute, without running it: same deployment construction, same
+    RNG split — reproducibility made checkable. *)

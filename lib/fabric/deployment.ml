@@ -263,6 +263,15 @@ module Make (P : Protocol.S) = struct
     t.crashed.(node) <- true;
     Network.crash t.net node
 
+  (* Un-crash a node: it resumes sending/receiving with the state it
+     had at crash time (a crash-recover fault; protocol-level catch-up
+     — DRVC pulls, client retransmission — is the protocol's job). *)
+  let recover_replica t node =
+    t.crashed.(node) <- false;
+    Network.recover t.net node
+
+  let is_crashed t node = t.crashed.(node)
+
   (* Crash the view-0 primary of [cluster] (experiments fail "the"
      primary; protocols place it at local index 0 initially). *)
   let crash_primary t ~cluster =
@@ -283,6 +292,14 @@ module Make (P : Protocol.S) = struct
 
   (* Sever all traffic between two clusters' regions (both ways). *)
   let partition_clusters t ~ca ~cb = Network.partition_regions t.net ~ra:ca ~rb:cb
+
+  (* Inverse of [partition_clusters] on the same pair. *)
+  let heal_clusters t ~ca ~cb = Network.heal_regions t.net ~ra:ca ~rb:cb
+
+  let sever_link t ~src ~dst = Network.sever_link t.net ~src ~dst
+  let restore_link t ~src ~dst = Network.restore_link t.net ~src ~dst
+  let set_link_loss t ~src ~dst ~p = Network.set_link_loss t.net ~src ~dst ~p
+  let set_link_dup t ~src ~dst ~p = Network.set_link_dup t.net ~src ~dst ~p
 
   (* Schedule an action at an absolute simulated time. *)
   let at t ~time k = ignore (Engine.schedule_at t.engine ~at:time (fun () -> k ()))

@@ -76,6 +76,10 @@ type replica = {
   mutable last_local_vc : Time.t;                (* for the "recent vc" guard *)
   mutable shares_sent : int;                     (* metrics *)
   mutable remote_vcs_triggered : int;
+  (* Chaos hook: when set, the global-sharing step only sends round ρ
+     to remote cluster c if the filter allows it — a Byzantine primary
+     equivocating by omission (Example 2.4 case 1). *)
+  mutable share_filter : (round:int -> cluster:int -> bool) option;
 }
 
 (* -- sizes and verification costs -------------------------------------- *)
@@ -316,8 +320,11 @@ and share_round r ~round (batch : Batch.t) (cert : Certificate.t) =
          (Config.hash_cost cfg ~bytes:(share_size cfg))
          (Time.of_us_f (cfg.Config.costs.Config.mac_us *. float_of_int n_macs)))
     (fun () ->
+      let shares_with c =
+        match r.share_filter with None -> true | Some keep -> keep ~round ~cluster:c
+      in
       for c = 0 to cfg.Config.z - 1 do
-        if c <> r.my_cluster then
+        if c <> r.my_cluster && shares_with c then
           for i = 0 to fanout - 1 do
             let idx = (round + i) mod cfg.Config.n in
             let dst = Config.replica_id cfg ~cluster:c ~index:idx in
@@ -456,6 +463,7 @@ let create_replica (ctx : msg Ctx.t) =
       last_local_vc = Time.sub Time.zero (Time.sec 3600);
       shares_sent = 0;
       remote_vcs_triggered = 0;
+      share_filter = None;
     }
   in
   r_ref := Some r;
@@ -466,6 +474,7 @@ let create_replica (ctx : msg Ctx.t) =
 let engine r = r.engine
 let exec_round r = r.exec_round
 let remote_vcs_triggered r = r.remote_vcs_triggered
+let set_share_filter r filter = r.share_filter <- filter
 
 (* -- dispatch ----------------------------------------------------------------- *)
 

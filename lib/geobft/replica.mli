@@ -37,6 +37,14 @@ val remote_vcs_triggered : replica -> int
 (** Remote view-change requests this replica honored as a member of
     the suspected cluster (Figure 7, line 16-17). *)
 
+val set_share_filter : replica -> (round:int -> cluster:int -> bool) option -> unit
+(** Chaos/fault-injection hook: when a filter is installed, the
+    global-sharing step (Figure 5, line 1) only sends round ρ to
+    remote cluster [c] if [keep ~round ~cluster:c] — a Byzantine
+    primary equivocating by omission (Example 2.4 case 1), which the
+    remote view-change protocol must repair.  [None] restores honest
+    sharing. *)
+
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit
 val on_client_message : client -> src:int -> msg -> unit

@@ -106,3 +106,14 @@ let common_prefix a b =
   !i
 
 let is_prefix_of a b = a.len <= b.len && common_prefix a b = a.len
+
+(* Pairwise prefix agreement across a replica group: the safety
+   relation every experiment (and the chaos monitor, continuously)
+   checks.  Vacuously true for fewer than two ledgers. *)
+let agreement ledgers =
+  let rec pairs = function
+    | [] -> true
+    | a :: rest ->
+        List.for_all (fun b -> is_prefix_of a b || is_prefix_of b a) rest && pairs rest
+  in
+  pairs ledgers

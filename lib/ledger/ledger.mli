@@ -46,3 +46,8 @@ val common_prefix : t -> t -> int
 val is_prefix_of : t -> t -> bool
 (** The safety relation: non-faulty replicas' ledgers must always be
     prefixes of one another. *)
+
+val agreement : t list -> bool
+(** [agreement ledgers] iff every pair is prefix-compatible
+    ({!is_prefix_of} one way or the other) — the cross-replica safety
+    check of the failure drill and the chaos invariant monitor. *)

@@ -15,7 +15,17 @@
    - Failure injection: crashed nodes neither send nor receive; drop
      rules model Byzantine senders/receivers that silently discard
      traffic to or from selected peers (Example 2.4 of the paper);
-     region partitions sever all traffic between region pairs.
+     region partitions sever all traffic between region pairs.  Drop
+     rules carry an optional label so reversible faults (partitions,
+     single-link flaps) can be removed individually — the chaos
+     subsystem's heal/restore inverses.
+   - Degraded links: a per-directed-link loss probability silently
+     discards that fraction of traffic, and a per-link duplication
+     probability delivers a second copy shortly after the first
+     (retransmission storms, routing flaps).  Both draw from the
+     engine's RNG only when a rule is installed, so fault-free runs
+     consume an identical random stream to builds without this
+     machinery.
 
    The payload type is polymorphic: each deployment instantiates the
    network with its protocol's message type, so no serialization round
@@ -34,8 +44,12 @@ type 'm t = {
   wan_egress_mbps : float;
   wan_busy : Time.t array;
   crashed : bool array;
-  (* drop_rules: if any returns true the message is silently dropped *)
-  mutable drop_rules : (src:int -> dst:int -> bool) list;
+  (* drop_rules: if any returns true the message is silently dropped;
+     the label (if any) allows selective removal *)
+  mutable drop_rules : (string option * (src:int -> dst:int -> bool)) list;
+  (* (src, dst) -> probability; absent = healthy link *)
+  link_loss : (int * int, float) Hashtbl.t;
+  link_dup : (int * int, float) Hashtbl.t;
   jitter_ms : float;
   stats : Stats.t;
 }
@@ -52,6 +66,8 @@ let create ?(wan_egress_mbps = 0.) ~engine ~topo ~jitter_ms ~deliver () =
     wan_busy = Array.make n Time.zero;
     crashed = Array.make n false;
     drop_rules = [];
+    link_loss = Hashtbl.create 8;
+    link_dup = Hashtbl.create 8;
     jitter_ms;
     stats = Stats.create ();
   }
@@ -63,14 +79,46 @@ let crash t node = t.crashed.(node) <- true
 let recover t node = t.crashed.(node) <- false
 let is_crashed t node = t.crashed.(node)
 
-let add_drop_rule t rule = t.drop_rules <- rule :: t.drop_rules
+let add_drop_rule ?label t rule = t.drop_rules <- (label, rule) :: t.drop_rules
+
+let remove_drop_rules t ~label =
+  t.drop_rules <- List.filter (fun (l, _) -> l <> Some label) t.drop_rules
+
 let clear_drop_rules t = t.drop_rules <- []
 
-(* Sever all communication between two regions (both directions). *)
+let partition_label ~ra ~rb = Printf.sprintf "partition:%d:%d" (min ra rb) (max ra rb)
+
+(* Sever all communication between two regions (both directions);
+   reversed by [heal_regions] on the same pair. *)
 let partition_regions t ~ra ~rb =
-  add_drop_rule t (fun ~src ~dst ->
+  add_drop_rule ~label:(partition_label ~ra ~rb) t (fun ~src ~dst ->
       let rs = Topology.region_of t.topo src and rd = Topology.region_of t.topo dst in
       (rs = ra && rd = rb) || (rs = rb && rd = ra))
+
+let heal_regions t ~ra ~rb = remove_drop_rules t ~label:(partition_label ~ra ~rb)
+
+let link_label ~src ~dst = Printf.sprintf "link:%d:%d" src dst
+
+(* Sever one directed link (a link flap's down edge); reversed by
+   [restore_link]. *)
+let sever_link t ~src ~dst =
+  let s = src and d = dst in
+  add_drop_rule ~label:(link_label ~src ~dst) t (fun ~src ~dst -> src = s && dst = d)
+
+let restore_link t ~src ~dst = remove_drop_rules t ~label:(link_label ~src ~dst)
+
+(* Per-directed-link degradation.  [p <= 0] heals the link. *)
+let set_link_loss t ~src ~dst ~p =
+  if p <= 0. then Hashtbl.remove t.link_loss (src, dst)
+  else Hashtbl.replace t.link_loss (src, dst) (Float.min p 1.)
+
+let set_link_dup t ~src ~dst ~p =
+  if p <= 0. then Hashtbl.remove t.link_dup (src, dst)
+  else Hashtbl.replace t.link_dup (src, dst) (Float.min p 1.)
+
+let clear_link_rules t =
+  Hashtbl.reset t.link_loss;
+  Hashtbl.reset t.link_dup
 
 let transmission_ns ~size_bytes ~bw_mbps =
   (* Mbit/s -> bytes/ns: bw * 1e6 / 8 bytes per second = bw / 8e-3 per ns *)
@@ -79,10 +127,16 @@ let transmission_ns ~size_bytes ~bw_mbps =
 
 (* Send one message.  [size] is the wire size in bytes (headers and
    authentication tags included by the caller's sizing function). *)
+let lossy t ~src ~dst =
+  match Hashtbl.find_opt t.link_loss (src, dst) with
+  | None -> false
+  | Some p -> Rdb_prng.Rng.float (Engine.rng t.engine) < p
+
 let send t ~src ~dst ~size msg =
   if t.crashed.(src) then ()
-  else if List.exists (fun rule -> rule ~src ~dst) t.drop_rules then
+  else if List.exists (fun (_, rule) -> rule ~src ~dst) t.drop_rules then
     Stats.count_dropped t.stats ~size
+  else if lossy t ~src ~dst then Stats.count_dropped t.stats ~size
   else begin
     let now = Engine.now t.engine in
     let local = Topology.same_region t.topo src dst in
@@ -114,7 +168,16 @@ let send t ~src ~dst ~size msg =
     let arrive = Time.add depart (Time.add delay jitter) in
     ignore
       (Engine.schedule_at t.engine ~at:arrive (fun () ->
-           if not t.crashed.(dst) then t.deliver ~src ~dst msg))
+           if not t.crashed.(dst) then t.deliver ~src ~dst msg));
+    (* Duplication: deliver a second copy shortly after the first (a
+       retransmitted or re-routed frame); receivers must deduplicate. *)
+    (match Hashtbl.find_opt t.link_dup (src, dst) with
+    | Some p when Rdb_prng.Rng.float (Engine.rng t.engine) < p ->
+        let again = Time.add arrive (Time.of_ms_f 0.05) in
+        ignore
+          (Engine.schedule_at t.engine ~at:again (fun () ->
+               if not t.crashed.(dst) then t.deliver ~src ~dst msg))
+    | _ -> ())
   end
 
 let multicast t ~src ~dsts ~size msg = List.iter (fun dst -> send t ~src ~dst ~size msg) dsts

@@ -9,7 +9,10 @@
 
     Fault injection: crashed nodes neither send nor receive; drop rules
     silently discard matching traffic (Byzantine senders/receivers,
-    Example 2.4); partitions sever region pairs. *)
+    Example 2.4); partitions sever region pairs; per-directed-link loss
+    and duplication rates model degraded links.  Every fault has an
+    inverse ([recover], [heal_regions], [restore_link], a rate of 0),
+    so the chaos subsystem can schedule bounded fault windows. *)
 
 type 'm t
 (** A network carrying payloads of type ['m]. *)
@@ -33,11 +36,38 @@ val crash : 'm t -> int -> unit
 val recover : 'm t -> int -> unit
 val is_crashed : 'm t -> int -> bool
 
-val add_drop_rule : 'm t -> (src:int -> dst:int -> bool) -> unit
+val add_drop_rule : ?label:string -> 'm t -> (src:int -> dst:int -> bool) -> unit
+(** Install a rule that silently discards matching traffic.  A [label]
+    makes the rule individually removable with {!remove_drop_rules}. *)
+
+val remove_drop_rules : 'm t -> label:string -> unit
+(** Remove every drop rule carrying [label]; unlabeled rules stay. *)
+
 val clear_drop_rules : 'm t -> unit
 
 val partition_regions : 'm t -> ra:int -> rb:int -> unit
 (** Sever all traffic between two regions (both directions). *)
+
+val heal_regions : 'm t -> ra:int -> rb:int -> unit
+(** Inverse of {!partition_regions} on the same region pair. *)
+
+val sever_link : 'm t -> src:int -> dst:int -> unit
+(** Drop all traffic on one directed node pair (a link flap's down
+    edge); other rules and the reverse direction are unaffected. *)
+
+val restore_link : 'm t -> src:int -> dst:int -> unit
+(** Inverse of {!sever_link} on the same directed pair. *)
+
+val set_link_loss : 'm t -> src:int -> dst:int -> p:float -> unit
+(** Drop each message on the directed link with probability [p]
+    (clamped to 1); [p <= 0] heals the link.  Draws from the engine
+    RNG only while a rate is installed. *)
+
+val set_link_dup : 'm t -> src:int -> dst:int -> p:float -> unit
+(** Deliver a duplicate copy with probability [p]; [p <= 0] heals. *)
+
+val clear_link_rules : 'm t -> unit
+(** Drop every per-link loss/duplication rate. *)
 
 val stats : 'm t -> Stats.t
 val topology : 'm t -> Topology.t

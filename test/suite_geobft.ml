@@ -188,6 +188,33 @@ let prop_safety_across_seeds =
         ledgers;
       !ok && Ledger.length ledgers.(0) > 0)
 
+let test_rvc_replay_protection () =
+  (* Figure 7, line 16.4: a remote view-change request (f+1 distinct
+     signers of one cluster) is honored at most once per vc_count —
+     replaying the same signed requests must not trigger another local
+     view change. *)
+  let cfg = Itest.small_cfg ~z:2 ~n:4 () in
+  let d = Dep.create ~n_records:Itest.records cfg in
+  let target = Dep.replica d 1 in   (* cluster 0 backup: the suspected cluster *)
+  let send_rvc requester =
+    let payload =
+      Messages.rvc_payload ~failed_cluster:0 ~round:5 ~vc_count:1 ~requester
+    in
+    let signature = Rdb_crypto.Keychain.sign (Dep.keychain d) ~signer:requester payload in
+    Geo.on_message target ~src:requester
+      (Messages.Rvc { failed_cluster = 0; round = 5; vc_count = 1; requester; signature })
+  in
+  send_rvc 4;                       (* one signer of cluster 1: below f+1 *)
+  Alcotest.(check int) "f distinct signers are not enough" 0
+    (Geo.remote_vcs_triggered target);
+  send_rvc 5;                       (* second distinct signer reaches f+1 = 2 *)
+  Alcotest.(check int) "f+1 distinct signers honored once" 1
+    (Geo.remote_vcs_triggered target);
+  send_rvc 4;
+  send_rvc 5;                       (* byte-identical replay of both requests *)
+  Alcotest.(check int) "replayed request is not honored again" 1
+    (Geo.remote_vcs_triggered target)
+
 let suite =
   [
     ("normal case", `Quick, test_normal_case);
@@ -196,6 +223,7 @@ let suite =
     ("certified ledger", `Quick, test_certified_ledger);
     ("no-op rounds for idle cluster", `Quick, test_noop_rounds_for_idle_cluster);
     ("remote view change (Example 2.4 case 1)", `Slow, test_remote_view_change_on_byzantine_sender);
+    ("remote view-change replay protection", `Quick, test_rvc_replay_protection);
     ("receiver drops are harmless (f+1 fan-out)", `Quick, test_receiving_replica_drops_are_harmless);
     ("local primary failure", `Slow, test_local_primary_failure);
     ("f failures per cluster", `Quick, test_f_failures_per_cluster);

@@ -213,6 +213,65 @@ let test_network_stats_local_global () =
   Alcotest.(check int) "local bytes" 100 (Rdb_sim.Stats.local_bytes s);
   Alcotest.(check int) "global bytes" 200 (Rdb_sim.Stats.global_bytes s)
 
+(* -- Network fault reversibility (the chaos substrate) ------------------ *)
+
+let test_network_recover_and_clear_rules () =
+  let engine, net, p = mk_net ~z:2 ~n:2 () in
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();
+  (* dst-crash is checked at delivery time, so drain the in-flight
+     message while the node is still down *)
+  Engine.run engine;
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();   (* delivered again *)
+  Network.add_drop_rule net ~label:"blackout" (fun ~src ~dst:_ -> src = 0);
+  Network.send net ~src:0 ~dst:2 ~size:100 ();   (* dropped by rule *)
+  Network.clear_drop_rules net;
+  Network.send net ~src:0 ~dst:2 ~size:100 ();   (* delivered again *)
+  Engine.run engine;
+  Alcotest.(check int) "delivery restored after recover and clear" 2
+    (List.length p.arrivals)
+
+let test_network_partition_heal () =
+  let engine, net, p = mk_net ~z:2 ~n:1 () in
+  Network.partition_regions net ~ra:0 ~rb:1;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();
+  (* heal_regions is the exact inverse, insensitive to argument order *)
+  Network.heal_regions net ~ra:1 ~rb:0;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();
+  Network.send net ~src:1 ~dst:0 ~size:100 ();
+  Engine.run engine;
+  Alcotest.(check int) "both directions flow after heal" 2 (List.length p.arrivals)
+
+let test_network_link_flap () =
+  let engine, net, p = mk_net ~z:2 ~n:2 () in
+  Network.sever_link net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();   (* dropped *)
+  Network.send net ~src:1 ~dst:0 ~size:100 ();   (* reverse direction unaffected *)
+  Network.restore_link net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();   (* delivered *)
+  Engine.run engine;
+  Alcotest.(check int) "sever is directed and restorable" 2 (List.length p.arrivals)
+
+let test_network_loss_and_dup () =
+  let engine, net, p = mk_net ~z:2 ~n:2 () in
+  Network.set_link_loss net ~src:0 ~dst:1 ~p:1.0;
+  Network.send net ~src:0 ~dst:1 ~size:100 ();   (* certainly lost *)
+  Network.set_link_loss net ~src:0 ~dst:1 ~p:0.; (* p<=0 removes the rule *)
+  Network.send net ~src:0 ~dst:1 ~size:100 ();   (* delivered *)
+  Network.set_link_dup net ~src:2 ~dst:3 ~p:1.0;
+  Network.send net ~src:2 ~dst:3 ~size:100 ();   (* delivered twice *)
+  Network.set_link_dup net ~src:2 ~dst:3 ~p:0.;
+  Network.send net ~src:2 ~dst:3 ~size:100 ();   (* delivered once *)
+  Engine.run engine;
+  let deliveries_to d =
+    List.length (List.filter (fun (_, d', _) -> d' = d) p.arrivals)
+  in
+  Alcotest.(check int) "p=1 loss drops, p=0 clears" 1 (deliveries_to 1);
+  Alcotest.(check int) "p=1 dup doubles, p=0 clears" 3 (deliveries_to 3);
+  Alcotest.(check int) "lost message counted as dropped" 1
+    (Rdb_sim.Stats.dropped_msgs (Network.stats net))
+
 (* -- CPU ------------------------------------------------------------------------- *)
 
 let test_cpu_stage_serialization () =
@@ -265,6 +324,10 @@ let suite =
     ("network parallel uplinks", `Quick, test_network_parallel_uplinks);
     ("network crash and drop", `Quick, test_network_crash_and_drop);
     ("network partition", `Quick, test_network_partition);
+    ("network recover and clear rules", `Quick, test_network_recover_and_clear_rules);
+    ("network partition heal", `Quick, test_network_partition_heal);
+    ("network link flap", `Quick, test_network_link_flap);
+    ("network loss and duplication", `Quick, test_network_loss_and_dup);
     ("network stats", `Quick, test_network_stats_local_global);
     ("cpu stage serialization", `Quick, test_cpu_stage_serialization);
     ("cpu fast path", `Quick, test_cpu_fast_path_and_accounting);

@@ -22,6 +22,8 @@ let () =
       ("hotstuff", Suite_hotstuff.suite);
       ("steward", Suite_steward.suite);
       ("fabric", Suite_fabric.suite);
+      ("integration", Itest.suite);
       ("experiments", Suite_experiments.suite);
       ("byzantine", Suite_byzantine.suite);
+      ("chaos", Suite_chaos.suite);
     ]
