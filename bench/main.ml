@@ -18,14 +18,65 @@ module Figures = Rdb_experiments.Figures
 module Tables = Rdb_experiments.Tables
 module Ablations = Rdb_experiments.Ablations
 module Config = Rdb_types.Config
+module Report = Rdb_fabric.Report
 
 let say fmt = Printf.printf fmt
 
-let timed name f =
+(* -- machine-readable results (BENCH_results.json) ------------------------ *)
+
+(* Every artifact run is recorded as its wall time plus the labeled
+   deployment reports it produced, and the whole session is written to
+   BENCH_results.json so the perf trajectory is diffable across PRs. *)
+type artifact = { a_name : string; a_wall_s : float; a_runs : (string * Report.t) list }
+
+let artifacts : artifact list ref = ref []
+
+let record name wall runs =
+  artifacts := { a_name = name; a_wall_s = wall; a_runs = runs } :: !artifacts
+
+let timed name ?(runs = fun _ -> []) f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  say "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  let wall = Unix.gettimeofday () -. t0 in
+  say "[%s done in %.1fs]\n%!" name wall;
+  record name wall (runs r);
   r
+
+let json_of_run (label, (r : Report.t)) =
+  Printf.sprintf
+    "{\"label\":%S,\"protocol\":%S,\"z\":%d,\"n\":%d,\"batch_size\":%d,\
+     \"throughput_txn_s\":%.1f,\"avg_latency_ms\":%.3f,\"p50_latency_ms\":%.3f,\
+     \"p95_latency_ms\":%.3f,\"p99_latency_ms\":%.3f,\"completed_txns\":%d,\
+     \"view_changes\":%d,\"state_transfers\":%d,\"holes_filled\":%d,\
+     \"retransmissions\":%d}"
+    label r.Report.protocol r.Report.z r.Report.n r.Report.batch_size
+    r.Report.throughput_txn_s r.Report.avg_latency_ms r.Report.p50_latency_ms
+    r.Report.p95_latency_ms r.Report.p99_latency_ms r.Report.completed_txns
+    r.Report.view_changes r.Report.state_transfers r.Report.holes_filled
+    r.Report.retransmissions
+
+let write_results ~windows () =
+  let oc = open_out "BENCH_results.json" in
+  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"generated_unix\": %.0f,\n" (Unix.time ());
+  Printf.fprintf oc "  \"windows\": {\"warmup_s\": %.1f, \"measure_s\": %.1f},\n"
+    (Rdb_sim.Time.to_sec_f windows.Runner.warmup)
+    (Rdb_sim.Time.to_sec_f windows.Runner.measure);
+  Printf.fprintf oc "  \"artifacts\": [\n";
+  let arts = List.rev !artifacts in
+  List.iteri
+    (fun i a ->
+      Printf.fprintf oc "    {\"name\":%S, \"wall_s\":%.2f, \"runs\":[" a.a_name a.a_wall_s;
+      List.iteri
+        (fun j run ->
+          if j > 0 then output_string oc ",";
+          Printf.fprintf oc "\n      %s" (json_of_run run))
+        a.a_runs;
+      if a.a_runs <> [] then output_string oc "\n    ";
+      Printf.fprintf oc "]}%s\n" (if i < List.length arts - 1 then "," else ""))
+    arts;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  say "wrote BENCH_results.json (%d artifacts)\n%!" (List.length arts)
 
 (* -- Bechamel micro-benchmarks ----------------------------------------------- *)
 
@@ -93,37 +144,96 @@ let run_micro () =
 
 let windows_ref = ref Runner.default_windows
 
+let figure_runs prefix rows =
+  List.map
+    (fun (r : Figures.row) ->
+      (Printf.sprintf "%s%s@%d" prefix (Runner.proto_name r.Figures.proto) r.Figures.x,
+       r.Figures.report))
+    rows
+
 let run_table1 () = timed "table1" (fun () -> Tables.Table1.print ())
 
 let run_table2 () =
-  timed "table2" (fun () ->
+  timed "table2"
+    ~runs:(List.map (fun (p, report) -> (Runner.proto_name p, report)))
+    (fun () ->
       let rows = Tables.Table2.run ~windows:!windows_ref () in
-      Tables.Table2.print rows)
+      Tables.Table2.print rows;
+      rows)
 
 let run_fig10 () =
-  timed "fig10" (fun () ->
+  timed "fig10" ~runs:(figure_runs "") (fun () ->
       let rows = Figures.Fig10.run ~windows:!windows_ref () in
-      Figures.Fig10.print rows)
+      Figures.Fig10.print rows;
+      rows)
 
 let run_fig11 () =
-  timed "fig11" (fun () ->
+  timed "fig11" ~runs:(figure_runs "") (fun () ->
       let rows = Figures.Fig11.run ~windows:!windows_ref () in
-      Figures.Fig11.print rows)
+      Figures.Fig11.print rows;
+      rows)
 
 let run_fig12 () =
-  timed "fig12" (fun () ->
+  timed "fig12"
+    ~runs:(fun (one, ff, pf) ->
+      figure_runs "one-failure:" one
+      @ figure_runs "f-failures:" ff
+      @ figure_runs "primary-failure:" pf)
+    (fun () ->
       let one = Figures.Fig12.run_one_failure ~windows:!windows_ref () in
       let ff = Figures.Fig12.run_f_failures ~windows:!windows_ref () in
       let pf = Figures.Fig12.run_primary_failure ~windows:!windows_ref () in
-      Figures.Fig12.print ~one ~ff ~pf)
+      Figures.Fig12.print ~one ~ff ~pf;
+      (one, ff, pf))
 
 let run_ablations () =
-  timed "ablations" (fun () -> Ablations.run_all ~windows:!windows_ref ())
+  timed "ablations"
+    ~runs:(fun (a, b, c, d) ->
+      List.concat_map
+        (fun (r : Ablations.Fanout.row) ->
+          [
+            (Printf.sprintf "fanout:%s:healthy" r.Ablations.Fanout.label,
+             r.Ablations.Fanout.healthy);
+            (Printf.sprintf "fanout:%s:one-receiver-down" r.Ablations.Fanout.label,
+             r.Ablations.Fanout.one_receiver_down);
+          ])
+        a
+      @ List.map
+          (fun (r : Ablations.Pipeline.row) ->
+            (Printf.sprintf "pipeline:depth=%d" r.Ablations.Pipeline.depth,
+             r.Ablations.Pipeline.report))
+          b
+      @ List.map
+          (fun (r : Ablations.Crypto_split.row) ->
+            (Printf.sprintf "crypto:%s" r.Ablations.Crypto_split.label,
+             r.Ablations.Crypto_split.report))
+          c
+      @ List.concat_map
+          (fun (r : Ablations.Threshold_certs.row) ->
+            [
+              (Printf.sprintf "certs:n=%d:plain" r.Ablations.Threshold_certs.n,
+               r.Ablations.Threshold_certs.plain);
+              (Printf.sprintf "certs:n=%d:threshold" r.Ablations.Threshold_certs.n,
+               r.Ablations.Threshold_certs.threshold);
+            ])
+          d)
+    (fun () ->
+      let windows = !windows_ref in
+      let a = Ablations.Fanout.run ~windows () in
+      Ablations.Fanout.print a;
+      let b = Ablations.Pipeline.run ~windows () in
+      Ablations.Pipeline.print b;
+      let c = Ablations.Crypto_split.run ~windows () in
+      Ablations.Crypto_split.print c;
+      let d = Ablations.Threshold_certs.run ~windows () in
+      Ablations.Threshold_certs.print d;
+      (a, b, c, d))
 
 let run_fig13 () =
-  timed "fig13" (fun () ->
+  timed "fig13" ~runs:(figure_runs "") (fun () ->
       let rows = Figures.Fig13.run ~windows:!windows_ref () in
-      Figures.Fig13.print rows)
+      Figures.Fig13.print rows;
+      rows)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -141,12 +251,13 @@ let () =
   List.iter
     (function
       | "table1" -> run_table1 ()
-      | "table2" -> run_table2 ()
-      | "fig10" -> run_fig10 ()
-      | "fig11" -> run_fig11 ()
-      | "fig12" -> run_fig12 ()
-      | "fig13" -> run_fig13 ()
-      | "ablations" -> run_ablations ()
-      | "micro" -> run_micro ()
+      | "table2" -> ignore (run_table2 ())
+      | "fig10" -> ignore (run_fig10 ())
+      | "fig11" -> ignore (run_fig11 ())
+      | "fig12" -> ignore (run_fig12 ())
+      | "fig13" -> ignore (run_fig13 ())
+      | "ablations" -> ignore (run_ablations ())
+      | "micro" -> timed "micro" run_micro
       | other -> say "unknown target %S (expected table1 table2 fig10..fig13 micro)\n" other)
-    targets
+    targets;
+  write_results ~windows:!windows_ref ()

@@ -80,6 +80,7 @@ let run_cmd =
     let t0 = Unix.gettimeofday () in
     let report = Runner.run_proto protocol ~windows ~fault cfg in
     Printf.printf "%s\n" (Report.to_string report);
+    Printf.printf "%s\n" (Format.asprintf "%a" Report.pp_recovery report);
     Printf.printf "(simulated %ds in %.1fs of wall-clock time)\n" (warmup + measure)
       (Unix.gettimeofday () -. t0)
   in

@@ -92,6 +92,7 @@ module Report = Rdb_fabric.Report
 
 (* Chaos fault injection + invariant monitoring *)
 module Chaos = Rdb_chaos.Chaos
+module Recovery = Rdb_recovery.Recovery
 
 (* Paper evaluation *)
 module Experiments = struct

@@ -93,22 +93,27 @@ end
      may partition and heal, links may flap/lose/duplicate, and a
      Byzantine primary may equivocate at the sharing step;
    - Pbft recovers from message loss and severed links through its
-     view-change timer, but a crashed-and-recovered replica gets no
-     state transfer: view-change rotation eventually elects the stale
-     replica primary and the view wedges, so crashes are off its menu;
+     view-change timer, and — since the lib/recovery checkpoint
+     state-transfer layer — any replica (the primary included) may
+     crash and rejoin: it pulls the stable-checkpoint anchor plus the
+     missing ledger suffix from f+1 agreeing peers and adopts the
+     group's view;
    - Zyzzyva has no view change at all: node 0 is not crashable;
      backup crashes and link faults push clients onto the
-     commit-certificate slow path, which recovers;
+     commit-certificate slow path, which recovers (kept as-is,
+     faithful to the paper's Zyzzyva);
    - HotStuff replicas interleave independent instance logs
      (agreement is per-executed-batch-set with in-flight slack rather
-     than prefix equality) and have no catch-up layer: a crash or a
-     lossy/severed link leaves permanent holes in the victim's
-     executed set, so only duplication — which must be absorbed
-     idempotently — is injected;
+     than prefix equality); the lib/recovery hole-filling layer
+     detects per-instance gaps and refetches decided batches with
+     backoff, so severed and lossy links now heal — crashes stay off
+     the menu (a crashed leader's own instance legitimately stalls);
    - Steward's inter-site traffic is threshold-signed shares routed
-     through site representatives with no retransmission: dropping
-     them stalls the site protocol permanently, so only
-     non-representative crashes are injected. *)
+     through site representatives; the lib/recovery stall task
+     re-proposes, re-accepts, re-forwards and catch-up-fetches with
+     backoff + jitter, so link outages, loss and duplication on the
+     representative channel now heal alongside non-representative
+     crashes. *)
 let chaos_profile (p : proto) (cfg : Config.t) :
     Chaos.caps * Chaos.agreement_mode * float =
   let everyone _ = true in
@@ -120,7 +125,7 @@ let chaos_profile (p : proto) (cfg : Config.t) :
         Chaos.Prefix,
         8000. )
   | Pbft ->
-      ( { Chaos.crashable = nobody; partitions = false; link_down = true;
+      ( { Chaos.crashable = everyone; partitions = false; link_down = true;
           link_loss = true; link_dup = true; equivocation = false },
         Chaos.Prefix,
         6000. )
@@ -131,14 +136,14 @@ let chaos_profile (p : proto) (cfg : Config.t) :
         Chaos.Prefix,
         6000. )
   | Hotstuff ->
-      ( { Chaos.crashable = nobody; partitions = false; link_down = false;
-          link_loss = false; link_dup = true; equivocation = false },
+      ( { Chaos.crashable = nobody; partitions = false; link_down = true;
+          link_loss = true; link_dup = true; equivocation = false },
         Chaos.Eventual_set 256,
         6000. )
   | Steward ->
       ( { Chaos.crashable = (fun v -> v mod cfg.Config.n <> 0);
-          partitions = false; link_down = false; link_loss = false;
-          link_dup = false; equivocation = false },
+          partitions = false; link_down = true; link_loss = true;
+          link_dup = true; equivocation = false },
         Chaos.Prefix,
         6000. )
 

@@ -119,6 +119,18 @@ module Make (P : Protocol.S) = struct
             on_done ()
           end)
     in
+    let ledger_read ~height =
+      if is_replica then begin
+        (* A recovering requester may be ahead of this peer: clamp so a
+           fetch past our frontier reads as the empty suffix. *)
+        let ledger = t.ledgers.(node) in
+        let height = max 0 (min height (Ledger.length ledger)) in
+        List.map
+          (fun (b : Rdb_ledger.Block.t) -> (b.Rdb_ledger.Block.batch, b.Rdb_ledger.Block.cert))
+          (Ledger.read_from ledger ~height)
+      end
+      else []
+    in
     let complete (batch : Batch.t) =
       let now = Engine.now t.engine in
       Metrics.record_completion t.metrics ~now ~txns:(Array.length batch.Batch.txns)
@@ -143,6 +155,7 @@ module Make (P : Protocol.S) = struct
       set_timer;
       cancel_timer = Engine.cancel;
       execute;
+      ledger_read;
       complete = (if is_replica then fun _ -> () else complete);
       trace;
     }
@@ -264,9 +277,21 @@ module Make (P : Protocol.S) = struct
     Network.crash t.net node
 
   (* Un-crash a node: it resumes sending/receiving with the state it
-     had at crash time (a crash-recover fault; protocol-level catch-up
-     — DRVC pulls, client retransmission — is the protocol's job). *)
+     had at crash time.  Timers armed before the crash were dropped
+     while the node was down, so the protocol's [on_recover] hook runs
+     to restart its self-rearming tasks and kick off state transfer /
+     catch-up. *)
   let recover_replica t node =
+    t.crashed.(node) <- false;
+    Network.recover t.net node;
+    match t.nodes.(node) with
+    | Replica r -> P.on_recover r
+    | Client _ -> ()
+
+  (* Test hook: rejoin WITHOUT the protocol's [on_recover] — the
+     pre-recovery-subsystem behaviour, kept so the chaos monitor can be
+     shown to still catch a recovery-disabled run. *)
+  let uncrash_replica_no_recovery t node =
     t.crashed.(node) <- false;
     Network.recover t.net node
 
@@ -315,6 +340,15 @@ module Make (P : Protocol.S) = struct
       t.nodes;
     !acc
 
+  (* Recovery-subsystem totals across all replicas. *)
+  let recovery_totals t =
+    Array.fold_left
+      (fun acc node ->
+        match node with
+        | Replica r -> Protocol.add_recovery acc (P.recovery r)
+        | Client _ -> acc)
+      Protocol.no_recovery t.nodes
+
   let run ?(warmup = Time.sec 15) ?(measure = Time.sec 45) (t : t) : Report.t =
     start_clients t;
     Engine.run_until t.engine ~until:warmup;
@@ -344,6 +378,9 @@ module Make (P : Protocol.S) = struct
       local_mb = float_of_int d.Stats.l_bytes /. 1e6;
       global_mb = float_of_int d.Stats.g_bytes /. 1e6;
       view_changes = view_changes t - vc_before;
+      state_transfers = (recovery_totals t).Protocol.state_transfers;
+      holes_filled = (recovery_totals t).Protocol.holes_filled;
+      retransmissions = (recovery_totals t).Protocol.retransmissions;
       window_sec = Metrics.window_sec t.metrics;
     }
 end

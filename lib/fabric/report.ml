@@ -18,6 +18,12 @@ type t = {
   local_mb : float;
   global_mb : float;
   view_changes : int;
+  (* Recovery-subsystem totals over the whole run (all replicas):
+     checkpoint state transfers installed, execution holes filled by
+     catch-up fetches, timeout-driven retransmissions. *)
+  state_transfers : int;
+  holes_filled : int;
+  retransmissions : int;
   window_sec : float;
 }
 
@@ -33,5 +39,10 @@ let pp fmt t =
     "%-9s z=%d n=%-2d batch=%-3d | %10.0f txn/s | lat avg %7.1f ms p50 %7.1f p99 %7.1f | msgs/dec local %7.1f global %6.1f | vc %d"
     t.protocol t.z t.n t.batch_size t.throughput_txn_s t.avg_latency_ms t.p50_latency_ms
     t.p99_latency_ms (local_msgs_per_decision t) (global_msgs_per_decision t) t.view_changes
+
+let pp_recovery fmt t =
+  Format.fprintf fmt
+    "recovery: state transfers %d | holes filled %d | retransmissions %d"
+    t.state_transfers t.holes_filled t.retransmissions
 
 let to_string t = Format.asprintf "%a" pp t

@@ -20,6 +20,9 @@ type t = {
   local_mb : float;
   global_mb : float;
   view_changes : int;
+  state_transfers : int;   (** checkpoint state transfers installed *)
+  holes_filled : int;      (** execution holes filled by catch-up *)
+  retransmissions : int;   (** timeout-driven protocol retransmissions *)
   window_sec : float;
 }
 
@@ -29,4 +32,8 @@ val local_msgs_per_decision : t -> float
 val global_msgs_per_decision : t -> float
 
 val pp : Format.formatter -> t -> unit
+
+val pp_recovery : Format.formatter -> t -> unit
+(** One-line summary of the recovery-subsystem counters. *)
+
 val to_string : t -> string

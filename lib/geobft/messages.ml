@@ -39,6 +39,16 @@ type msg =
   | Reply of { batch_id : int; result_digest : string; primary : int }
       (* [primary]: the replier's current local primary — clients use
          it to re-aim new requests after a view change. *)
+  (* Crash-rejoin catch-up (lib/recovery): a recovering replica asks a
+     local peer for its ledger suffix from height [from]; the peer
+     answers with the blocks (and its engine view, so an ex-primary
+     stops proposing into a dead view). *)
+  | Fetch_rounds of { from : int }
+  | Round_data of {
+      from : int;
+      eng_view : int;
+      blocks : (Batch.t * Certificate.t option) list;
+    }
 
 let rvc_payload ~failed_cluster ~round ~vc_count ~requester =
   Printf.sprintf "rvc:%d:%d:%d:%d" failed_cluster round vc_count requester
@@ -50,3 +60,5 @@ let kind = function
   | Drvc _ -> "drvc"
   | Rvc _ -> "rvc"
   | Reply _ -> "reply"
+  | Fetch_rounds _ -> "fetch-rounds"
+  | Round_data _ -> "round-data"

@@ -22,6 +22,13 @@ type msg =
   | Drvc of { failed_cluster : int; round : int; vc_count : int }
   | Rvc of rvc
   | Reply of { batch_id : int; result_digest : string; primary : int }
+  | Fetch_rounds of { from : int }
+      (** Crash-rejoin: ask a local peer for the ledger suffix. *)
+  | Round_data of {
+      from : int;
+      eng_view : int;
+      blocks : (Batch.t * Certificate.t option) list;
+    }
 
 val rvc_payload : failed_cluster:int -> round:int -> vc_count:int -> requester:int -> string
 (** The signed payload of an RVC request (Figure 7, line 13). *)

@@ -40,6 +40,7 @@ module Time = Rdb_sim.Time
 module Cpu = Rdb_sim.Cpu
 module Keychain = Rdb_crypto.Keychain
 module Engine = Rdb_pbft.Engine
+module Recovery = Rdb_recovery.Recovery
 open Messages
 
 let name = "GeoBFT"
@@ -80,7 +81,18 @@ type replica = {
      to remote cluster c if the filter allows it — a Byzantine primary
      equivocating by omission (Example 2.4 case 1). *)
   mutable share_filter : (round:int -> cluster:int -> bool) option;
+  (* Crash-rejoin catch-up (lib/recovery): ledger appends issued /
+     completed, and the state-transfer task pulling the missing ledger
+     suffix from local peers. *)
+  mutable issued : int;
+  mutable appended : int;
+  mutable recovering : bool;
+  stats : Recovery.Stats.t;
+  mutable task : Recovery.Task.t option;
 }
+
+(* Blocks per catch-up reply, so one message stays bounded. *)
+let catchup_chunk = 96
 
 (* -- sizes and verification costs -------------------------------------- *)
 
@@ -93,6 +105,10 @@ let size_of cfg = function
   | Global_share _ -> share_size cfg
   | Drvc _ | Rvc _ -> Wire.small
   | Reply _ -> Wire.response_bytes ~batch_size:cfg.Config.batch_size
+  | Fetch_rounds _ -> Wire.fetch_bytes
+  | Round_data { blocks; _ } ->
+      Wire.snapshot_bytes ~batch_size:cfg.Config.batch_size
+        ~sigs:(Config.cert_wire_sigs cfg) ~blocks:(List.length blocks)
 
 (* Receiver floor only: certificate signatures are verified once per
    *new* certificate on the certify thread (deduplication is a cheap
@@ -104,6 +120,11 @@ let vcost_of cfg m =
       Time.add
         (Config.recv_floor_cost cfg ~bytes:Wire.small)
         (Config.verify_cost cfg)
+  | Round_data { blocks; _ } ->
+      (* The requester verifies one certificate per block. *)
+      Time.add
+        (Config.recv_floor_cost cfg ~bytes:(size_of cfg m))
+        (Time.of_us_f (cfg.Config.costs.Config.verify_us *. float_of_int (max 1 (List.length blocks))))
   | m -> Config.recv_floor_cost cfg ~bytes:(size_of cfg m)
 
 let send r ~dst m = r.ctx.Ctx.send ~dst ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
@@ -119,7 +140,11 @@ let broadcast_local r m =
    in cluster order.  The execute thread is serialized by the CPU
    model, so we drive one round at a time and re-check afterwards. *)
 let rec try_execute r =
-  if not r.exec_busy then begin
+  (* While recovering, the ledger may sit mid-round (the crash dropped
+     part of an exec chain); executing the next round would append at
+     the wrong heights and diverge from honest ledgers.  Catch-up
+     (install_rounds) re-aligns the cursor and clears the flag. *)
+  if (not r.exec_busy) && not r.recovering then begin
     let round = r.exec_round in
     let ready =
       Array.for_all (fun tr -> Hashtbl.mem tr.certified round) r.tracks
@@ -154,7 +179,9 @@ and exec_batches r round = function
         r.tracks;
       try_execute r
   | (batch, cert) :: rest ->
+      r.issued <- r.issued + 1;
       r.ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
+          r.appended <- r.appended + 1;
           (* Inform only local clients (§2.4). *)
           (if (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster then
              let result_digest = Rdb_crypto.Sha256.digest_list [ "result"; batch.Batch.digest ] in
@@ -379,6 +406,73 @@ and accept_share r ~src ~round (batch : Batch.t) (cert : Certificate.t) =
     then ()
   end
 
+(* -- crash-rejoin catch-up (lib/recovery) --------------------------------- *)
+
+(* Ledger height h holds round h/z, cluster h mod z: the fabric appends
+   in execute-call order and exec_batches walks clusters in order.  A
+   rejoining replica therefore pulls the missing suffix with a plain
+   ledger read on any local-cluster peer; remote-cluster track entries
+   are discarded right after execution, so the ledger is the only place
+   old rounds survive. *)
+
+let send_catchup_fetch r ~attempt =
+  let peers = List.filter (fun i -> i <> r.ctx.Ctx.id) (local_members r) in
+  match peers with
+  | [] -> ()
+  | peers ->
+      let dst = List.nth peers (attempt mod List.length peers) in
+      send r ~dst (Fetch_rounds { from = r.issued })
+
+let serve_rounds r ~src ~from =
+  let blocks = r.ctx.Ctx.ledger_read ~height:from in
+  let blocks = List.filteri (fun i _ -> i < catchup_chunk) blocks in
+  (* Always answer, even when empty: an empty reply tells the requester
+     it has reached our executed frontier. *)
+  send r ~dst:src (Round_data { from; eng_view = Engine.view r.engine; blocks })
+
+let install_rounds r ~from ~eng_view blocks =
+  if r.recovering && (not r.exec_busy) && from = r.issued then begin
+    let z = r.cfg.Config.z in
+    let len = List.length blocks in
+    (* Install only complete rounds: a partial round would collide with
+       the round-at-a-time normal path once the frontier resumes. *)
+    let usable = ((from + len) / z * z) - from in
+    let filled = ref 0 in
+    (* note_external_commit can synchronously unblock queued local
+       commits whose on_committed handler calls try_execute; hold
+       exec_busy so the normal path cannot interleave mid-install. *)
+    r.exec_busy <- true;
+    List.iteri
+      (fun i (batch, cert) ->
+        if i < usable then begin
+          let h = from + i in
+          r.issued <- r.issued + 1;
+          incr filled;
+          if h mod z = r.my_cluster then
+            ignore (Engine.note_external_commit r.engine ~seq:(h / z) batch);
+          r.ctx.Ctx.execute batch ~cert ~on_done:(fun () -> r.appended <- r.appended + 1)
+        end)
+      blocks;
+    r.exec_busy <- false;
+    if !filled > 0 then begin
+      Recovery.Stats.note_holes r.stats !filled;
+      Recovery.Stats.note_state_transfer r.stats
+    end;
+    (* [usable] ends on a round boundary, so the cursor division is
+       exact; a dropped exec chain may have left exec_round ahead. *)
+    r.exec_round <- max r.exec_round (r.issued / z);
+    Engine.adopt_view r.engine ~view:eng_view;
+    if len < catchup_chunk then begin
+      (* The peer's ledger is exhausted: we are at its executed
+         frontier.  Resume the normal path; any residual gap to the
+         live frontier heals via shares and DRVC re-serving. *)
+      r.recovering <- false;
+      update_detection_timers r;
+      try_execute r
+    end
+    else send_catchup_fetch r ~attempt:0
+  end
+
 (* -- construction ------------------------------------------------------------ *)
 
 let create_replica (ctx : msg Ctx.t) =
@@ -464,9 +558,27 @@ let create_replica (ctx : msg Ctx.t) =
       shares_sent = 0;
       remote_vcs_triggered = 0;
       share_filter = None;
+      issued = 0;
+      appended = 0;
+      recovering = false;
+      stats = Recovery.Stats.create ();
+      task = None;
     }
   in
   r_ref := Some r;
+  r.task <-
+    Some
+      (Recovery.Task.create
+         ~set_timer:(fun ~delay k -> ignore (ctx.Ctx.set_timer ~delay k))
+         ~rng:ctx.Ctx.rng
+         ~base:(Time.of_ms_f cfg.Config.local_timeout_ms)
+         ~cap:(Time.of_ms_f (8. *. cfg.Config.local_timeout_ms))
+         ~needed:(fun () -> r.recovering)
+         ~progress:(fun () -> r.issued)
+         ~fire:(fun ~attempt ->
+           Recovery.Stats.note_retransmit r.stats;
+           send_catchup_fetch r ~attempt)
+         ());
   (* Failure detection is armed from the start of round 0. *)
   update_detection_timers r;
   r
@@ -496,6 +608,9 @@ let on_message (r : replica) ~src (m : msg) =
         record_drvc r tr ~src_local:(Config.local_index r.cfg src) ~round ~v:vc_count
       end
   | Rvc rvc -> handle_rvc r rvc ~src
+  | Fetch_rounds { from } ->
+      if Config.cluster_of_replica r.cfg src = r.my_cluster then serve_rounds r ~src ~from
+  | Round_data { from; eng_view; blocks } -> install_rounds r ~from ~eng_view blocks
   | Reply _ -> ()
 
 (* -- client agent --------------------------------------------------------------- *)
@@ -531,3 +646,28 @@ let on_client_message (c : client) ~src (m : msg) =
   | _ -> ()
 
 let view_changes (r : replica) = Engine.n_view_changes r.engine
+
+(* -- crash-recover hook --------------------------------------------------- *)
+
+let on_recover (r : replica) =
+  Engine.on_recover r.engine;
+  (* Timer callbacks and exec continuations were dropped at fire time
+     while crashed: the exec chain wedges exec_busy, the detection
+     timers hold dead handles, and in-flight executes lost their
+     ledger appends. *)
+  r.exec_busy <- false;
+  r.issued <- r.appended;
+  Array.iter
+    (fun tr ->
+      (match tr.detect_timer with
+      | Some h -> r.ctx.Ctx.cancel_timer h
+      | None -> ());
+      tr.detect_timer <- None;
+      tr.timeout <- Time.of_ms_f r.cfg.Config.remote_timeout_ms)
+    r.tracks;
+  r.recovering <- true;
+  send_catchup_fetch r ~attempt:0;
+  (match r.task with Some task -> Recovery.Task.start task | None -> ());
+  update_detection_timers r
+
+let recovery (r : replica) = Recovery.Stats.to_protocol r.stats

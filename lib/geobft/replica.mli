@@ -27,6 +27,14 @@ val create_replica : msg Ctx.t -> replica
 val on_message : replica -> src:int -> msg -> unit
 val view_changes : replica -> int
 
+val on_recover : replica -> unit
+(** Crash-rejoin: unwedge the dropped exec chain and detection timers,
+    then catch up by pulling the missing ledger suffix (complete rounds
+    only) from local-cluster peers with backoff until back at an
+    executed frontier. *)
+
+val recovery : replica -> Rdb_types.Protocol.recovery_stats
+
 val engine : replica -> Engine.t
 (** This replica's local-replication Pbft engine. *)
 

@@ -32,6 +32,7 @@ module Client_core = Rdb_types.Client_core
 module Time = Rdb_sim.Time
 module Cpu = Rdb_sim.Cpu
 module Sha256 = Rdb_crypto.Sha256
+module Recovery = Rdb_recovery.Recovery
 
 let name = "HotStuff"
 
@@ -52,6 +53,13 @@ type msg =
      justified by n − f votes of the previous phase. *)
   | Qc of { inst : int; height : int; phase : phase; digest : string }
   | Reply of { batch_id : int; result_digest : string }
+  (* Hole-filling catch-up (lib/recovery): a replica whose instance
+     execution stalled behind the heights it can see fetches the
+     missing decided batches; any replica that executed them serves
+     the fill.  This is what heals instances after link outages, which
+     otherwise leave permanent holes (DESIGN.md Â§8). *)
+  | Fetch of { inst : int; heights : int list }
+  | Filled of { inst : int; height : int; batch : Batch.t }
 
 (* Per-(instance, height) consensus state. *)
 type slot = {
@@ -68,6 +76,11 @@ type inst_state = {
   mutable decided_below : int;           (* leader: heights decided (window) *)
   slots : (int, slot) Hashtbl.t;
   mutable next_exec : int;               (* executing this instance in order *)
+  mutable max_seen : int;                (* highest height seen proposed/certified *)
+  (* Executed batches kept [archive_retention] heights back, so this
+     replica can serve hole-filling fetches after the live slot was
+     garbage-collected (values are shared, not copied). *)
+  archive : (int, Batch.t) Hashtbl.t;
   seen : (string, unit) Hashtbl.t;       (* leader-side dedup *)
 }
 
@@ -78,7 +91,11 @@ type replica = {
   quorum : int;
   insts : inst_state array;
   mutable decided_total : int;
+  stats : Recovery.Stats.t;
+  mutable task : Recovery.Task.t option;
 }
+
+let archive_retention = 512
 
 let result_digest (b : Batch.t) = Sha256.digest_list [ "result"; b.Batch.digest ]
 
@@ -88,6 +105,8 @@ let size_of cfg = function
   | Vote _ -> Wire.small
   | Qc _ -> Wire.small + (Wire.commit_entry_bytes * 4) (* n−f sigs, compacted *)
   | Reply _ -> Wire.response_bytes ~batch_size:cfg.Config.batch_size
+  | Fetch _ -> Wire.fetch_bytes
+  | Filled _ -> Wire.fill_bytes ~batch_size:cfg.Config.batch_size ~sigs:4
 
 (* The paper's implementation "skips the construction and verification
    of threshold signatures" entirely: votes and QCs are only
@@ -124,31 +143,103 @@ let slot_of inst height =
       Hashtbl.replace inst.slots height s;
       s
 
+(* -- hole detection ------------------------------------------------------- *)
+
+(* An instance is stalled when heights it can see proposed/certified
+   run more than a pipeline window ahead of what it has executed: in
+   healthy operation the leader keeps at most [instance_window]
+   heights in flight, so a larger gap means deliveries were lost. *)
+let inst_stalled inst = inst.max_seen >= inst.next_exec + instance_window
+
+let any_stalled r = Array.exists inst_stalled r.insts
+
+(* Progress token for the stall task: must reflect only the *stalled*
+   instances — summing every instance's cursor would reset the backoff
+   on each execution in a healthy instance and starve the task. *)
+let stall_token r =
+  Array.fold_left
+    (fun acc inst -> if inst_stalled inst then acc + inst.next_exec + 1 else acc)
+    0 r.insts
+
+let send_fetches r ~attempt =
+  Array.iter
+    (fun inst ->
+      if inst_stalled inst then begin
+        let have h =
+          match Hashtbl.find_opt inst.slots h with Some s -> s.decided | None -> false
+        in
+        (* Ask for the whole hole at once: the fetch itself is small and
+           the server pays per-height [Filled] wire costs, while a
+           throttled request list (a few dozen heights per fire, with
+           backoff between fires) can never outrun the decision rate of
+           the healthy instances during a multi-second link outage. *)
+        let heights =
+          Recovery.Gaps.missing ~limit:1024 ~have ~from:inst.next_exec ~upto:inst.max_seen ()
+        in
+        if heights <> [] then begin
+          Recovery.Stats.note_retransmit r.stats;
+          let m = Fetch { inst = inst.owner; heights } in
+          (* First try the instance's leader (it certainly decided
+             them); if that link is the faulty one, widen to everyone. *)
+          if attempt = 0 && inst.owner <> r.ctx.Ctx.id then send r ~dst:inst.owner m
+          else broadcast r m
+        end
+      end)
+    r.insts
+
+let ensure_task r = match r.task with Some t -> Recovery.Task.ensure t | None -> ()
+
 let create_replica (ctx : msg Ctx.t) =
   let cfg = ctx.Ctx.config in
   let n = Config.n_replicas cfg in
   let f = (n - 1) / 3 in
-  {
-    ctx;
-    cfg;
-    n;
-    quorum = n - f;
-    insts =
-      Array.init n (fun owner ->
-          {
-            owner;
-            pending = Queue.create ();
-            next_height = 0;
-            decided_below = 0;
-            slots = Hashtbl.create 64;
-            next_exec = 0;
-            seen = Hashtbl.create 256;
-          });
-    decided_total = 0;
-  }
+  let r =
+    {
+      ctx;
+      cfg;
+      n;
+      quorum = n - f;
+      stats = Recovery.Stats.create ();
+      task = None;
+      insts =
+        Array.init n (fun owner ->
+            {
+              owner;
+              pending = Queue.create ();
+              next_height = 0;
+              decided_below = 0;
+              slots = Hashtbl.create 64;
+              next_exec = 0;
+              max_seen = -1;
+              archive = Hashtbl.create 64;
+              seen = Hashtbl.create 256;
+            });
+      decided_total = 0;
+    }
+  in
+  r.task <-
+    Some
+      (Recovery.Task.create
+         ~set_timer:(fun ~delay k -> ignore (ctx.Ctx.set_timer ~delay k))
+         ~rng:ctx.Ctx.rng
+         ~base:(Time.of_ms_f cfg.Config.local_timeout_ms)
+         ~cap:(Time.of_ms_f (8. *. cfg.Config.local_timeout_ms))
+         ~needed:(fun () -> any_stalled r)
+         ~progress:(fun () -> stall_token r)
+         ~fire:(fun ~attempt -> send_fetches r ~attempt)
+         ());
+  r
 
 let view_changes (_ : replica) = 0
 let decided_total r = r.decided_total
+
+(* Crash-recover: any stall task armed before the crash died with its
+   timer; re-arm if there are holes to fill. *)
+let on_recover (r : replica) =
+  match r.task with Some t -> if any_stalled r then Recovery.Task.start t | None -> ()
+
+let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
+
 
 (* -- leader side ---------------------------------------------------------- *)
 
@@ -232,6 +323,8 @@ and exec_ready r inst =
       | None -> ()
       | Some batch ->
           inst.next_exec <- inst.next_exec + 1;
+          Hashtbl.replace inst.archive (inst.next_exec - 1) batch;
+          Hashtbl.remove inst.archive (inst.next_exec - 1 - archive_retention);
           Hashtbl.remove inst.slots (inst.next_exec - 64);
           r.decided_total <- r.decided_total + 1;
           r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
@@ -260,16 +353,51 @@ let on_message r ~src (m : msg) =
   | Propose { inst = i; height; batch } ->
       if i = src && i <> r.ctx.Ctx.id then begin
         let inst = r.insts.(i) in
+        inst.max_seen <- max inst.max_seen height;
         let s = slot_of inst height in
         if s.batch = None then begin
           s.batch <- Some batch;
           vote r inst ~height ~phase:Prepare ~digest:batch.Batch.digest
-        end
+        end;
+        if inst_stalled inst then ensure_task r
       end
   | Vote { inst = i; height; phase; digest } ->
       if i = r.ctx.Ctx.id then record_vote r r.insts.(i) ~height ~phase ~voter:src ~digest
   | Qc { inst = i; height; phase; digest = _ } ->
-      if i = src && i <> r.ctx.Ctx.id then apply_qc r r.insts.(i) ~height ~phase
+      if i = src && i <> r.ctx.Ctx.id then begin
+        let inst = r.insts.(i) in
+        inst.max_seen <- max inst.max_seen height;
+        apply_qc r inst ~height ~phase;
+        if inst_stalled inst then ensure_task r
+      end
+  | Fetch { inst = i; heights } ->
+      (* Serve decided batches from the live slot or the archive. *)
+      let inst = r.insts.(i) in
+      List.iter
+        (fun h ->
+          let batch =
+            match Hashtbl.find_opt inst.slots h with
+            | Some s when s.decided -> s.batch
+            | _ -> Hashtbl.find_opt inst.archive h
+          in
+          match batch with
+          | Some batch when h < inst.next_exec || (match Hashtbl.find_opt inst.slots h with Some s -> s.decided | None -> false) ->
+              send r ~dst:src (Filled { inst = i; height = h; batch })
+          | _ -> ())
+        heights
+  | Filled { inst = i; height; batch } ->
+      (* Trusted like a checkpoint block: the serving replica executed
+         it, so its digest is fixed by agreement.  Mark it decided and
+         resume in-order execution. *)
+      let inst = r.insts.(i) in
+      inst.max_seen <- max inst.max_seen height;
+      let s = slot_of inst height in
+      if (not s.decided) && height >= inst.next_exec then begin
+        if s.batch = None then s.batch <- Some batch;
+        s.decided <- true;
+        Recovery.Stats.note_holes r.stats 1;
+        exec_ready r inst
+      end
   | Reply _ -> ()
 
 (* -- client ------------------------------------------------------------------ *)

@@ -25,6 +25,9 @@ type msg =
   | Vote of { inst : int; height : int; phase : phase; digest : string }
   | Qc of { inst : int; height : int; phase : phase; digest : string }
   | Reply of { batch_id : int; result_digest : string }
+  | Fetch of { inst : int; heights : int list }
+      (** Hole-filling catch-up: request missing decided batches. *)
+  | Filled of { inst : int; height : int; batch : Batch.t }
 
 type replica
 type client
@@ -35,6 +38,11 @@ val view_changes : replica -> int
 
 val decided_total : replica -> int
 (** Batches this replica has decided-and-executed, over all instances. *)
+
+val on_recover : replica -> unit
+(** Crash-recover hook: re-arm the hole-filling stall task. *)
+
+val recovery : replica -> Rdb_types.Protocol.recovery_stats
 
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit

@@ -67,6 +67,7 @@ type t = {
   mutable next_seq : int;
   mutable next_emit : int;
   mutable low_water : int;                 (* last stable checkpoint seq *)
+  mutable stable_digest : string;          (* chain digest at [low_water] *)
   window : int;                            (* max in-flight sequence numbers *)
   pending : Batch.t Queue.t;               (* primary-side batch queue *)
   pending_digests : (string, unit) Hashtbl.t;
@@ -117,6 +118,7 @@ let create ~(ctx : msg Ctx.t) ~members ~cluster ?window ?checkpoint_every
     next_seq = 0;
     next_emit = 0;
     low_water = -1;
+    stable_digest = Rdb_crypto.Sha256.digest "pbft-chain-genesis";
     window = (match window with Some w -> w | None -> cfg.Config.pipeline_depth);
     pending = Queue.create ();
     pending_digests = Hashtbl.create 64;
@@ -563,6 +565,9 @@ and handle_checkpoint t ~src_local ~seq ~state_digest =
     let stable = Hashtbl.fold (fun _ c acc -> acc || c >= t.quorum) counts false in
     if stable && seq > t.low_water && seq < t.next_emit then begin
       t.low_water <- seq;
+      (* Record the quorum digest: the anchor a checkpoint state
+         transfer serves and verifies against. *)
+      Hashtbl.iter (fun d c -> if c >= t.quorum then t.stable_digest <- d) counts;
       (* Garbage-collect everything at or below the stable checkpoint. *)
       Hashtbl.iter (fun s _ -> if s <= seq then Hashtbl.remove t.slots s) (Hashtbl.copy t.slots);
       Hashtbl.iter
@@ -573,12 +578,25 @@ and handle_checkpoint t ~src_local ~seq ~state_digest =
 
 (* -- proposing ------------------------------------------------------------- *)
 
+(* A digest already assigned to a live slot must not be proposed again
+   under a fresh sequence number: with client retransmission, a batch
+   carried across a view change inside a prepared slot can reappear via
+   [Forward] or [rehome_forwarded] before that slot emits, and a second
+   proposal would execute it twice. *)
+and digest_in_flight t d =
+  Hashtbl.fold
+    (fun _ s acc ->
+      acc || (match s.digest with Some d' -> String.equal d d' | None -> false))
+    t.slots false
+
 and propose_more t =
   if is_primary t && t.mode = `Normal then begin
     let continue = ref true in
     while !continue && (not (Queue.is_empty t.pending)) && in_flight t < t.window do
       let batch = Queue.pop t.pending in
-      if Hashtbl.mem t.executed_digests batch.Batch.digest then
+      if Hashtbl.mem t.executed_digests batch.Batch.digest
+         || digest_in_flight t batch.Batch.digest
+      then
         (* Already ordered (e.g. carried over by a view change). *)
         Hashtbl.remove t.pending_digests batch.Batch.digest
       else begin
@@ -608,7 +626,9 @@ and rehome_forwarded t =
   if is_primary t then
     List.iter
       (fun (d, b) ->
-        if not (Hashtbl.mem t.executed_digests d) && not (Hashtbl.mem t.pending_digests d)
+        if (not (Hashtbl.mem t.executed_digests d))
+           && (not (Hashtbl.mem t.pending_digests d))
+           && not (digest_in_flight t d)
         then begin
           Hashtbl.remove t.forwarded d;
           Hashtbl.replace t.pending_digests d ();
@@ -624,6 +644,7 @@ let submit_batch t (batch : Batch.t) =
   if Hashtbl.mem t.pending_digests batch.Batch.digest
      || Hashtbl.mem t.forwarded batch.Batch.digest
      || Hashtbl.mem t.executed_digests batch.Batch.digest
+     || digest_in_flight t batch.Batch.digest
   then ()
   else if is_primary t then begin
     Hashtbl.replace t.pending_digests batch.Batch.digest ();
@@ -735,3 +756,82 @@ and replay_deferred t =
           else if view = t.view then on_message t ~src m
       | _ -> ())
     ms
+
+(* -- recovery hooks (lib/recovery: checkpoint state transfer) ------------- *)
+
+let low_water t = t.low_water
+let stable_digest t = t.stable_digest
+let checkpoint_every t = t.checkpoint_every
+let retained_slots t = Hashtbl.length t.slots
+let min_retained_slot t = Hashtbl.fold (fun s _ acc -> min s acc) t.slots max_int
+
+(* A batch learned out-of-band (checkpoint state transfer): advance the
+   emit cursor past it without assembling a local certificate.  Only
+   the exact frontier advances — the caller installs a contiguous
+   ledger suffix in order and skips sequences already emitted here.
+   Returns whether the cursor moved. *)
+let note_external_commit t ~seq (batch : Batch.t) =
+  if seq <> t.next_emit then false
+  else begin
+    let d = batch.Batch.digest in
+    t.chain <- Rdb_crypto.Sha256.digest_list [ t.chain; d ];
+    Hashtbl.replace t.executed_digests d ();
+    Hashtbl.remove t.pending_digests d;
+    Hashtbl.remove t.forwarded d;
+    Hashtbl.remove t.slots seq;
+    t.next_emit <- t.next_emit + 1;
+    if t.next_seq < t.next_emit then t.next_seq <- t.next_emit;
+    (* Slots above may already hold commit quorums gathered while this
+       replica was catching up. *)
+    emit_ready t;
+    true
+  end
+
+(* Adopt a transferred stable checkpoint: advance the watermark and
+   garbage-collect everything at or below it, exactly as a locally
+   quorum-stable checkpoint would. *)
+let install_checkpoint t ~seq ~digest =
+  if seq > t.low_water && seq < t.next_emit then begin
+    t.low_water <- seq;
+    t.stable_digest <- digest;
+    Hashtbl.iter (fun s _ -> if s <= seq then Hashtbl.remove t.slots s) (Hashtbl.copy t.slots);
+    Hashtbl.iter
+      (fun s _ -> if s <= seq then Hashtbl.remove t.checkpoints s)
+      (Hashtbl.copy t.checkpoints)
+  end
+
+(* Adopt the view the rest of the group is in, learned from f+1
+   matching state-transfer replies (the simulator trusts this in lieu
+   of shipping the full new-view certificate): without it a recovering
+   ex-primary keeps proposing into a dead view forever.  Stale vote
+   state from older views is reset exactly as [enter_new_view] does. *)
+let adopt_view t ~view =
+  if view > t.view then begin
+    t.view <- view;
+    t.mode <- `Normal;
+    t.ctx.Ctx.trace
+      (lazy (Printf.sprintf "pbft[c%d r%d] adopting view %d via state transfer" t.cluster t.me view));
+    Hashtbl.iter
+      (fun _ s ->
+        if (not s.emitted) && (not s.committed) && s.sview < view then begin
+          Hashtbl.reset s.prepares;
+          Hashtbl.reset s.commits;
+          s.sview <- -1;
+          s.batch <- None;
+          s.digest <- None;
+          s.sent_prepare <- false;
+          s.sent_commit <- false
+        end)
+      t.slots;
+    reset_timer t;
+    replay_deferred t
+  end
+
+(* After a crash-recover: timers armed before the crash were dropped
+   while the node was down, so a stale handle may be recorded even
+   though no tick will ever fire.  Cancel defensively and re-arm. *)
+let on_recover t =
+  (match t.vc_timer with Some h -> t.ctx.Ctx.cancel_timer h | None -> ());
+  t.vc_timer <- None;
+  t.timeout <- t.base_timeout;
+  update_timer t

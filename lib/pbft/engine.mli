@@ -68,6 +68,34 @@ val next_seq : t -> int
 
 val pending_count : t -> int
 
+(** {1 Checkpoint / recovery} *)
+
+val low_water : t -> int
+(** Sequence number of the last stable checkpoint (-1 before any). *)
+
+val stable_digest : t -> string
+(** Chain digest at [low_water] — the state-transfer anchor. *)
+
+val checkpoint_every : t -> int
+val retained_slots : t -> int
+val min_retained_slot : t -> int
+(** [max_int] when no slots are retained. *)
+
+val note_external_commit : t -> seq:int -> Batch.t -> bool
+(** A batch learned via checkpoint state transfer: advance the emit
+    cursor past it (true iff [seq] was exactly the frontier). *)
+
+val install_checkpoint : t -> seq:int -> digest:string -> unit
+(** Adopt a transferred stable checkpoint: advance the watermark and
+    garbage-collect at or below it. *)
+
+val adopt_view : t -> view:int -> unit
+(** Adopt the view learned from f+1 matching state-transfer replies. *)
+
+val on_recover : t -> unit
+(** After a crash-recover: revive the (silently dropped) progress
+    timer and reset the censorship back-off. *)
+
 (** {1 Byzantine test hooks} *)
 
 val set_tamper : t -> (dst:int -> Messages.msg -> Messages.msg option) option -> unit

@@ -9,14 +9,27 @@
    This is the configuration whose geo-scale behaviour Figure 10
    documents: all-to-all prepare/commit traffic crosses regions, and
    the single primary's WAN uplinks carry a full pre-prepare per
-   replica per decision. *)
+   replica per decision.
+
+   Crash-rejoin (lib/recovery): a recovering replica broadcasts
+   [Fetch_state] with its ledger height; peers answer [Snapshot] with
+   their stable-checkpoint anchor plus the missing ledger suffix.  The
+   replica installs once f+1 replies agree on the anchor, adopting the
+   group's view, and keeps refetching with backoff until it commits at
+   the live frontier again.  Without this, a rejoining replica (the
+   old primary especially) stays wedged: peers never resend the
+   prepares/commits it slept through, and new-view messages skip
+   already-committed slots. *)
 
 module Batch = Rdb_types.Batch
+module Certificate = Rdb_types.Certificate
 module Config = Rdb_types.Config
 module Ctx = Rdb_types.Ctx
 module Wire = Rdb_types.Wire
 module Client_core = Rdb_types.Client_core
+module Protocol = Rdb_types.Protocol
 module Time = Rdb_sim.Time
+module Recovery = Rdb_recovery.Recovery
 
 let name = "Pbft"
 
@@ -24,8 +37,36 @@ type msg =
   | Engine_msg of Messages.msg
   | Request of Batch.t
   | Reply of { batch_id : int; result_digest : string; primary : int }
+  | Fetch_state of { from : int }
+  | Snapshot of {
+      from : int;
+      anchor_seq : int;
+      anchor_digest : string;
+      view : int;
+      blocks : (Batch.t * Certificate.t option) list;
+    }
 
-type replica = { ctx : msg Ctx.t; engine : Engine.t }
+type replica = {
+  ctx : msg Ctx.t;
+  engine : Engine.t;
+  f : int;
+  (* Ledger appends issued (execute calls) / completed (on_done).
+     [issued] runs ahead of [appended] by the in-flight executes;
+     after a crash the in-flight ones were dropped, so [on_recover]
+     resyncs [issued] to [appended]. *)
+  mutable issued : int;
+  mutable appended : int;
+  mutable recovering : bool;
+  (* src -> (from, anchor_seq, anchor_digest, view, blocks) *)
+  snap_replies : (int, int * int * string * int * (Batch.t * Certificate.t option) list) Hashtbl.t;
+  stats : Recovery.Stats.t;
+  mutable task : Recovery.Task.t option;
+  (* digest -> batch id of an executed batch: a retransmitted request
+     for a batch we already executed (its reply was lost on the wire)
+     is answered from this cache instead of being silently dropped by
+     the engine's duplicate-proposal guard. *)
+  reply_cache : (string, int) Hashtbl.t;
+}
 
 type client = { core : msg Client_core.t; primary_guess : int ref }
 
@@ -37,33 +78,196 @@ let reply_size cfg = Wire.response_bytes ~batch_size:cfg.Config.batch_size
 (* Deterministic result digest so clients can match replies. *)
 let result_digest (b : Batch.t) = Rdb_crypto.Sha256.digest_list [ "result"; b.Batch.digest ]
 
+(* -- state transfer ------------------------------------------------------ *)
+
+let broadcast_fetch (r : replica) =
+  let cfg = r.ctx.Ctx.config in
+  let vcost = Config.recv_floor_cost cfg ~bytes:Wire.fetch_bytes in
+  for dst = 0 to Config.n_replicas cfg - 1 do
+    if dst <> r.ctx.Ctx.id then
+      r.ctx.Ctx.send ~dst ~size:Wire.fetch_bytes ~vcost (Fetch_state { from = r.issued })
+  done
+
+let serve_fetch (r : replica) ~src ~from =
+  let cfg = r.ctx.Ctx.config in
+  let blocks = r.ctx.Ctx.ledger_read ~height:from in
+  let nb = List.length blocks in
+  let size =
+    Wire.snapshot_bytes ~batch_size:cfg.Config.batch_size ~sigs:(Config.cert_wire_sigs cfg)
+      ~blocks:nb
+  in
+  (* The requester verifies the anchor digest and one certificate per
+     block before installing. *)
+  let vcost =
+    Time.add
+      (Config.recv_floor_cost cfg ~bytes:size)
+      (Time.of_us_f (cfg.Config.costs.Config.verify_us *. float_of_int (max 1 nb)))
+  in
+  r.ctx.Ctx.send ~dst:src ~size ~vcost
+    (Snapshot
+       {
+         from;
+         anchor_seq = Engine.low_water r.engine;
+         anchor_digest = Engine.stable_digest r.engine;
+         view = Engine.view r.engine;
+         blocks;
+       })
+
+let install (r : replica) ~from ~anchor_seq ~anchor_digest ~view ~blocks =
+  let filled = ref 0 in
+  List.iteri
+    (fun i (batch, cert) ->
+      let h = from + i in
+      (* [issued] may advance inside this loop: [note_external_commit]
+         unblocks queued commit quorums, whose emissions interleave at
+         the frontier in order. *)
+      if h = r.issued then begin
+        r.issued <- r.issued + 1;
+        incr filled;
+        r.ctx.Ctx.execute batch ~cert ~on_done:(fun () ->
+            r.appended <- r.appended + 1;
+            if not (Batch.is_noop batch) then
+              Hashtbl.replace r.reply_cache batch.Batch.digest batch.Batch.id);
+        ignore (Engine.note_external_commit r.engine ~seq:h batch)
+      end)
+    blocks;
+  if !filled > 0 then begin
+    Recovery.Stats.note_holes r.stats !filled;
+    Recovery.Stats.note_state_transfer r.stats
+  end;
+  Engine.install_checkpoint r.engine ~seq:anchor_seq ~digest:anchor_digest;
+  Engine.adopt_view r.engine ~view
+
+(* Install once f+1 replies agree on the stable-checkpoint anchor,
+   taking the reply reaching the highest ledger height. *)
+let try_install (r : replica) =
+  let groups = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ (from, aseq, adig, view, blocks) ->
+      let k = (aseq, adig) in
+      Hashtbl.replace groups k
+        ((from, view, blocks) :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+    r.snap_replies;
+  let chosen =
+    Hashtbl.fold
+      (fun (aseq, adig) rs acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if List.length rs >= r.f + 1 then Some (aseq, adig, rs) else None)
+      groups None
+  in
+  match chosen with
+  | None -> ()
+  | Some (aseq, adig, rs) ->
+      let from, view, blocks =
+        List.fold_left
+          (fun (bf, bv, bb) (f', v', b') ->
+            if f' + List.length b' > bf + List.length bb then (f', v', b') else (bf, bv, bb))
+          (List.hd rs) (List.tl rs)
+      in
+      Hashtbl.reset r.snap_replies;
+      install r ~from ~anchor_seq:aseq ~anchor_digest:adig ~view ~blocks
+
+(* -- replica ------------------------------------------------------------- *)
+
 let create_replica (ctx : msg Ctx.t) =
   let cfg = ctx.Ctx.config in
   let engine_ctx = Ctx.map_send (fun m -> Engine_msg m) ctx in
-  let engine_ref = ref None in
+  let r_ref = ref None in
   let on_committed ~seq:_ (batch : Batch.t) cert =
-    ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
-        if not (Batch.is_noop batch) then
-          let primary = match !engine_ref with Some e -> Engine.primary e | None -> 0 in
-          ctx.Ctx.send ~dst:batch.Batch.origin ~size:(reply_size cfg)
-            ~vcost:(Config.recv_floor_cost cfg ~bytes:(reply_size cfg))
-            (Reply { batch_id = batch.Batch.id; result_digest = result_digest batch; primary }))
+    match !r_ref with
+    | None -> ()
+    | Some r ->
+        r.issued <- r.issued + 1;
+        (* A normal-path commit means this replica is back at the live
+           frontier: catch-up is done. *)
+        r.recovering <- false;
+        ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
+            r.appended <- r.appended + 1;
+            if not (Batch.is_noop batch) then begin
+              Hashtbl.replace r.reply_cache batch.Batch.digest batch.Batch.id;
+              let primary = Engine.primary r.engine in
+              ctx.Ctx.send ~dst:batch.Batch.origin ~size:(reply_size cfg)
+                ~vcost:(Config.recv_floor_cost cfg ~bytes:(reply_size cfg))
+                (Reply
+                   { batch_id = batch.Batch.id; result_digest = result_digest batch; primary })
+            end)
   in
   let engine =
     Engine.create ~ctx:engine_ctx ~members:(members_of cfg) ~cluster:0 ~on_committed
       ~on_view_change:(fun ~view:_ -> ()) ()
   in
-  engine_ref := Some engine;
-  { ctx; engine }
+  let f = (Config.n_replicas cfg - 1) / 3 in
+  let r =
+    {
+      ctx;
+      engine;
+      f;
+      issued = 0;
+      appended = 0;
+      recovering = false;
+      snap_replies = Hashtbl.create 8;
+      stats = Recovery.Stats.create ();
+      task = None;
+      reply_cache = Hashtbl.create 256;
+    }
+  in
+  r_ref := Some r;
+  let base = Time.of_ms_f cfg.Config.local_timeout_ms in
+  r.task <-
+    Some
+      (Recovery.Task.create
+         ~set_timer:(fun ~delay k -> ignore (ctx.Ctx.set_timer ~delay k))
+         ~rng:ctx.Ctx.rng ~base
+         ~cap:(Time.of_ms_f (8. *. cfg.Config.local_timeout_ms))
+         ~needed:(fun () -> r.recovering)
+         ~progress:(fun () -> r.issued)
+         ~fire:(fun ~attempt:_ ->
+           Recovery.Stats.note_retransmit r.stats;
+           broadcast_fetch r)
+         ());
+  r
 
 let on_message (r : replica) ~src (m : msg) =
   match m with
   | Engine_msg em -> Engine.on_message r.engine ~src em
-  | Request batch ->
-      if Batch.verify ~keychain:r.ctx.Ctx.keychain batch then Engine.submit_batch r.engine batch
+  | Request batch -> (
+      if Batch.verify ~keychain:r.ctx.Ctx.keychain batch then
+        match Hashtbl.find_opt r.reply_cache batch.Batch.digest with
+        | Some batch_id ->
+            (* Already executed: the client's retransmission means the
+               original reply was lost — answer from the cache. *)
+            let cfg = r.ctx.Ctx.config in
+            r.ctx.Ctx.send ~dst:batch.Batch.origin ~size:(reply_size cfg)
+              ~vcost:(Config.recv_floor_cost cfg ~bytes:(reply_size cfg))
+              (Reply
+                 {
+                   batch_id;
+                   result_digest = result_digest batch;
+                   primary = Engine.primary r.engine;
+                 })
+        | None -> Engine.submit_batch r.engine batch)
+  | Fetch_state { from } -> serve_fetch r ~src ~from
+  | Snapshot { from; anchor_seq; anchor_digest; view; blocks } ->
+      if r.recovering then begin
+        Hashtbl.replace r.snap_replies src (from, anchor_seq, anchor_digest, view, blocks);
+        try_install r
+      end
   | Reply _ -> ()
 
 let engine (r : replica) = r.engine
+
+let on_recover (r : replica) =
+  Engine.on_recover r.engine;
+  (* Executes in flight at crash time were dropped with their ledger
+     appends: resync the issue cursor to what actually landed. *)
+  r.issued <- r.appended;
+  r.recovering <- true;
+  Hashtbl.reset r.snap_replies;
+  broadcast_fetch r;
+  match r.task with Some task -> Recovery.Task.start task | None -> ()
+
+let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
 
 (* -- client agent -------------------------------------------------------- *)
 
@@ -95,5 +299,7 @@ let on_client_message (c : client) ~src (m : msg) =
       c.primary_guess := primary;
       Client_core.on_reply c.core ~src ~batch_id ~result_digest
   | _ -> ()
+
+let client_retransmits (c : client) = Client_core.retransmits c.core
 
 let view_changes (r : replica) = Engine.n_view_changes r.engine

@@ -4,6 +4,7 @@
     Satisfies {!Rdb_types.Protocol.S}. *)
 
 module Batch = Rdb_types.Batch
+module Certificate = Rdb_types.Certificate
 module Ctx = Rdb_types.Ctx
 
 val name : string
@@ -12,6 +13,16 @@ type msg =
   | Engine_msg of Messages.msg
   | Request of Batch.t
   | Reply of { batch_id : int; result_digest : string; primary : int }
+  | Fetch_state of { from : int }
+      (** Recovering replica asking for the ledger suffix from height
+          [from] plus the stable-checkpoint anchor. *)
+  | Snapshot of {
+      from : int;
+      anchor_seq : int;
+      anchor_digest : string;
+      view : int;
+      blocks : (Batch.t * Certificate.t option) list;
+    }  (** State-transfer reply; installed after f+1 anchors match. *)
 
 type replica
 type client
@@ -20,9 +31,18 @@ val create_replica : msg Ctx.t -> replica
 val on_message : replica -> src:int -> msg -> unit
 val view_changes : replica -> int
 
+val on_recover : replica -> unit
+(** Crash-rejoin: revive the engine's timers and start checkpoint
+    state transfer with backoff until back at the live frontier. *)
+
+val recovery : replica -> Rdb_types.Protocol.recovery_stats
+
 val engine : replica -> Engine.t
 (** The underlying Pbft engine (tests and Byzantine hooks). *)
 
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit
 val on_client_message : client -> src:int -> msg -> unit
+
+val client_retransmits : client -> int
+(** The client core's retransmission counter (tests). *)

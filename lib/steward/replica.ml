@@ -44,6 +44,7 @@ module Client_core = Rdb_types.Client_core
 module Time = Rdb_sim.Time
 module Cpu = Rdb_sim.Cpu
 module Sha256 = Rdb_crypto.Sha256
+module Recovery = Rdb_recovery.Recovery
 
 let name = "Steward"
 
@@ -60,10 +61,13 @@ type msg =
   | Global_accept of { g : int; site : int; digest : string }
   | Local_bcast of { g : int; batch : Batch.t }     (* rep -> site members *)
   | Local_commit of { g : int }                     (* rep -> site members *)
+  | Fetch_globals of { from : int }                 (* catch-up request *)
+  | Globals_data of { from : int; batches : Batch.t list }
   | Reply of { batch_id : int; result_digest : string }
 
 type certify_round = {
   c_digest : string;
+  c_batch : Batch.t option;            (* kept for re-broadcast *)
   partials : (int, unit) Hashtbl.t;    (* local indices that signed *)
   mutable c_done : bool;
   on_cert : unit -> unit;
@@ -86,7 +90,18 @@ type replica = {
   committed : (int, unit) Hashtbl.t;
   mutable next_exec : int;
   mutable commit_sent : (int, unit) Hashtbl.t;  (* rep: local commits sent *)
+  (* Retransmission / catch-up (lib/recovery).  The representative
+     channel is the protocol's spine: a single lost Global_proposal or
+     Global_accept wedges a site forever, so every replica runs a
+     state-driven stall task with exponential backoff + jitter. *)
+  mutable max_g_seen : int;             (* highest global seq heard of *)
+  pending_forwards : (string, Batch.t) Hashtbl.t;  (* origin rep: unacked *)
+  stats : Recovery.Stats.t;
+  mutable task : Recovery.Task.t option;
 }
+
+(* Batches per catch-up reply. *)
+let catchup_chunk = 64
 
 let result_digest (b : Batch.t) = Sha256.digest_list [ "result"; b.Batch.digest ]
 
@@ -95,7 +110,11 @@ let cert_size cfg = Wire.certificate_bytes ~batch_size:cfg.Config.batch_size ~si
 let size_of cfg = function
   | Request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
   | Certify_req { batch = Some _; _ } -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
-  | Certify_req _ | Partial_sig _ | Local_commit _ | Global_accept _ -> Wire.small
+  | Certify_req _ | Partial_sig _ | Local_commit _ | Global_accept _ | Fetch_globals _ ->
+      Wire.small
+  | Globals_data { batches; _ } ->
+      Wire.snapshot_bytes ~batch_size:cfg.Config.batch_size ~sigs:1
+        ~blocks:(List.length batches)
   | Site_forward _ | Global_proposal _ | Local_bcast _ -> cert_size cfg
   | Reply _ -> Wire.response_bytes ~batch_size:cfg.Config.batch_size
 
@@ -107,6 +126,12 @@ let vcost_of cfg m =
       Time.add (Config.recv_floor_cost cfg ~bytes:(size_of cfg m)) (Config.verify_cost cfg)
   | Partial_sig _ ->
       Time.add (Config.recv_floor_cost cfg ~bytes:Wire.small) (Config.verify_cost cfg)
+  | Globals_data { batches; _ } ->
+      (* The requester re-verifies the site certificates it installs. *)
+      Time.add
+        (Config.recv_floor_cost cfg ~bytes:(size_of cfg m))
+        (Time.of_us_f
+           (cfg.Config.costs.Config.verify_us *. float_of_int (max 1 (List.length batches))))
   | m -> Config.recv_floor_cost cfg ~bytes:(size_of cfg m)
 
 let send r ~dst m = r.ctx.Ctx.send ~dst ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
@@ -123,24 +148,18 @@ let broadcast_site r m =
 
 let majority_sites cfg = (cfg.Config.z / 2) + 1
 
-let create_replica (ctx : msg Ctx.t) =
-  let cfg = ctx.Ctx.config in
-  {
-    ctx;
-    cfg;
-    my_cluster = Config.cluster_of_replica cfg ctx.Ctx.id;
-    my_local = Config.local_index cfg ctx.Ctx.id;
-    certifying = Hashtbl.create 64;
-    next_g = 0;
-    assign_queue = Queue.create ();
-    seen = Hashtbl.create 256;
-    accepts = Hashtbl.create 64;
-    accepted_digest = Hashtbl.create 64;
-    proposals = Hashtbl.create 128;
-    committed = Hashtbl.create 128;
-    next_exec = 0;
-    commit_sent = Hashtbl.create 64;
-  }
+let reps_except_self r =
+  List.filter
+    (fun id -> id <> r.ctx.Ctx.id)
+    (List.init r.cfg.Config.z (fun c -> rep_of r.cfg ~cluster:c))
+
+(* Arm the stall task whenever there is outstanding work it may need
+   to push through; it retires on its own once nothing is pending. *)
+let ensure_task r = match r.task with Some t -> Recovery.Task.ensure t | None -> ()
+
+let note_g r g =
+  if g > r.max_g_seen then r.max_g_seen <- g;
+  if g >= r.next_exec then ensure_task r
 
 let view_changes (_ : replica) = 0
 
@@ -150,8 +169,11 @@ let view_changes (_ : replica) = 0
    representative once n − f partial signatures are combined. *)
 let rec start_certify r ~tag ~digest ?batch ~on_cert () =
   if not (Hashtbl.mem r.certifying tag) then begin
-    let round = { c_digest = digest; partials = Hashtbl.create 8; c_done = false; on_cert } in
+    let round =
+      { c_digest = digest; c_batch = batch; partials = Hashtbl.create 8; c_done = false; on_cert }
+    in
     Hashtbl.replace r.certifying tag round;
+    ensure_task r;
     broadcast_site r (Certify_req { tag; digest; batch });
     (* Our own partial signature. *)
     r.ctx.Ctx.charge ~stage:Cpu.Worker ~cost:(Config.threshold_partial_cost r.cfg) (fun () ->
@@ -199,6 +221,7 @@ let rec assign_more r =
     let batch = Queue.pop r.assign_queue in
     let g = r.next_g in
     r.next_g <- g + 1;
+    note_g r g;
     (* Certify the assignment within the primary site, then propose
        globally. *)
     let tag = Printf.sprintf "prop:%d" g in
@@ -214,6 +237,8 @@ let rec assign_more r =
 (* A site representative processes global proposal [g]: distribute
    locally, certify the site's accept, exchange it. *)
 and accept_proposal r ~g ~batch =
+  note_g r g;
+  Hashtbl.remove r.pending_forwards batch.Batch.digest;
   if not (Hashtbl.mem r.proposals g) then begin
     Hashtbl.replace r.proposals g batch;
     broadcast_site r (Local_bcast { g; batch });
@@ -229,6 +254,7 @@ and accept_proposal r ~g ~batch =
   end
 
 and record_accept r ~g ~site ~digest =
+  note_g r g;
   let tbl =
     match Hashtbl.find_opt r.accepts g with
     | Some t -> t
@@ -248,6 +274,171 @@ and record_accept r ~g ~site ~digest =
     exec_ready r;
     assign_more r
   end
+
+(* -- retransmission and catch-up (lib/recovery) ---------------------------- *)
+
+let stalled r = r.max_g_seen >= r.next_exec
+
+let needed r =
+  stalled r
+  || (is_leader_rep r && r.next_exec < r.next_g)
+  || Hashtbl.length r.pending_forwards > 0
+  || Hashtbl.fold (fun _ rd acc -> acc || not rd.c_done) r.certifying false
+
+(* Progress token: only the stall-relevant cursors.  Including the
+   committed count or next_g would change on unrelated traffic and
+   keep resetting the backoff, starving the fire. *)
+let progress r = r.next_exec + (8191 * Hashtbl.length r.pending_forwards)
+
+(* Global sequence g executes at ledger height g, so catch-up is a walk
+   of the server's committed prefix.  Members ask within their site;
+   representatives rotate over the other sites' representatives. *)
+let send_catchup_fetch r ~attempt =
+  let targets =
+    if is_rep r then reps_except_self r
+    else List.filter (fun id -> id <> r.ctx.Ctx.id) (site_members r)
+  in
+  match targets with
+  | [] -> ()
+  | ts ->
+      send r ~dst:(List.nth ts (attempt mod List.length ts)) (Fetch_globals { from = r.next_exec })
+
+let serve_globals r ~src ~from =
+  let rec collect g acc =
+    if g - from >= catchup_chunk then List.rev acc
+    else
+      match (Hashtbl.mem r.committed g, Hashtbl.find_opt r.proposals g) with
+      | true, Some b -> collect (g + 1) (b :: acc)
+      | _ -> List.rev acc
+  in
+  match collect from [] with
+  | [] -> ()
+  | batches -> send r ~dst:src (Globals_data { from; batches })
+
+let install_globals r ~from batches =
+  let filled = ref 0 in
+  List.iteri
+    (fun i batch ->
+      let g = from + i in
+      if g >= r.next_exec then begin
+        note_g r g;
+        let fresh = ref false in
+        if not (Hashtbl.mem r.proposals g) then begin
+          Hashtbl.replace r.proposals g batch;
+          fresh := true
+        end;
+        if not (Hashtbl.mem r.committed g) then begin
+          Hashtbl.replace r.committed g ();
+          fresh := true
+        end;
+        Hashtbl.remove r.pending_forwards batch.Batch.digest;
+        if !fresh then begin
+          incr filled;
+          (* A representative relays what it learned so its site
+             members do not each have to fetch. *)
+          if is_rep r then begin
+            broadcast_site r (Local_bcast { g; batch });
+            broadcast_site r (Local_commit { g })
+          end
+        end
+      end)
+    batches;
+  if !filled > 0 then begin
+    Recovery.Stats.note_holes r.stats !filled;
+    Recovery.Stats.note_state_transfer r.stats
+  end;
+  exec_ready r
+
+(* The backoff-task fire: push every kind of outstanding work once. *)
+let retransmit r ~attempt =
+  Recovery.Stats.note_retransmit r.stats;
+  if stalled r then send_catchup_fetch r ~attempt;
+  if is_rep r then begin
+    (* Unfinished threshold-certification rounds: re-broadcast the
+       request; partial signatures are idempotent. *)
+    Hashtbl.iter
+      (fun tag rd ->
+        if not rd.c_done then
+          broadcast_site r (Certify_req { tag; digest = rd.c_digest; batch = rd.c_batch }))
+      r.certifying;
+    (* Re-send our site's accept for still-uncommitted globals. *)
+    for g = r.next_exec to min r.max_g_seen (r.next_exec + global_window) do
+      if not (Hashtbl.mem r.committed g) then
+        match Hashtbl.find_opt r.accepts g with
+        | Some tbl when Hashtbl.mem tbl r.my_cluster ->
+            let digest = Hashtbl.find r.accepted_digest g in
+            List.iter
+              (fun dst -> send r ~dst (Global_accept { g; site = r.my_cluster; digest }))
+              (reps_except_self r)
+        | _ -> ()
+    done;
+    (* Origin representative: certified requests the leader never
+       sequenced (the forward may have been lost). *)
+    if not (is_leader_rep r) then
+      Hashtbl.iter
+        (fun _ batch -> send r ~dst:(leader_rep r) (Site_forward { batch }))
+        r.pending_forwards;
+    (* Leader: re-propose assigned-but-uncommitted globals to the
+       sites that have not accepted them yet. *)
+    if is_leader_rep r then
+      for g = r.next_exec to r.next_g - 1 do
+        if not (Hashtbl.mem r.committed g) then
+          match Hashtbl.find_opt r.proposals g with
+          | Some batch ->
+              let accepted c =
+                match Hashtbl.find_opt r.accepts g with
+                | Some tbl -> Hashtbl.mem tbl c
+                | None -> false
+              in
+              for c = 0 to r.cfg.Config.z - 1 do
+                if c <> r.my_cluster && not (accepted c) then
+                  send r ~dst:(rep_of r.cfg ~cluster:c) (Global_proposal { g; batch })
+              done
+          | None -> ()
+      done
+  end
+
+(* -- construction ----------------------------------------------------------- *)
+
+let create_replica (ctx : msg Ctx.t) =
+  let cfg = ctx.Ctx.config in
+  let r =
+    {
+      ctx;
+      cfg;
+      my_cluster = Config.cluster_of_replica cfg ctx.Ctx.id;
+      my_local = Config.local_index cfg ctx.Ctx.id;
+      certifying = Hashtbl.create 64;
+      next_g = 0;
+      assign_queue = Queue.create ();
+      seen = Hashtbl.create 256;
+      accepts = Hashtbl.create 64;
+      accepted_digest = Hashtbl.create 64;
+      proposals = Hashtbl.create 128;
+      committed = Hashtbl.create 128;
+      next_exec = 0;
+      commit_sent = Hashtbl.create 64;
+      max_g_seen = -1;
+      pending_forwards = Hashtbl.create 16;
+      stats = Recovery.Stats.create ();
+      task = None;
+    }
+  in
+  r.task <-
+    Some
+      (Recovery.Task.create
+         ~set_timer:(fun ~delay k -> ignore (ctx.Ctx.set_timer ~delay k))
+         ~rng:ctx.Ctx.rng
+         ~base:(Time.of_ms_f cfg.Config.local_timeout_ms)
+         ~cap:(Time.of_ms_f (8. *. cfg.Config.local_timeout_ms))
+         ~needed:(fun () -> needed r)
+         ~progress:(fun () -> progress r)
+         ~fire:(fun ~attempt -> retransmit r ~attempt)
+         ());
+  r
+
+let on_recover (r : replica) = ensure_task r
+let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
 
 (* -- dispatch ------------------------------------------------------------------ *)
 
@@ -269,7 +460,11 @@ let on_message r ~src (m : msg) =
               Queue.push batch r.assign_queue;
               assign_more r
             end
-            else send r ~dst:(leader_rep r) (Site_forward { batch }))
+            else begin
+              Hashtbl.replace r.pending_forwards batch.Batch.digest batch;
+              ensure_task r;
+              send r ~dst:(leader_rep r) (Site_forward { batch })
+            end)
           ()
       end
   | Certify_req { tag; digest; batch = _ } ->
@@ -297,15 +492,21 @@ let on_message r ~src (m : msg) =
   | Global_accept { g; site; digest } ->
       if is_rep r then record_accept r ~g ~site ~digest
   | Local_bcast { g; batch } ->
-      if src = rep_of r.cfg ~cluster:r.my_cluster && not (Hashtbl.mem r.proposals g) then begin
-        Hashtbl.replace r.proposals g batch;
-        exec_ready r
+      if src = rep_of r.cfg ~cluster:r.my_cluster then begin
+        note_g r g;
+        if not (Hashtbl.mem r.proposals g) then begin
+          Hashtbl.replace r.proposals g batch;
+          exec_ready r
+        end
       end
   | Local_commit { g } ->
       if src = rep_of r.cfg ~cluster:r.my_cluster then begin
+        note_g r g;
         Hashtbl.replace r.committed g ();
         exec_ready r
       end
+  | Fetch_globals { from } -> serve_globals r ~src ~from
+  | Globals_data { from; batches } -> install_globals r ~from batches
   | Reply _ -> ()
 
 (* -- client ---------------------------------------------------------------------- *)

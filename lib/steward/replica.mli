@@ -24,6 +24,9 @@ type msg =
   | Global_accept of { g : int; site : int; digest : string }
   | Local_bcast of { g : int; batch : Batch.t }
   | Local_commit of { g : int }
+  | Fetch_globals of { from : int }
+      (** Stall catch-up: ask for the committed run from [from]. *)
+  | Globals_data of { from : int; batches : Batch.t list }
   | Reply of { batch_id : int; result_digest : string }
 
 type replica
@@ -32,6 +35,12 @@ type client
 val create_replica : msg Ctx.t -> replica
 val on_message : replica -> src:int -> msg -> unit
 val view_changes : replica -> int
+
+val on_recover : replica -> unit
+(** Re-arm the stall-retransmission task (Steward replicas are not
+    crash-injected; the task is state-driven and ack-free). *)
+
+val recovery : replica -> Rdb_types.Protocol.recovery_stats
 
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit

@@ -17,6 +17,7 @@ type pending = {
   replies : (int, string) Hashtbl.t;   (* replica -> result digest *)
   mutable resolved : bool;
   mutable timer : Ctx.timer option;
+  mutable attempts : int;              (* retransmissions so far (backoff) *)
 }
 
 type 'm t = {
@@ -39,20 +40,27 @@ let submitted t = t.submitted
 let completed t = t.completed
 let retransmits t = t.retransmits
 
+(* Exponential backoff, capped at 8x the base timeout: a wedged system
+   is probed persistently but not flooded. *)
 let rec arm_timer t (p : pending) =
-  let delay = Time.of_ms_f t.ctx.Ctx.config.Config.client_timeout_ms in
+  let base = t.ctx.Ctx.config.Config.client_timeout_ms in
+  let scale = float_of_int (min 8 (1 lsl min 3 p.attempts)) in
+  let delay = Time.of_ms_f (base *. scale) in
   p.timer <-
     Some
       (t.ctx.Ctx.set_timer ~delay (fun () ->
            if not p.resolved then begin
              t.retransmits <- t.retransmits + 1;
+             p.attempts <- p.attempts + 1;
              t.transmit ~retry:true p.batch;
              arm_timer t p
            end))
 
 let submit t (batch : Batch.t) =
   if not (Hashtbl.mem t.inflight batch.Batch.id) then begin
-    let p = { batch; replies = Hashtbl.create 8; resolved = false; timer = None } in
+    let p =
+      { batch; replies = Hashtbl.create 8; resolved = false; timer = None; attempts = 0 }
+    in
     Hashtbl.replace t.inflight batch.Batch.id p;
     t.submitted <- t.submitted + 1;
     t.transmit ~retry:false batch;

@@ -78,7 +78,11 @@ let default =
     local_timeout_ms = 2_000.0;
     remote_timeout_ms = 4_000.0;
     client_inflight = 64;
-    client_timeout_ms = 30_000.0;
+    (* Above any healthy-path commit latency, but short enough that a
+       request lost to a crashed primary is re-broadcast (waking the
+       backup-forward / censorship-timer machinery) well before the
+       chaos monitor's liveness window expires. *)
+    client_timeout_ms = 3_000.0;
     wan_egress_mbps = 350.0;
     geobft_fanout = 0;
     threshold_certs = false;

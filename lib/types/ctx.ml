@@ -34,6 +34,10 @@ type 'm t = {
   set_timer : delay:Time.t -> (unit -> unit) -> timer;
   cancel_timer : timer -> unit;
   execute : Batch.t -> cert:Certificate.t option -> on_done:(unit -> unit) -> unit;
+  (* Read this node's own ledger suffix from [height] upward: the
+     source material a peer serves during checkpoint state transfer.
+     Client agents have no ledger and always read []. *)
+  ledger_read : height:int -> (Batch.t * Certificate.t option) list;
   complete : Batch.t -> unit;                (* client agents: batch done *)
   trace : (string Lazy.t -> unit);           (* debug trace hook *)
 }
@@ -56,6 +60,7 @@ let map_send (inject : 'a -> 'b) (t : 'b t) : 'a t =
     set_timer = t.set_timer;
     cancel_timer = t.cancel_timer;
     execute = t.execute;
+    ledger_read = t.ledger_read;
     complete = t.complete;
     trace = t.trace;
   }

@@ -32,6 +32,10 @@ type 'm t = {
   set_timer : delay:Time.t -> (unit -> unit) -> timer;
   cancel_timer : timer -> unit;
   execute : Batch.t -> cert:Certificate.t option -> on_done:(unit -> unit) -> unit;
+  ledger_read : height:int -> (Batch.t * Certificate.t option) list;
+      (** This node's own ledger suffix from [height] upward — what a
+          peer serves during checkpoint state transfer.  [] at client
+          agents. *)
   complete : Batch.t -> unit;
   trace : string Lazy.t -> unit;   (** debug trace hook *)
 }

@@ -13,6 +13,25 @@
    after charging the receiver-side verification cost declared by the
    sender. *)
 
+(* Counters for the recovery subsystem (lib/recovery): checkpoint
+   state transfers installed, execution holes filled by catch-up
+   fetches, and timeout-driven protocol retransmissions.  Protocols
+   without a given mechanism report 0. *)
+type recovery_stats = {
+  state_transfers : int;
+  holes_filled : int;
+  retransmissions : int;
+}
+
+let no_recovery = { state_transfers = 0; holes_filled = 0; retransmissions = 0 }
+
+let add_recovery a b =
+  {
+    state_transfers = a.state_transfers + b.state_transfers;
+    holes_filled = a.holes_filled + b.holes_filled;
+    retransmissions = a.retransmissions + b.retransmissions;
+  }
+
 module type S = sig
   val name : string
 
@@ -26,6 +45,14 @@ module type S = sig
   (* View changes this replica has completed (0 for protocols without
      a view-change notion); used by the failure experiments. *)
   val view_changes : replica -> int
+
+  (* Crash-recovery hook: the fabric calls this after un-crashing a
+     replica.  Timers armed before the crash were dropped while the
+     node was down, so protocols restart their self-rearming tasks
+     here and kick off state transfer / catch-up as needed. *)
+  val on_recover : replica -> unit
+
+  val recovery : replica -> recovery_stats
 
   val create_client : msg Ctx.t -> cluster:int -> client
   val submit : client -> Batch.t -> unit

@@ -38,3 +38,19 @@ let small = small_bytes
 (* View-change messages carry prepared certificates for in-flight
    sequence numbers; size grows with how much state is carried. *)
 let view_change_bytes ~batch_size ~prepared = small_bytes + (prepared * certificate_bytes ~batch_size ~sigs:0)
+
+(* Recovery traffic (lib/recovery).  A fetch names a watermark or a
+   list of sequence numbers — it is a small control message.  A
+   snapshot reply carries the stable-checkpoint certificate (one
+   signed digest per quorum member) plus the missing ledger suffix:
+   each block ships its batch and, when retained, its commit
+   certificate. *)
+let fetch_bytes = small_bytes
+
+let snapshot_bytes ~batch_size ~sigs ~blocks =
+  header_bytes + (sigs * commit_entry_bytes)
+  + (blocks * certificate_bytes ~batch_size ~sigs)
+
+(* A single filled batch served during hole-filling catch-up: the
+   batch plus its certificate. *)
+let fill_bytes ~batch_size ~sigs = certificate_bytes ~batch_size ~sigs

@@ -29,3 +29,16 @@ val small : int
 
 val view_change_bytes : batch_size:int -> prepared:int -> int
 (** A view-change message carrying [prepared] prepared certificates. *)
+
+val fetch_bytes : int
+(** Recovery fetch (FetchState / FetchBatch): a small control message
+    naming a watermark or sequence numbers. *)
+
+val snapshot_bytes : batch_size:int -> sigs:int -> blocks:int -> int
+(** Checkpoint state-transfer reply: stable-checkpoint certificate
+    ([sigs] signed digests) plus [blocks] ledger blocks, each with its
+    batch and commit certificate. *)
+
+val fill_bytes : batch_size:int -> sigs:int -> int
+(** One filled batch served during hole-filling catch-up: the batch
+    plus its certificate. *)

@@ -100,6 +100,12 @@ let create_replica (ctx : msg Ctx.t) =
   }
 
 let view_changes (_ : replica) = 0
+
+(* Zyzzyva ships no view change and, faithfully to the paper's
+   implementation choice, no recovery machinery either: its chaos
+   envelope stays as-is (DESIGN.md Â§8). *)
+let on_recover (_ : replica) = ()
+let recovery (_ : replica) = Rdb_types.Protocol.no_recovery
 let is_primary r = r.ctx.Ctx.id = r.view mod r.n
 
 (* Execute in sequence order; speculative replies go to the client. *)

@@ -31,6 +31,11 @@ val create_replica : msg Ctx.t -> replica
 val on_message : replica -> src:int -> msg -> unit
 val view_changes : replica -> int
 
+val on_recover : replica -> unit
+(** No-op: Zyzzyva keeps its envelope as-is (no recovery machinery). *)
+
+val recovery : replica -> Rdb_types.Protocol.recovery_stats
+
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit
 val on_client_message : client -> src:int -> msg -> unit

@@ -150,6 +150,47 @@ let test_in_budget_stays_clean () =
   | None -> ()
   | Some v -> Alcotest.failf "unexpected violation: %s" (Chaos.violation_to_string v)
 
+(* -- the recovery subsystem has teeth too -------------------------------- *)
+
+(* Seed 13's Pbft timeline stacks transient crashes: replicas that
+   rejoin WITHOUT [on_recover] (no cursor resync, no state transfer,
+   no view adoption) come back stale, and once enough of the group has
+   been cycled through a crash the live non-stale set drops below
+   quorum — the group wedges and the monitor's liveness invariant
+   trips.  With the recovery subsystem on, the identical timeline is
+   green (it is part of the seeds 1-16 sweep). *)
+let stale_rejoin_seed = 13
+
+let run_stale_rejoin ~with_recovery =
+  let cfg = chaos_cfg () in
+  let tl = Runner.chaos_timeline Runner.Pbft ~windows ~seed:stale_rejoin_seed cfg in
+  let d = PbftDep.create ~retain_payloads:false cfg in
+  let surface = pbft_surface d cfg in
+  let surface =
+    if with_recovery then surface
+    else
+      (* The pre-recovery-subsystem behaviour: rejoin without [on_recover]. *)
+      { surface with Chaos.recover = (fun v -> PbftDep.uncrash_replica_no_recovery d v) }
+  in
+  Chaos.install surface tl;
+  let mon = Chaos.monitor surface tl in
+  let report = PbftDep.run ~warmup:windows.Runner.warmup ~measure:windows.Runner.measure d in
+  Chaos.check_now mon;
+  (Chaos.first_violation mon, report)
+
+let test_recovery_disabled_run_trips_monitor () =
+  match run_stale_rejoin ~with_recovery:false with
+  | Some v, _ ->
+      Alcotest.(check string) "group wedge caught" "liveness-after-heal" v.Chaos.invariant
+  | None, _ -> Alcotest.fail "recovery-disabled rejoin was not caught by the monitor"
+
+let test_same_timeline_with_recovery_stays_green () =
+  match run_stale_rejoin ~with_recovery:true with
+  | Some v, _ -> Alcotest.failf "unexpected violation: %s" (Chaos.violation_to_string v)
+  | None, report ->
+      Alcotest.(check bool) "progress across the crashes" true
+        (report.Rdb_fabric.Report.completed_txns > 0)
+
 let suite =
   [
     ("geobft survives seeded chaos", `Slow, smoke Runner.Geobft);
@@ -161,4 +202,10 @@ let suite =
     ("crash budget never exceeds f per cluster", `Quick, test_timeline_respects_budget);
     ("over-budget crashes trip the liveness invariant", `Slow, test_over_budget_trips_liveness);
     ("in-budget crash keeps invariants green", `Slow, test_in_budget_stays_clean);
+    ( "recovery-disabled rejoin trips the monitor",
+      `Slow,
+      test_recovery_disabled_run_trips_monitor );
+    ( "same timeline with recovery stays green",
+      `Slow,
+      test_same_timeline_with_recovery_stays_green );
   ]

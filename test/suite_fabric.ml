@@ -73,7 +73,8 @@ let test_report_per_decision_math () =
       Report.protocol = "x"; z = 1; n = 4; batch_size = 10; throughput_txn_s = 0.;
       avg_latency_ms = 0.; p50_latency_ms = 0.; p95_latency_ms = 0.; p99_latency_ms = 0.;
       completed_batches = 0; completed_txns = 0; decisions = 10; local_msgs = 240;
-      global_msgs = 30; local_mb = 0.; global_mb = 0.; view_changes = 0; window_sec = 1.;
+      global_msgs = 30; local_mb = 0.; global_mb = 0.; view_changes = 0;
+      state_transfers = 0; holes_filled = 0; retransmissions = 0; window_sec = 1.;
     }
   in
   Alcotest.(check (float 0.001)) "local per decision" 24.0 (Report.local_msgs_per_decision r);

@@ -46,14 +46,26 @@ let test_in_order_no_gaps () =
 
 let test_checkpoint_gc () =
   (* With checkpoint_interval = 60 txns and batch = 5, checkpoints fire
-     every 12 sequence numbers; low_water must advance. *)
+     every 12 sequence numbers; after several intervals the stable
+     watermark must have advanced and every slot at or below it must
+     have been garbage-collected. *)
   let cfg = Itest.small_cfg () in
   let d, _ = run_small ~cfg ~sim_sec:4 () in
   let e = Rdb_pbft.Replica.engine (Dep.replica d 0) in
+  let every = Engine.checkpoint_every e in
   Alcotest.(check bool)
-    (Printf.sprintf "low water advanced (emit %d)" (Engine.next_emit e))
+    (Printf.sprintf "ran past several checkpoint intervals (emit %d, every %d)"
+       (Engine.next_emit e) every)
     true
-    (Engine.next_emit e > 12)
+    (Engine.next_emit e > 3 * every);
+  Alcotest.(check bool)
+    (Printf.sprintf "low water advanced (low_water %d)" (Engine.low_water e))
+    true
+    (Engine.low_water e >= every - 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "pre-watermark slots GC'd (min retained %d)" (Engine.min_retained_slot e))
+    true
+    (Engine.min_retained_slot e > Engine.low_water e)
 
 let test_primary_failure_view_change () =
   let cfg = Itest.small_cfg ~inflight:2 () in
@@ -139,6 +151,24 @@ let test_censoring_primary_recovers () =
   Alcotest.(check bool) "progress after deposition" true
     (report.Rdb_fabric.Report.completed_txns > 0)
 
+let test_client_retransmission_over_network () =
+  (* Replies to the client group are dropped on the wire for the first
+     1.5 s: the clients must hit [client_timeout_ms], retransmit (the
+     counter increments), and complete the batches once the rule is
+     lifted. *)
+  let base = Itest.small_cfg ~z:1 ~n:4 ~inflight:2 () in
+  let cfg = { base with Config.client_timeout_ms = 400.0 } in
+  let d = Dep.create ~n_records:Itest.records cfg in
+  let client_node = Config.client_node cfg ~cluster:0 in
+  Dep.add_drop_rule d (fun ~src:_ ~dst -> dst = client_node);
+  Dep.at d ~time:(Time.ms 1500) (fun () -> Dep.clear_drop_rules d);
+  let report = Dep.run ~warmup:(Time.sec 1) ~measure:(Time.sec 3) d in
+  let c = Dep.client d ~cluster:0 in
+  Alcotest.(check bool) "client retransmitted after timeout" true
+    (Rdb_pbft.Replica.client_retransmits c > 0);
+  Alcotest.(check bool) "batches complete once replies flow again" true
+    (report.Rdb_fabric.Report.completed_txns > 0)
+
 let test_determinism () =
   let r1 = snd (run_small ()) in
   let r2 = snd (run_small ()) in
@@ -158,6 +188,7 @@ let suite =
     ("beyond f failures halts", `Quick, test_too_many_failures_halt);
     ("equivocating primary deposed", `Slow, test_equivocating_primary_detected);
     ("censoring primary deposed", `Slow, test_censoring_primary_recovers);
+    ("client retransmission over the network", `Quick, test_client_retransmission_over_network);
     ("determinism", `Quick, test_determinism);
   ]
 

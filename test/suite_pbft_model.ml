@@ -78,6 +78,7 @@ let make_harness ~n =
         (fun ~delay k -> Rdb_sim.Engine.schedule_after engine_handle ~delay k);
       cancel_timer = Rdb_sim.Engine.cancel;
       execute = (fun _ ~cert:_ ~on_done -> on_done ());
+      ledger_read = (fun ~height:_ -> []);
       complete = (fun _ -> ());
       trace = (fun _ -> ());
     }

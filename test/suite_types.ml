@@ -142,6 +142,7 @@ let mk_client_ctx () =
       set_timer = (fun ~delay k -> Engine.schedule_after engine ~delay k);
       cancel_timer = Engine.cancel;
       execute = (fun _ ~cert:_ ~on_done -> on_done ());
+      ledger_read = (fun ~height:_ -> []);
       complete = (fun b -> completed := b.Batch.id :: !completed);
       trace = (fun _ -> ());
     }
@@ -177,8 +178,12 @@ let test_client_core_retransmit () =
     Client_core.create ~ctx ~threshold:2 ~transmit:(fun ~retry _ -> if retry then incr retries)
   in
   Client_core.submit core (mk_batch ~id:1 ());
+  (* Exponential backoff: retransmits land at 100, 300 (100+200) and
+     700 (300+400) ms after submission. *)
   Engine.run_until engine ~until:(Time.ms 350);
-  Alcotest.(check int) "retransmits at 100ms timeout" 3 !retries;
+  Alcotest.(check int) "retransmits back off (100ms, then 200ms)" 2 !retries;
+  Engine.run_until engine ~until:(Time.ms 750);
+  Alcotest.(check int) "third retransmit after a 400ms backoff" 3 !retries;
   Alcotest.(check (list int)) "still incomplete" [] !completed
 
 let test_client_core_duplicate_submit () =
@@ -223,6 +228,7 @@ let test_ctx_map_send () =
       set_timer = (fun ~delay k -> Engine.schedule_after engine ~delay k);
       cancel_timer = Engine.cancel;
       execute = (fun _ ~cert:_ ~on_done -> on_done ());
+      ledger_read = (fun ~height:_ -> []);
       complete = (fun _ -> ());
       trace = (fun _ -> ());
     }
