@@ -78,6 +78,140 @@ let write_results ~windows () =
   close_out oc;
   say "wrote BENCH_results.json (%d artifacts)\n%!" (List.length arts)
 
+(* -- bench smoke + regression gate ----------------------------------------- *)
+
+(* One small fixed-seed run per protocol.  The simulator is
+   deterministic, so for a given binary these numbers are exactly
+   reproducible; the CI gate compares them against bench/baseline.json
+   with a tolerance that absorbs legitimate cross-version drift. *)
+let smoke_windows = { Runner.warmup = Rdb_sim.Time.ms 500; measure = Rdb_sim.Time.ms 1500 }
+let smoke_cfg () = Config.make ~z:2 ~n:4 ~batch_size:50 ~client_inflight:16 ~seed:1 ()
+
+let smoke_runs () =
+  List.map
+    (fun p ->
+      let r = Runner.run_proto p ~windows:smoke_windows (smoke_cfg ()) in
+      say "  %s\n%!" (Report.to_string r);
+      (Runner.proto_name p, r))
+    Runner.all_protocols
+
+let run_smoke () =
+  timed "smoke" ~runs:(fun rs -> rs) (fun () ->
+      say "== bench smoke (z=2 n=4 batch=50, 0.5s + 1.5s) ==\n%!";
+      smoke_runs ())
+
+(* Baseline file: written by --write-baseline, committed as
+   bench/baseline.json, checked by --check (the CI regression gate).
+   The parser below is deliberately minimal — it reads only the format
+   written here (no external JSON dependency in the container). *)
+let write_baseline path runs =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"tolerance_pct\": 10.0,\n";
+  Printf.fprintf oc
+    "  \"config\": {\"z\": 2, \"n\": 4, \"batch_size\": 50, \"client_inflight\": 16, \"seed\": \
+     1, \"warmup_ms\": 500, \"measure_ms\": 1500},\n";
+  Printf.fprintf oc "  \"runs\": [\n";
+  List.iteri
+    (fun i (name, (r : Report.t)) ->
+      Printf.fprintf oc
+        "    {\"protocol\": %S, \"throughput_txn_s\": %.1f, \"avg_latency_ms\": %.3f}%s\n" name
+        r.Report.throughput_txn_s r.Report.avg_latency_ms
+        (if i < List.length runs - 1 then "," else ""))
+    runs;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  say "wrote %s (%d protocols)\n%!" path (List.length runs)
+
+(* Minimal scanner for the baseline format above. *)
+let find_sub s pat ~from =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else go (i + 1)
+  in
+  if from >= n then None else go from
+
+let number_after s name ~from =
+  match find_sub s (Printf.sprintf "\"%s\":" name) ~from with
+  | None -> None
+  | Some i ->
+      let start = i + String.length name + 3 in
+      let stop = ref start in
+      while
+        !stop < String.length s
+        && (match s.[!stop] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | ' ' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub s start (!stop - start)))
+
+let parse_baseline path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let tolerance =
+    match number_after s "tolerance_pct" ~from:0 with Some t -> t | None -> 10.
+  in
+  let rec collect acc from =
+    match find_sub s "\"protocol\": \"" ~from with
+    | None -> List.rev acc
+    | Some i ->
+        let name_start = i + String.length "\"protocol\": \"" in
+        let name_end = String.index_from s name_start '"' in
+        let proto = String.sub s name_start (name_end - name_start) in
+        let thr = number_after s "throughput_txn_s" ~from:name_end in
+        let lat = number_after s "avg_latency_ms" ~from:name_end in
+        (match (thr, lat) with
+        | Some thr, Some lat -> collect ((proto, thr, lat) :: acc) name_end
+        | _ -> collect acc name_end)
+  in
+  (tolerance, collect [] 0)
+
+(* The CI regression gate: rerun the smoke matrix, compare per-protocol
+   throughput and average latency against the committed baseline, exit
+   non-zero if any metric drifts beyond the tolerance.  Re-baseline
+   intentional performance changes with:
+     dune exec bench/main.exe -- --write-baseline bench/baseline.json *)
+let run_check path =
+  let tolerance, baseline = parse_baseline path in
+  if baseline = [] then begin
+    say "bench --check: no runs found in %s\n" path;
+    exit 2
+  end;
+  say "== bench regression check against %s (tolerance %.0f%%) ==\n%!" path tolerance;
+  let fresh = smoke_runs () in
+  let failures = ref 0 in
+  let check proto metric ~base ~got =
+    let drift = (got -. base) /. base *. 100. in
+    (* Higher throughput / lower latency than baseline is never a
+       regression; only flag drift in the bad direction. *)
+    let bad =
+      match metric with
+      | "throughput_txn_s" -> drift < -.tolerance
+      | _ -> drift > tolerance
+    in
+    say "  %-9s %-18s baseline %10.1f  got %10.1f  (%+.1f%%) %s\n%!" proto metric base got drift
+      (if bad then "FAIL" else "ok");
+    if bad then incr failures
+  in
+  List.iter
+    (fun (proto, base_thr, base_lat) ->
+      match List.assoc_opt proto fresh with
+      | None ->
+          say "  %-9s missing from fresh run set: FAIL\n" proto;
+          incr failures
+      | Some (r : Report.t) ->
+          check proto "throughput_txn_s" ~base:base_thr ~got:r.Report.throughput_txn_s;
+          check proto "avg_latency_ms" ~base:base_lat ~got:r.Report.avg_latency_ms)
+    baseline;
+  if !failures > 0 then begin
+    say "bench --check: %d metric(s) regressed beyond %.0f%%\n" !failures tolerance;
+    exit 1
+  end;
+  say "bench --check: all %d protocols within %.0f%% of baseline\n" (List.length baseline)
+    tolerance
+
 (* -- Bechamel micro-benchmarks ----------------------------------------------- *)
 
 let micro_tests () =
@@ -235,11 +369,31 @@ let run_fig13 () =
       Figures.Fig13.print rows;
       rows)
 
+(* Pull "--flag PATH" out of an argument list; returns (path, rest). *)
+let rec take_flag flag = function
+  | [] -> (None, [])
+  | f :: path :: rest when f = flag -> (Some path, rest)
+  | a :: rest ->
+      let v, rest = take_flag flag rest in
+      (v, a :: rest)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   if full then windows_ref := Runner.full_windows;
   let args = List.filter (fun a -> a <> "--full") args in
+  let check_path, args = take_flag "--check" args in
+  let baseline_path, args = take_flag "--write-baseline" args in
+  (match (check_path, baseline_path) with
+  | Some path, _ ->
+      (* CI regression gate: compare a fresh smoke matrix against the
+         committed baseline and exit non-zero on regression. *)
+      run_check path;
+      exit 0
+  | None, Some path ->
+      write_baseline path (smoke_runs ());
+      exit 0
+  | None, None -> ());
   let targets =
     if args = [] || List.mem "all" args then
       [ "table1"; "table2"; "fig10"; "fig11"; "fig12"; "fig13"; "ablations"; "micro" ]
@@ -258,6 +412,7 @@ let () =
       | "fig13" -> ignore (run_fig13 ())
       | "ablations" -> ignore (run_ablations ())
       | "micro" -> timed "micro" run_micro
-      | other -> say "unknown target %S (expected table1 table2 fig10..fig13 micro)\n" other)
+      | "smoke" -> ignore (run_smoke ())
+      | other -> say "unknown target %S (expected table1 table2 fig10..fig13 smoke micro)\n" other)
     targets;
   write_results ~windows:!windows_ref ()

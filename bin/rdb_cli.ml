@@ -74,20 +74,43 @@ let run_cmd =
                 primary (mid-run primary crash), chaos or chaos:SEED (seeded fault timeline \
                 with continuous safety-invariant checking; same seed, same faults).")
   in
-  let go protocol z n batch inflight warmup measure seed fault =
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "Record a consensus-path trace and write it as Chrome trace-event JSON to \
+                \\$(docv) (load it at ui.perfetto.dev or chrome://tracing).  Also prints the \
+                per-phase latency breakdown and the deterministic trace digest: same seed, \
+                same digest.")
+  in
+  let go protocol z n batch inflight warmup measure seed fault trace_out =
     let cfg = Config.make ~z ~n ~batch_size:batch ~client_inflight:inflight ~seed () in
     let windows = { Runner.warmup = Time.sec warmup; measure = Time.sec measure } in
+    let tracer =
+      Option.map (fun _ -> Resilientdb.Trace.create ~keep_events:true ()) trace_out
+    in
     let t0 = Unix.gettimeofday () in
-    let report = Runner.run_proto protocol ~windows ~fault cfg in
+    let report = Runner.run_proto protocol ~windows ~fault ?tracer cfg in
     Printf.printf "%s\n" (Report.to_string report);
     Printf.printf "%s\n" (Format.asprintf "%a" Report.pp_recovery report);
+    (match (trace_out, tracer) with
+    | Some file, Some tr ->
+        let oc = open_out file in
+        Resilientdb.Trace.write_chrome_json tr oc;
+        close_out oc;
+        Printf.printf "%s" (Format.asprintf "%a" Report.pp_trace report);
+        (match report.Report.trace with
+        | Some s -> Printf.printf "trace digest: %s\n" s.Resilientdb.Trace.digest_hex
+        | None -> ());
+        Printf.printf "wrote %s (%d events)\n" file (Resilientdb.Trace.events_kept tr)
+    | _ -> ());
     Printf.printf "(simulated %ds in %.1fs of wall-clock time)\n" (warmup + measure)
       (Unix.gettimeofday () -. t0)
   in
   let term =
     Term.(
       const go $ protocol $ clusters $ replicas $ batch $ inflight $ warmup $ measure $ seed
-      $ fault)
+      $ fault $ trace_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulated geo-scale deployment and report its metrics.") term
 

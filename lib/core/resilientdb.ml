@@ -57,6 +57,10 @@ module Network = Rdb_sim.Network
 module Cpu = Rdb_sim.Cpu
 module Net_stats = Rdb_sim.Stats
 
+(* Consensus-path tracing (Chrome trace-event JSON + per-phase
+   aggregation + deterministic digest) *)
+module Trace = Rdb_trace.Trace
+
 (* Shared types *)
 module Txn = Rdb_types.Txn
 module Batch = Rdb_types.Batch

@@ -64,7 +64,14 @@ let full_windows = { warmup = Time.sec 15; measure = Time.sec 45 }
    module type so the protocol dispatch can use first-class modules. *)
 module type DEP = sig
   type t
-  val create : ?trace:bool -> ?n_records:int -> ?retain_payloads:bool -> Config.t -> t
+
+  val create :
+    ?trace:bool ->
+    ?tracer:Rdb_trace.Trace.t ->
+    ?n_records:int ->
+    ?retain_payloads:bool ->
+    Config.t ->
+    t
   val run : ?warmup:Time.t -> ?measure:Time.t -> t -> Report.t
   val crash_replica : t -> int -> unit
   val recover_replica : t -> int -> unit
@@ -208,8 +215,8 @@ let chaos_plan (type a) (module D : DEP with type t = a) (d : a) (p : proto)
   let timeline = Chaos.plan ~rng ~surface pc in
   (seed, surface, timeline, liveness_window_ms)
 
-let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) (cfg : Config.t) :
-    Report.t =
+let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?tracer
+    (cfg : Config.t) : Report.t =
   let go : type a.
       (module DEP with type t = a) ->
       equiv:
@@ -218,7 +225,7 @@ let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) (cfg 
       Report.t =
    fun (module D) ~equiv ->
     (* Experiments sweep many large deployments: keep ledgers compact. *)
-    let d = D.create ~retain_payloads:false cfg in
+    let d = D.create ?tracer ~retain_payloads:false cfg in
     match fault with
     | Chaos s ->
         let seed, surface, timeline, liveness_window_ms =

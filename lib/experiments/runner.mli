@@ -37,9 +37,12 @@ val default_windows : windows
 val full_windows : windows
 (** 15 s + 45 s, approaching the paper's 60 s + 120 s methodology. *)
 
-val run_proto : proto -> ?windows:windows -> ?fault:fault -> Config.t -> Report.t
+val run_proto :
+  proto -> ?windows:windows -> ?fault:fault -> ?tracer:Rdb_trace.Trace.t -> Config.t -> Report.t
 (** Build the deployment (compact-ledger mode), inject the fault,
-    run warm-up + measurement, return the report.
+    run warm-up + measurement, return the report.  [tracer] threads a
+    consensus-path tracer through the whole stack (network, CPU,
+    protocol phases); the report then carries its summary.
     @raise Chaos.Violation under [Chaos _] if an invariant breaks. *)
 
 val chaos_profile : proto -> Config.t -> Chaos.caps * Chaos.agreement_mode * float

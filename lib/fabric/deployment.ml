@@ -64,6 +64,9 @@ module Make (P : Protocol.S) = struct
     mutable crashed : bool array;
     mutable stats_before : Stats.snapshot option;
     trace_enabled : bool;
+    (* Structured consensus-path tracer (Rdb_trace); None = off, and
+       every probe degrades to a no-op closure or a single match. *)
+    tracer : Rdb_trace.Trace.t option;
     (* When false, ledgers keep block headers/digests but drop txn
        payloads — the memory-friendly mode for long benchmark sweeps
        (a 60-replica run otherwise retains every batch 60 times). *)
@@ -115,7 +118,12 @@ module Make (P : Protocol.S) = struct
             ignore
               (Ledger.append ledger ~round:(Ledger.length ledger) ~cluster:batch.Batch.cluster
                  ~batch:stored ~cert);
-            if node = 0 then Metrics.record_decision t.metrics;
+            if node = 0 then begin
+              Metrics.record_decision t.metrics;
+              match t.tracer with
+              | None -> ()
+              | Some tr -> Rdb_trace.Trace.note_decision tr
+            end;
             on_done ()
           end)
     in
@@ -144,6 +152,13 @@ module Make (P : Protocol.S) = struct
         Printf.eprintf "[%8.3fms] %s\n%!" (Time.to_ms_f (Engine.now t.engine)) (Lazy.force msg)
       else fun _ -> ()
     in
+    let phase =
+      match t.tracer with
+      | None -> fun ~key:_ ~name:_ -> ()
+      | Some tr ->
+          fun ~key ~name ->
+            Rdb_trace.Trace.phase_mark tr ~node ~key ~name ~now:(Engine.now t.engine)
+    in
     {
       Ctx.id = node;
       config = cfg;
@@ -158,6 +173,7 @@ module Make (P : Protocol.S) = struct
       ledger_read;
       complete = (if is_replica then fun _ -> () else complete);
       trace;
+      phase;
     }
 
   (* -- closed-loop client drivers ---------------------------------------- *)
@@ -181,15 +197,15 @@ module Make (P : Protocol.S) = struct
 
   (* -- construction -------------------------------------------------------- *)
 
-  let create ?(trace = false) ?(n_records = Table.default_records) ?(retain_payloads = true)
-      (cfg : Config.t) =
+  let create ?(trace = false) ?tracer ?(n_records = Table.default_records)
+      ?(retain_payloads = true) (cfg : Config.t) =
     if cfg.Config.z < 1 || cfg.Config.z > 6 then
       invalid_arg "Deployment.create: z must be within the paper's six regions";
     let engine = Engine.create ~seed:cfg.Config.seed () in
     let topo = Topology.clustered ~z:cfg.Config.z ~n:cfg.Config.n in
     let n_nodes = Config.n_nodes cfg in
     let keychain = Keychain.create ~seed:(Printf.sprintf "rdb-%d" cfg.Config.seed) ~n_nodes in
-    let cpu = Cpu.create ~engine ~n_nodes () in
+    let cpu = Cpu.create ?trace:tracer ~engine ~n_nodes () in
     let metrics = Metrics.create () in
     let n_repl = Config.n_replicas cfg in
     let ledgers = Array.init n_repl (fun _ -> Ledger.create ()) in
@@ -231,9 +247,22 @@ module Make (P : Protocol.S) = struct
           end
     in
     let net =
-      Network.create ~wan_egress_mbps:cfg.Config.wan_egress_mbps ~engine ~topo ~jitter_ms:0.2
-        ~deliver ()
+      Network.create ~wan_egress_mbps:cfg.Config.wan_egress_mbps ?trace:tracer ~engine ~topo
+        ~jitter_ms:0.2 ~deliver ()
     in
+    (* One Chrome/Perfetto track per node, labeled with its role. *)
+    (match tracer with
+    | None -> ()
+    | Some tr ->
+        for node = 0 to n_nodes - 1 do
+          let name =
+            if Config.is_replica cfg node then
+              Printf.sprintf "replica %d (cluster %d, idx %d)" node
+                (Config.cluster_of_replica cfg node) (Config.local_index cfg node)
+            else Printf.sprintf "clients (cluster %d)" (Config.cluster_of_client cfg node)
+          in
+          Rdb_trace.Trace.set_track_name tr ~node name
+        done);
     let t =
       {
         cfg;
@@ -250,6 +279,7 @@ module Make (P : Protocol.S) = struct
         crashed = Array.make n_nodes false;
         stats_before = None;
         trace_enabled = trace;
+        tracer;
         retain_payloads;
       }
     in
@@ -382,5 +412,7 @@ module Make (P : Protocol.S) = struct
       holes_filled = (recovery_totals t).Protocol.holes_filled;
       retransmissions = (recovery_totals t).Protocol.retransmissions;
       window_sec = Metrics.window_sec t.metrics;
+      (* Finalizes the digest: [run] is the end of the traced stream. *)
+      trace = Option.map Rdb_trace.Trace.summary t.tracer;
     }
 end

@@ -25,6 +25,9 @@ type t = {
   holes_filled : int;
   retransmissions : int;
   window_sec : float;
+  (* Whole-run trace summary (per-phase latency breakdown, traced
+     message counts, deterministic digest); None when tracing was off. *)
+  trace : Rdb_trace.Trace.summary option;
 }
 
 (* Per-decision message complexity — the quantities of Table 2. *)
@@ -44,5 +47,12 @@ let pp_recovery fmt t =
   Format.fprintf fmt
     "recovery: state transfers %d | holes filled %d | retransmissions %d"
     t.state_transfers t.holes_filled t.retransmissions
+
+(* Per-phase latency breakdown and per-decision traced message counts
+   (whole run, all nodes) — empty when the run was not traced. *)
+let pp_trace fmt t =
+  match t.trace with
+  | None -> ()
+  | Some s -> Rdb_trace.Trace.pp_summary fmt s
 
 let to_string t = Format.asprintf "%a" pp t

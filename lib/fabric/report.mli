@@ -24,6 +24,9 @@ type t = {
   holes_filled : int;      (** execution holes filled by catch-up *)
   retransmissions : int;   (** timeout-driven protocol retransmissions *)
   window_sec : float;
+  trace : Rdb_trace.Trace.summary option;
+      (** whole-run trace summary (phase breakdown, traced message
+          counts, deterministic digest); [None] when tracing was off *)
 }
 
 val local_msgs_per_decision : t -> float
@@ -35,5 +38,9 @@ val pp : Format.formatter -> t -> unit
 
 val pp_recovery : Format.formatter -> t -> unit
 (** One-line summary of the recovery-subsystem counters. *)
+
+val pp_trace : Format.formatter -> t -> unit
+(** Per-phase latency breakdown + per-decision traced message counts;
+    prints nothing when the run was not traced. *)
 
 val to_string : t -> string

@@ -134,6 +134,14 @@ let local_members r = Config.replicas_of_cluster r.cfg r.my_cluster
 let broadcast_local r m =
   List.iter (fun dst -> if dst <> r.ctx.Ctx.id then send r ~dst m) (local_members r)
 
+(* Trace-phase slot key.  The local cluster's chain uses the engine seq
+   (= round) directly, so the embedded Pbft engine's propose / prepare /
+   commit marks, the primary's certify-share mark and the execute mark
+   chain up; remote-cluster batches get a disjoint per-cluster
+   namespace (rounds stay far below 2^24 in any simulated run). *)
+let phase_key r ~cluster ~round =
+  if cluster = r.my_cluster then round else ((cluster + 1) lsl 24) lor round
+
 (* -- execution ----------------------------------------------------------- *)
 
 (* Execute rounds strictly in order; each round executes its z batches
@@ -181,6 +189,9 @@ and exec_batches r round = function
   | (batch, cert) :: rest ->
       r.issued <- r.issued + 1;
       r.ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
+          r.ctx.Ctx.phase
+            ~key:(phase_key r ~cluster:cert.Certificate.cluster ~round)
+            ~name:"execute";
           r.appended <- r.appended + 1;
           (* Inform only local clients (§2.4). *)
           (if (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster then
@@ -347,6 +358,7 @@ and share_round r ~round (batch : Batch.t) (cert : Certificate.t) =
          (Config.hash_cost cfg ~bytes:(share_size cfg))
          (Time.of_us_f (cfg.Config.costs.Config.mac_us *. float_of_int n_macs)))
     (fun () ->
+      r.ctx.Ctx.phase ~key:round ~name:"certify-share";
       let shares_with c =
         match r.share_filter with None -> true | Some keep -> keep ~round ~cluster:c
       in
@@ -377,6 +389,7 @@ and accept_share r ~src ~round (batch : Batch.t) (cert : Certificate.t) =
             && Certificate.verify ~keychain:r.ctx.Ctx.keychain ~quorum:(Config.quorum r.cfg) cert
             && Batch.verify ~keychain:r.ctx.Ctx.keychain batch
           then begin
+            r.ctx.Ctx.phase ~key:(phase_key r ~cluster:c ~round) ~name:"certify-share";
             Hashtbl.replace tr.certified round (batch, cert);
             (* Local phase: receipts from outside the cluster are
                rebroadcast to all local replicas (Figure 5, line 3-4). *)

@@ -243,6 +243,10 @@ let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
 
 (* -- leader side ---------------------------------------------------------- *)
 
+(* Trace-phase slot key for (instance owner, height): instances are
+   per-replica logs, so heights alone would collide across owners. *)
+let hs_key ~owner ~height = ((owner + 1) lsl 32) lor height
+
 let rec leader_propose r inst =
   if
     inst.owner = r.ctx.Ctx.id
@@ -255,6 +259,7 @@ let rec leader_propose r inst =
     r.ctx.Ctx.charge ~stage:Cpu.Batching ~cost:(Config.batch_asm_cost r.cfg) (fun () ->
         let s = slot_of inst height in
         s.batch <- Some batch;
+        r.ctx.Ctx.phase ~key:(hs_key ~owner:inst.owner ~height) ~name:"propose";
         broadcast r (Propose { inst = inst.owner; height; batch });
         (* The leader's proposal is its own prepare vote. *)
         record_vote r inst ~height ~phase:Prepare ~voter:r.ctx.Ctx.id ~digest:batch.Batch.digest);
@@ -292,11 +297,16 @@ and apply_qc r inst ~height ~phase =
       let digest = b.Batch.digest in
       let me = r.ctx.Ctx.id in
       let i_am_leader = inst.owner = me in
+      let key = hs_key ~owner:inst.owner ~height in
       match phase with
       | Prepare ->
+          r.ctx.Ctx.phase ~key ~name:"prepare";
           if i_am_leader then record_vote r inst ~height ~phase:Precommit ~voter:me ~digest
           else vote r inst ~height ~phase:Precommit ~digest
       | Precommit ->
+          (* The precommit QC is HotStuff's lock: from here the slot can
+             only decide, so it maps onto the generic "commit" phase. *)
+          r.ctx.Ctx.phase ~key ~name:"commit";
           if i_am_leader then record_vote r inst ~height ~phase:Commit ~voter:me ~digest
           else vote r inst ~height ~phase:Commit ~digest
       | Commit -> decide r inst ~height)
@@ -327,7 +337,9 @@ and exec_ready r inst =
           Hashtbl.remove inst.archive (inst.next_exec - 1 - archive_retention);
           Hashtbl.remove inst.slots (inst.next_exec - 64);
           r.decided_total <- r.decided_total + 1;
+          let exec_height = inst.next_exec - 1 in
           r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+              r.ctx.Ctx.phase ~key:(hs_key ~owner:inst.owner ~height:exec_height) ~name:"execute";
               (if not (Batch.is_noop batch) then
                  send r ~dst:batch.Batch.origin
                    (Reply { batch_id = batch.Batch.id; result_digest = result_digest batch }));
@@ -357,6 +369,7 @@ let on_message r ~src (m : msg) =
         let s = slot_of inst height in
         if s.batch = None then begin
           s.batch <- Some batch;
+          r.ctx.Ctx.phase ~key:(hs_key ~owner:i ~height) ~name:"propose";
           vote r inst ~height ~phase:Prepare ~digest:batch.Batch.digest
         end;
         if inst_stalled inst then ensure_task r

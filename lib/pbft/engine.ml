@@ -428,6 +428,7 @@ and accept_preprepare t ~view ~seq ~batch =
   let s = slot t seq in
   if s.emitted then ()
   else begin
+    t.ctx.Ctx.phase ~key:seq ~name:"propose";
     s.sview <- view;
     s.batch <- Some batch;
     s.digest <- Some batch.Batch.digest;
@@ -454,6 +455,7 @@ and check_prepared t s =
       in
       if matching >= t.quorum then begin
         s.sent_commit <- true;
+        t.ctx.Ctx.phase ~key:s.seq ~name:"prepare";
         let payload =
           Certificate.commit_payload ~cluster:t.cluster ~view:s.sview ~seq:s.seq ~digest:d
         in
@@ -506,6 +508,7 @@ and emit_ready t =
         match (s.batch, s.digest) with
         | Some b, Some d ->
             s.emitted <- true;
+            t.ctx.Ctx.phase ~key:s.seq ~name:"commit";
             t.chain <- Rdb_crypto.Sha256.digest_list [ t.chain; d ];
             (* Assemble the commit certificate: n − f matching signed
                commits, deterministically ordered. *)

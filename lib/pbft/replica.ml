@@ -125,6 +125,7 @@ let install (r : replica) ~from ~anchor_seq ~anchor_digest ~view ~blocks =
         r.issued <- r.issued + 1;
         incr filled;
         r.ctx.Ctx.execute batch ~cert ~on_done:(fun () ->
+            r.ctx.Ctx.phase ~key:h ~name:"execute";
             r.appended <- r.appended + 1;
             if not (Batch.is_noop batch) then
               Hashtbl.replace r.reply_cache batch.Batch.digest batch.Batch.id);
@@ -174,7 +175,7 @@ let create_replica (ctx : msg Ctx.t) =
   let cfg = ctx.Ctx.config in
   let engine_ctx = Ctx.map_send (fun m -> Engine_msg m) ctx in
   let r_ref = ref None in
-  let on_committed ~seq:_ (batch : Batch.t) cert =
+  let on_committed ~seq (batch : Batch.t) cert =
     match !r_ref with
     | None -> ()
     | Some r ->
@@ -183,6 +184,7 @@ let create_replica (ctx : msg Ctx.t) =
            frontier: catch-up is done. *)
         r.recovering <- false;
         ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
+            ctx.Ctx.phase ~key:seq ~name:"execute";
             r.appended <- r.appended + 1;
             if not (Batch.is_noop batch) then begin
               Hashtbl.replace r.reply_cache batch.Batch.digest batch.Batch.id;

@@ -52,14 +52,16 @@ type t = {
   busy : Time.t array array;        (* busy.(node).(stage) = busy-until *)
   busy_ns : float array array;      (* accumulated busy time *)
   sync_threshold : Time.t;          (* run continuations inline below this cost *)
+  trace : Rdb_trace.Trace.t option; (* per-charge spans; None = no overhead *)
 }
 
-let create ?(sync_threshold = Time.us 5) ~engine ~n_nodes () =
+let create ?(sync_threshold = Time.us 5) ?trace ~engine ~n_nodes () =
   {
     engine;
     busy = Array.init n_nodes (fun _ -> Array.make n_stages Time.zero);
     busy_ns = Array.init n_nodes (fun _ -> Array.make n_stages 0.);
     sync_threshold;
+    trace;
   }
 
 (* Charge [cost] of CPU work on [stage] of [node]; run [k] on completion. *)
@@ -70,6 +72,9 @@ let charge t ~node ~stage ~cost k =
   let finish = Time.add start cost in
   t.busy.(node).(s) <- finish;
   t.busy_ns.(node).(s) <- t.busy_ns.(node).(s) +. Int64.to_float cost;
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Rdb_trace.Trace.cpu_span tr ~node ~stage:(stage_name stage) ~start ~dur:cost);
   if Time.( <= ) finish (Time.add now t.sync_threshold) && Time.compare start now = 0 then k ()
   else ignore (Engine.schedule_at t.engine ~at:finish k)
 

@@ -18,11 +18,13 @@ val stage_name : stage -> string
 
 type t
 
-val create : ?sync_threshold:Time.t -> engine:Engine.t -> n_nodes:int -> unit -> t
+val create :
+  ?sync_threshold:Time.t -> ?trace:Rdb_trace.Trace.t -> engine:Engine.t -> n_nodes:int -> unit -> t
 (** [sync_threshold] (default 5 us): work cheaper than this on an idle
     stage runs its continuation synchronously — an optimization that
     keeps all-to-all message floods tractable without observable
-    reordering. *)
+    reordering.  [trace] records one span per [charge] (stage name,
+    start, cost); omitting it keeps tracing free. *)
 
 val charge : t -> node:int -> stage:stage -> cost:Time.t -> (unit -> unit) -> unit
 (** [charge t ~node ~stage ~cost k] runs [k] when the work completes. *)

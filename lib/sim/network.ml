@@ -52,9 +52,13 @@ type 'm t = {
   link_dup : (int * int, float) Hashtbl.t;
   jitter_ms : float;
   stats : Stats.t;
+  (* Optional consensus-path tracer: message lifecycle events (queue /
+     tx spans, deliver / drop instants).  [None] costs one match per
+     send — the zero-overhead-when-off contract. *)
+  trace : Rdb_trace.Trace.t option;
 }
 
-let create ?(wan_egress_mbps = 0.) ~engine ~topo ~jitter_ms ~deliver () =
+let create ?(wan_egress_mbps = 0.) ?trace ~engine ~topo ~jitter_ms ~deliver () =
   let n = Topology.n_nodes topo in
   let r = Topology.n_regions topo in
   {
@@ -70,6 +74,7 @@ let create ?(wan_egress_mbps = 0.) ~engine ~topo ~jitter_ms ~deliver () =
     link_dup = Hashtbl.create 8;
     jitter_ms;
     stats = Stats.create ();
+    trace;
   }
 
 let stats t = t.stats
@@ -132,13 +137,24 @@ let lossy t ~src ~dst =
   | None -> false
   | Some p -> Rdb_prng.Rng.float (Engine.rng t.engine) < p
 
+let trace_drop t ~src ~dst ~size ~reason =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Rdb_trace.Trace.net_drop tr ~src ~dst ~size ~at:(Engine.now t.engine) ~reason
+
 let send t ~src ~dst ~size msg =
   if t.crashed.(src) then ()
-  else if List.exists (fun (_, rule) -> rule ~src ~dst) t.drop_rules then
-    Stats.count_dropped t.stats ~size
-  else if lossy t ~src ~dst then Stats.count_dropped t.stats ~size
+  else if List.exists (fun (_, rule) -> rule ~src ~dst) t.drop_rules then begin
+    Stats.count_dropped t.stats ~size;
+    trace_drop t ~src ~dst ~size ~reason:"rule"
+  end
+  else if lossy t ~src ~dst then begin
+    Stats.count_dropped t.stats ~size;
+    trace_drop t ~src ~dst ~size ~reason:"loss"
+  end
   else begin
     let now = Engine.now t.engine in
+    let admitted = now in
     let local = Topology.same_region t.topo src dst in
     Stats.count_sent t.stats ~local ~size;
     let dst_region = Topology.region_of t.topo dst in
@@ -158,25 +174,37 @@ let send t ~src ~dst ~size msg =
       else now
     in
     let busy = t.uplink_busy.(src).(dst_region) in
-    let depart = Time.add (Time.max now busy) (transmission_ns ~size_bytes:size ~bw_mbps:bw) in
+    let start = Time.max now busy in
+    let depart = Time.add start (transmission_ns ~size_bytes:size ~bw_mbps:bw) in
     t.uplink_busy.(src).(dst_region) <- depart;
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+        (* [admitted] is when the caller handed us the message; any WAN
+           egress serialization shows up as queueing before [start]. *)
+        Rdb_trace.Trace.net_send tr ~src ~dst ~size ~local ~now:admitted ~start ~depart);
     let delay = Time.of_ms_f (Topology.one_way_ms t.topo ~a:src ~b:dst) in
     let jitter =
       if t.jitter_ms <= 0. then Time.zero
       else Time.of_ms_f (Rdb_prng.Rng.float_range (Engine.rng t.engine) ~lo:0. ~hi:t.jitter_ms)
     in
     let arrive = Time.add depart (Time.add delay jitter) in
-    ignore
-      (Engine.schedule_at t.engine ~at:arrive (fun () ->
-           if not t.crashed.(dst) then t.deliver ~src ~dst msg));
+    let deliver_traced () =
+      if t.crashed.(dst) then trace_drop t ~src ~dst ~size ~reason:"dst-crashed"
+      else begin
+        (match t.trace with
+        | None -> ()
+        | Some tr -> Rdb_trace.Trace.net_deliver tr ~src ~dst ~size ~at:(Engine.now t.engine));
+        t.deliver ~src ~dst msg
+      end
+    in
+    ignore (Engine.schedule_at t.engine ~at:arrive deliver_traced);
     (* Duplication: deliver a second copy shortly after the first (a
        retransmitted or re-routed frame); receivers must deduplicate. *)
     (match Hashtbl.find_opt t.link_dup (src, dst) with
     | Some p when Rdb_prng.Rng.float (Engine.rng t.engine) < p ->
         let again = Time.add arrive (Time.of_ms_f 0.05) in
-        ignore
-          (Engine.schedule_at t.engine ~at:again (fun () ->
-               if not t.crashed.(dst) then t.deliver ~src ~dst msg))
+        ignore (Engine.schedule_at t.engine ~at:again deliver_traced)
     | _ -> ())
   end
 

@@ -19,6 +19,7 @@ type 'm t
 
 val create :
   ?wan_egress_mbps:float ->
+  ?trace:Rdb_trace.Trace.t ->
   engine:Engine.t ->
   topo:Topology.t ->
   jitter_ms:float ->
@@ -27,7 +28,9 @@ val create :
   'm t
 (** [wan_egress_mbps] caps one node's total cross-region egress
     (0 = uncapped); [jitter_ms] adds uniform random delay in
-    [0, jitter_ms). *)
+    [0, jitter_ms).  [trace] records the message lifecycle (queue/tx
+    spans, deliver/drop instants) of every message; omitting it makes
+    tracing cost a single match per send. *)
 
 val send : 'm t -> src:int -> dst:int -> size:int -> 'm -> unit
 val multicast : 'm t -> src:int -> dsts:int list -> size:int -> 'm -> unit

@@ -40,11 +40,26 @@ let global_msgs t = t.global_msgs
 let local_bytes t = t.local_bytes
 let global_bytes t = t.global_bytes
 let dropped_msgs t = t.dropped_msgs
+let dropped_bytes t = t.dropped_bytes
 
-type snapshot = { l_msgs : int; g_msgs : int; l_bytes : int; g_bytes : int }
+type snapshot = {
+  l_msgs : int;
+  g_msgs : int;
+  l_bytes : int;
+  g_bytes : int;
+  d_msgs : int;
+  d_bytes : int;
+}
 
 let snapshot t =
-  { l_msgs = t.local_msgs; g_msgs = t.global_msgs; l_bytes = t.local_bytes; g_bytes = t.global_bytes }
+  {
+    l_msgs = t.local_msgs;
+    g_msgs = t.global_msgs;
+    l_bytes = t.local_bytes;
+    g_bytes = t.global_bytes;
+    d_msgs = t.dropped_msgs;
+    d_bytes = t.dropped_bytes;
+  }
 
 (* Difference of two snapshots: traffic in the measurement window. *)
 let diff ~after ~before =
@@ -53,4 +68,6 @@ let diff ~after ~before =
     g_msgs = after.g_msgs - before.g_msgs;
     l_bytes = after.l_bytes - before.l_bytes;
     g_bytes = after.g_bytes - before.g_bytes;
+    d_msgs = after.d_msgs - before.d_msgs;
+    d_bytes = after.d_bytes - before.d_bytes;
   }

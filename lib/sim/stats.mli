@@ -14,8 +14,16 @@ val global_msgs : t -> int
 val local_bytes : t -> int
 val global_bytes : t -> int
 val dropped_msgs : t -> int
+val dropped_bytes : t -> int
 
-type snapshot = { l_msgs : int; g_msgs : int; l_bytes : int; g_bytes : int }
+type snapshot = {
+  l_msgs : int;
+  g_msgs : int;
+  l_bytes : int;
+  g_bytes : int;
+  d_msgs : int;  (** messages dropped (rules, partitions, lossy links) *)
+  d_bytes : int;
+}
 
 val snapshot : t -> snapshot
 

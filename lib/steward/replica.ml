@@ -197,6 +197,7 @@ let rec exec_ready r =
     match Hashtbl.find_opt r.proposals r.next_exec with
     | None -> ()
     | Some batch ->
+        let g = r.next_exec in
         r.next_exec <- r.next_exec + 1;
         let old = r.next_exec - 512 in
         Hashtbl.remove r.proposals old;
@@ -205,6 +206,7 @@ let rec exec_ready r =
         Hashtbl.remove r.accepted_digest old;
         Hashtbl.remove r.commit_sent old;
         r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+            r.ctx.Ctx.phase ~key:g ~name:"execute";
             (if (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster then
                send r ~dst:batch.Batch.origin
                  (Reply { batch_id = batch.Batch.id; result_digest = result_digest batch }));
@@ -222,6 +224,7 @@ let rec assign_more r =
     let g = r.next_g in
     r.next_g <- g + 1;
     note_g r g;
+    r.ctx.Ctx.phase ~key:g ~name:"propose";
     (* Certify the assignment within the primary site, then propose
        globally. *)
     let tag = Printf.sprintf "prop:%d" g in
@@ -240,10 +243,12 @@ and accept_proposal r ~g ~batch =
   note_g r g;
   Hashtbl.remove r.pending_forwards batch.Batch.digest;
   if not (Hashtbl.mem r.proposals g) then begin
+    r.ctx.Ctx.phase ~key:g ~name:"propose";
     Hashtbl.replace r.proposals g batch;
     broadcast_site r (Local_bcast { g; batch });
     let tag = Printf.sprintf "acc:%d" g in
     start_certify r ~tag ~digest:batch.Batch.digest ~on_cert:(fun () ->
+        r.ctx.Ctx.phase ~key:g ~name:"certify-share";
         for c = 0 to r.cfg.Config.z - 1 do
           if c <> r.my_cluster then
             send r ~dst:(rep_of r.cfg ~cluster:c)
@@ -268,6 +273,7 @@ and record_accept r ~g ~site ~digest =
   | Some d when String.equal d digest -> Hashtbl.replace tbl site ()
   | _ -> ());
   if Hashtbl.length tbl >= majority_sites r.cfg && not (Hashtbl.mem r.commit_sent g) then begin
+    r.ctx.Ctx.phase ~key:g ~name:"commit";
     Hashtbl.replace r.commit_sent g ();
     Hashtbl.replace r.committed g ();
     broadcast_site r (Local_commit { g });
@@ -495,6 +501,7 @@ let on_message r ~src (m : msg) =
       if src = rep_of r.cfg ~cluster:r.my_cluster then begin
         note_g r g;
         if not (Hashtbl.mem r.proposals g) then begin
+          r.ctx.Ctx.phase ~key:g ~name:"propose";
           Hashtbl.replace r.proposals g batch;
           exec_ready r
         end
@@ -502,6 +509,7 @@ let on_message r ~src (m : msg) =
   | Local_commit { g } ->
       if src = rep_of r.cfg ~cluster:r.my_cluster then begin
         note_g r g;
+        if not (Hashtbl.mem r.committed g) then r.ctx.Ctx.phase ~key:g ~name:"commit";
         Hashtbl.replace r.committed g ();
         exec_ready r
       end

@@ -1,0 +1,258 @@
+(* Structured consensus-path tracing: event stream -> (a) Chrome
+   trace-event JSON, (b) per-phase latency aggregation, (c) a streaming
+   SHA-256 digest over the canonical event encoding.  The digest is the
+   determinism witness: the DES guarantees same seed => same event
+   sequence, so same seed => same digest, byte for byte. *)
+
+module Sha256 = Rdb_crypto.Sha256
+
+type kind = Span | Instant
+
+type event = {
+  kind : kind;
+  cat : string;
+  name : string;
+  node : int;
+  ts : int64;  (* simulated ns *)
+  dur : int64;  (* 0 for instants *)
+  arg : string;  (* free-form detail, "" if none *)
+}
+
+type phase_acc = { mutable count : int; mutable total : int64; mutable max : int64 }
+
+type t = {
+  keep_events : bool;
+  mutable rev_events : event list;  (* only populated when keep_events *)
+  mutable n_events : int;
+  digest : Sha256.ctx;
+  mutable finalized : string option;
+  (* phase chaining: (node, key) -> timestamp of the previous mark *)
+  open_chains : (int * int, int64) Hashtbl.t;
+  phase_agg : (string, phase_acc) Hashtbl.t;
+  track_names : (int, string) Hashtbl.t;
+  mutable net_local : int;
+  mutable net_global : int;
+  mutable net_dropped : int;
+  mutable decisions : int;
+}
+
+let create ?(keep_events = false) () =
+  {
+    keep_events;
+    rev_events = [];
+    n_events = 0;
+    digest = Sha256.init ();
+    finalized = None;
+    open_chains = Hashtbl.create 1024;
+    phase_agg = Hashtbl.create 16;
+    track_names = Hashtbl.create 64;
+    net_local = 0;
+    net_global = 0;
+    net_dropped = 0;
+    decisions = 0;
+  }
+
+(* Canonical line fed to the digest.  Everything that identifies the
+   event is included; the format never changes silently (the digest is
+   asserted byte-identical across same-seed runs in the test suite). *)
+let canonical e =
+  Printf.sprintf "%c|%s|%s|%d|%Ld|%Ld|%s\n"
+    (match e.kind with Span -> 'S' | Instant -> 'I')
+    e.cat e.name e.node e.ts e.dur e.arg
+
+let emit t e =
+  (match t.finalized with
+  | Some _ -> invalid_arg "Trace: event emitted after summary"
+  | None -> ());
+  Sha256.feed_string t.digest (canonical e);
+  t.n_events <- t.n_events + 1;
+  if t.keep_events then t.rev_events <- e :: t.rev_events
+
+let span t ~cat ~name ~node ~ts ~dur ?(arg = "") () =
+  emit t { kind = Span; cat; name; node; ts; dur; arg }
+
+let instant t ~cat ~name ~node ~ts ?(arg = "") () =
+  emit t { kind = Instant; cat; name; node; ts; dur = 0L; arg }
+
+(* -- network lifecycle ------------------------------------------------ *)
+
+let net_send t ~src ~dst ~size ~local ~now ~start ~depart =
+  if local then t.net_local <- t.net_local + 1 else t.net_global <- t.net_global + 1;
+  let arg = Printf.sprintf "dst=%d,size=%d,%s" dst size (if local then "local" else "global") in
+  if Int64.compare start now > 0 then
+    span t ~cat:"net" ~name:"queue" ~node:src ~ts:now ~dur:(Int64.sub start now) ~arg ();
+  span t ~cat:"net" ~name:"tx" ~node:src ~ts:start ~dur:(Int64.sub depart start) ~arg ()
+
+let net_deliver t ~src ~dst ~size ~at =
+  instant t ~cat:"net" ~name:"deliver" ~node:dst ~ts:at
+    ~arg:(Printf.sprintf "src=%d,size=%d" src size)
+    ()
+
+let net_drop t ~src ~dst ~size ~at ~reason =
+  t.net_dropped <- t.net_dropped + 1;
+  instant t ~cat:"net" ~name:"drop" ~node:src ~ts:at
+    ~arg:(Printf.sprintf "dst=%d,size=%d,%s" dst size reason)
+    ()
+
+(* -- CPU spans -------------------------------------------------------- *)
+
+let cpu_span t ~node ~stage ~start ~dur = span t ~cat:"cpu" ~name:stage ~node ~ts:start ~dur ()
+
+(* -- protocol phases -------------------------------------------------- *)
+
+let phase_accum t ~name ~dur =
+  let acc =
+    match Hashtbl.find_opt t.phase_agg name with
+    | Some a -> a
+    | None ->
+        let a = { count = 0; total = 0L; max = 0L } in
+        Hashtbl.add t.phase_agg name a;
+        a
+  in
+  acc.count <- acc.count + 1;
+  acc.total <- Int64.add acc.total dur;
+  if Int64.compare dur acc.max > 0 then acc.max <- dur
+
+let phase_mark t ~node ~key ~name ~now =
+  let terminal = String.equal name "execute" in
+  let k = (node, key) in
+  (match Hashtbl.find_opt t.open_chains k with
+  | Some prev ->
+      let dur = Int64.sub now prev in
+      let dur = if Int64.compare dur 0L < 0 then 0L else dur in
+      phase_accum t ~name ~dur;
+      span t ~cat:"phase" ~name ~node ~ts:prev ~dur ~arg:(Printf.sprintf "key=%d" key) ();
+      if terminal then Hashtbl.remove t.open_chains k else Hashtbl.replace t.open_chains k now
+  | None ->
+      (* First mark for this slot: an instant opens the chain.  A
+         terminal first mark (e.g. a filled/skipped slot executing with
+         no observed earlier phases) leaves nothing open. *)
+      phase_accum t ~name ~dur:0L;
+      instant t ~cat:"phase" ~name ~node ~ts:now ~arg:(Printf.sprintf "key=%d" key) ();
+      if not terminal then Hashtbl.add t.open_chains k now)
+
+let note_decision t = t.decisions <- t.decisions + 1
+let set_track_name t ~node name = Hashtbl.replace t.track_names node name
+
+(* -- results ---------------------------------------------------------- *)
+
+type phase_row = { phase : string; count : int; total_ms : float; avg_ms : float; max_ms : float }
+
+type summary = {
+  phases : phase_row list;
+  net_local : int;
+  net_global : int;
+  net_dropped : int;
+  decisions : int;
+  events : int;
+  digest_hex : string;
+}
+
+let hex raw =
+  let b = Buffer.create (2 * String.length raw) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents b
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+let summary t =
+  let digest_hex =
+    match t.finalized with
+    | Some d -> d
+    | None ->
+        let d = hex (Sha256.finalize t.digest) in
+        t.finalized <- Some d;
+        d
+  in
+  let phases =
+    Hashtbl.fold
+      (fun phase (a : phase_acc) rows ->
+        {
+          phase;
+          count = a.count;
+          total_ms = ms_of_ns a.total;
+          avg_ms = (if a.count = 0 then 0. else ms_of_ns a.total /. float_of_int a.count);
+          max_ms = ms_of_ns a.max;
+        }
+        :: rows)
+      t.phase_agg []
+    |> List.sort (fun a b -> String.compare a.phase b.phase)
+  in
+  {
+    phases;
+    net_local = t.net_local;
+    net_global = t.net_global;
+    net_dropped = t.net_dropped;
+    decisions = t.decisions;
+    events = t.n_events;
+    digest_hex;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "trace: %d events, digest %s@\n" s.events (String.sub s.digest_hex 0 16);
+  Format.fprintf fmt "  net msgs traced: %d local / %d global / %d dropped@\n" s.net_local
+    s.net_global s.net_dropped;
+  if s.decisions > 0 then
+    Format.fprintf fmt "  per decision: %.1f local / %.1f global msgs (%d decisions)@\n"
+      (float_of_int s.net_local /. float_of_int s.decisions)
+      (float_of_int s.net_global /. float_of_int s.decisions)
+      s.decisions;
+  if s.phases <> [] then begin
+    Format.fprintf fmt "  %-14s %10s %12s %10s %10s@\n" "phase" "count" "total_ms" "avg_ms" "max_ms";
+    List.iter
+      (fun r ->
+        Format.fprintf fmt "  %-14s %10d %12.2f %10.3f %10.3f@\n" r.phase r.count r.total_ms
+          r.avg_ms r.max_ms)
+      s.phases
+  end
+
+(* -- Chrome trace-event JSON sink ------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us ns = Int64.to_float ns /. 1e3
+
+let write_chrome_json t oc =
+  if not t.keep_events then
+    invalid_arg "Trace.write_chrome_json: tracer was created without ~keep_events:true";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else output_string oc ",\n";
+    output_string oc "  "
+  in
+  output_string oc "{\"traceEvents\":[\n";
+  (* Track-name metadata first, sorted by node for stable output. *)
+  Hashtbl.fold (fun node name l -> (node, name) :: l) t.track_names []
+  |> List.sort compare
+  |> List.iter (fun (node, name) ->
+         sep ();
+         Printf.fprintf oc
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           node (json_escape name));
+  List.rev t.rev_events
+  |> List.iter (fun e ->
+         sep ();
+         match e.kind with
+         | Span ->
+             Printf.fprintf oc
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"detail\":\"%s\"}}"
+               (json_escape e.name) (json_escape e.cat) e.node (us e.ts) (us e.dur)
+               (json_escape e.arg)
+         | Instant ->
+             Printf.fprintf oc
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"args\":{\"detail\":\"%s\"}}"
+               (json_escape e.name) (json_escape e.cat) e.node (us e.ts) (json_escape e.arg));
+  output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let events_kept t = List.length t.rev_events

@@ -40,6 +40,11 @@ type 'm t = {
   ledger_read : height:int -> (Batch.t * Certificate.t option) list;
   complete : Batch.t -> unit;                (* client agents: batch done *)
   trace : (string Lazy.t -> unit);           (* debug trace hook *)
+  (* Structured phase probe: replicas mark consensus-phase transitions
+     (propose / prepare / commit / certify-share / execute) per slot
+     [key]; the fabric binds it to the run's tracer, or to a no-op when
+     tracing is off.  See Rdb_trace.Trace.phase_mark. *)
+  phase : key:int -> name:string -> unit;
 }
 
 let multicast t ~dsts ~size ~vcost msg =
@@ -63,4 +68,5 @@ let map_send (inject : 'a -> 'b) (t : 'b t) : 'a t =
     ledger_read = t.ledger_read;
     complete = t.complete;
     trace = t.trace;
+    phase = t.phase;
   }

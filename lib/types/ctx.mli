@@ -38,6 +38,13 @@ type 'm t = {
           agents. *)
   complete : Batch.t -> unit;
   trace : string Lazy.t -> unit;   (** debug trace hook *)
+  phase : key:int -> name:string -> unit;
+      (** Structured phase probe: replicas mark consensus-phase
+          transitions (propose / prepare / commit / certify-share /
+          execute) for slot [key].  Bound by the fabric to the run's
+          tracer ({!Rdb_trace.Trace.phase_mark}) or to a no-op when
+          tracing is off — marking must stay cheap enough to leave in
+          the hot path unconditionally. *)
 }
 
 val multicast : 'm t -> dsts:int list -> size:int -> vcost:Time.t -> 'm -> unit

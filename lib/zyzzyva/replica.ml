@@ -118,6 +118,7 @@ let rec exec_ready r =
       (* Keep a window for commit-certificate recovery; drop the rest. *)
       Hashtbl.remove r.ordered (seq - 1024);
       r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+          r.ctx.Ctx.phase ~key:seq ~name:"execute";
           (if not (Batch.is_noop batch) then
              send r ~dst:batch.Batch.origin
                (Spec_reply
@@ -138,6 +139,7 @@ let on_message r ~src (m : msg) =
           r.ctx.Ctx.charge ~stage:Cpu.Batching
             ~cost:(Config.batch_asm_cost r.cfg)
             (fun () ->
+              r.ctx.Ctx.phase ~key:seq ~name:"propose";
               (* The primary's own history advances as it orders. *)
               let h = Sha256.digest_list [ r.history; batch.Batch.digest ] in
               r.history <- h;
@@ -154,6 +156,7 @@ let on_message r ~src (m : msg) =
         (* Verify the chained history: accept only the next expected
            sequence number with a history extending ours.  Out-of-order
            arrivals wait (the network may reorder). *)
+        r.ctx.Ctx.phase ~key:seq ~name:"propose";
         Hashtbl.replace r.ordered seq (batch, history);
         exec_ready r
       end

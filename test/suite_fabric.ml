@@ -75,6 +75,7 @@ let test_report_per_decision_math () =
       completed_batches = 0; completed_txns = 0; decisions = 10; local_msgs = 240;
       global_msgs = 30; local_mb = 0.; global_mb = 0.; view_changes = 0;
       state_transfers = 0; holes_filled = 0; retransmissions = 0; window_sec = 1.;
+      trace = None;
     }
   in
   Alcotest.(check (float 0.001)) "local per decision" 24.0 (Report.local_msgs_per_decision r);

@@ -81,6 +81,7 @@ let make_harness ~n =
       ledger_read = (fun ~height:_ -> []);
       complete = (fun _ -> ());
       trace = (fun _ -> ());
+      phase = (fun ~key:_ ~name:_ -> ());
     }
   in
   let engines =

@@ -378,9 +378,39 @@ let test_wan_egress_disabled () =
   Alcotest.(check bool) "parallel without cap" true
     (Time.to_ms_f (List.assoc 2 !arrivals) < 60.)
 
+(* -- Stats drop accounting ---------------------------------------------- *)
+
+let test_stats_count_dropped () =
+  let s = Rdb_sim.Stats.create () in
+  let before = Rdb_sim.Stats.snapshot s in
+  Rdb_sim.Stats.count_sent s ~local:true ~size:100;
+  Rdb_sim.Stats.count_dropped s ~size:70;
+  Rdb_sim.Stats.count_dropped s ~size:30;
+  Alcotest.(check int) "dropped msgs" 2 (Rdb_sim.Stats.dropped_msgs s);
+  Alcotest.(check int) "dropped bytes" 100 (Rdb_sim.Stats.dropped_bytes s);
+  let after = Rdb_sim.Stats.snapshot s in
+  Alcotest.(check int) "snapshot d_msgs" 2 after.Rdb_sim.Stats.d_msgs;
+  Alcotest.(check int) "snapshot d_bytes" 100 after.Rdb_sim.Stats.d_bytes;
+  let w = Rdb_sim.Stats.diff ~after ~before in
+  Alcotest.(check int) "diff d_msgs" 2 w.Rdb_sim.Stats.d_msgs;
+  Alcotest.(check int) "diff d_bytes" 100 w.Rdb_sim.Stats.d_bytes;
+  Alcotest.(check int) "diff l_msgs" 1 w.Rdb_sim.Stats.l_msgs
+
+let test_network_dropped_bytes () =
+  (* Drops observed through the network layer carry their sizes into
+     the same counters. *)
+  let engine, net, _ = mk_net ~z:2 ~n:2 () in
+  Network.add_drop_rule net (fun ~src ~dst -> src = 0 && dst = 2);
+  Network.send net ~src:0 ~dst:2 ~size:321 ();
+  Engine.run engine;
+  Alcotest.(check int) "dropped bytes via network" 321
+    (Rdb_sim.Stats.dropped_bytes (Network.stats net))
+
 let suite =
   suite
   @ [
       ("network wan egress serialization", `Quick, test_wan_egress_serialization);
       ("network wan egress disabled", `Quick, test_wan_egress_disabled);
+      ("stats count_dropped", `Quick, test_stats_count_dropped);
+      ("network dropped bytes", `Quick, test_network_dropped_bytes);
     ]

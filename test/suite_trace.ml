@@ -1,0 +1,128 @@
+(* Consensus-path tracing: determinism, aggregation, Chrome JSON.
+
+   The digest is the determinism witness of the whole stack: it folds
+   every network / CPU / phase event into a streaming SHA-256, so two
+   runs with the same seed must agree byte-for-byte on the entire
+   event stream — across all five protocols, and under chaos fault
+   injection. *)
+
+module Runner = Rdb_experiments.Runner
+module Config = Rdb_types.Config
+module Report = Rdb_fabric.Report
+module Trace = Rdb_trace.Trace
+module Time = Rdb_sim.Time
+
+let small_cfg ?(seed = 1) () = Config.make ~z:2 ~n:4 ~batch_size:20 ~client_inflight:8 ~seed ()
+let small_windows = { Runner.warmup = Time.ms 200; measure = Time.ms 600 }
+
+let digest_of ?(windows = small_windows) ?fault ?keep_events ?(seed = 1) proto =
+  let tracer = Trace.create ?keep_events () in
+  let r = Runner.run_proto proto ~windows ?fault ~tracer (small_cfg ~seed ()) in
+  match r.Report.trace with
+  | Some s -> (s, tracer)
+  | None -> Alcotest.fail "report carries no trace summary"
+
+let hex64 = Alcotest.testable Fmt.string String.equal
+
+let test_digest_deterministic proto () =
+  let s1, _ = digest_of proto in
+  let s2, _ = digest_of proto in
+  Alcotest.(check int) "same event count" s1.Trace.events s2.Trace.events;
+  Alcotest.check hex64 "same digest" s1.Trace.digest_hex s2.Trace.digest_hex;
+  Alcotest.(check int) "digest is 64 hex chars" 64 (String.length s1.Trace.digest_hex);
+  Alcotest.(check bool) "digest differs across seeds" false
+    (let s3, _ = digest_of ~seed:2 proto in
+     String.equal s1.Trace.digest_hex s3.Trace.digest_hex)
+
+let test_chaos_seed_changes_digest () =
+  (* Same chaos seed: identical fault timeline, identical digest.
+     Different chaos seed: different faults, different event stream.
+     The horizon must leave room past the planner's recovery tail for
+     fault windows to be admitted (tail = horizon/2 here), so this test
+     runs a longer clock than the others. *)
+  let windows = { Runner.warmup = Time.ms 500; measure = Time.ms 5500 } in
+  let a1, _ = digest_of ~windows ~fault:(Runner.Chaos 3) Runner.Geobft in
+  let a2, _ = digest_of ~windows ~fault:(Runner.Chaos 3) Runner.Geobft in
+  let b, _ = digest_of ~windows ~fault:(Runner.Chaos 4) Runner.Geobft in
+  Alcotest.check hex64 "chaos runs are seed-deterministic" a1.Trace.digest_hex
+    a2.Trace.digest_hex;
+  Alcotest.(check bool) "different chaos seed, different digest" false
+    (String.equal a1.Trace.digest_hex b.Trace.digest_hex)
+
+let test_phase_breakdown () =
+  let s, _ = digest_of Runner.Geobft in
+  let phase_names = List.map (fun (r : Trace.phase_row) -> r.Trace.phase) s.Trace.phases in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Printf.sprintf "phase %S present" p) true (List.mem p phase_names))
+    [ "propose"; "prepare"; "commit"; "certify-share"; "execute" ];
+  List.iter
+    (fun (r : Trace.phase_row) ->
+      Alcotest.(check bool) (r.Trace.phase ^ " count > 0") true (r.Trace.count > 0);
+      Alcotest.(check bool) (r.Trace.phase ^ " avg <= max") true (r.Trace.avg_ms <= r.Trace.max_ms))
+    s.Trace.phases;
+  Alcotest.(check bool) "decisions recorded" true (s.Trace.decisions > 0);
+  Alcotest.(check bool) "local traffic traced" true (s.Trace.net_local > 0);
+  Alcotest.(check bool) "global traffic traced" true (s.Trace.net_global > 0);
+  (* GeoBFT's point: global messages are a small fraction of local. *)
+  Alcotest.(check bool) "geo-scale locality" true (s.Trace.net_global < s.Trace.net_local)
+
+let test_chrome_json () =
+  let _, tracer = digest_of ~keep_events:true Runner.Geobft in
+  let path = Filename.temp_file "rdb_trace" ".json" in
+  let oc = open_out path in
+  Trace.write_chrome_json tracer oc;
+  close_out oc;
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "events were retained" true (Trace.events_kept tracer > 0);
+  Alcotest.(check bool) "object prefix" true
+    (String.length s > 16 && String.sub s 0 16 = "{\"traceEvents\":[");
+  Alcotest.(check bool) "closing suffix" true (has "],\"displayTimeUnit\":\"ms\"}");
+  Alcotest.(check bool) "track-name metadata" true (has "\"ph\":\"M\"");
+  Alcotest.(check bool) "complete spans" true (has "\"ph\":\"X\"");
+  Alcotest.(check bool) "instants" true (has "\"ph\":\"i\"");
+  Alcotest.(check bool) "phase category" true (has "\"cat\":\"phase\"");
+  Alcotest.(check bool) "net category" true (has "\"cat\":\"net\"");
+  Alcotest.(check bool) "cpu category" true (has "\"cat\":\"cpu\"");
+  (* Balanced braces — cheap structural sanity without a JSON parser
+     (all strings in the writer are escaped, so no brace appears in a
+     string literal). *)
+  let depth = ref 0 in
+  String.iter (fun c -> if c = '{' then incr depth else if c = '}' then decr depth) s;
+  Alcotest.(check int) "balanced braces" 0 !depth
+
+let test_keep_events_required () =
+  let tracer = Trace.create () in
+  Alcotest.check_raises "write without keep_events"
+    (Invalid_argument "Trace.write_chrome_json: tracer was created without ~keep_events:true")
+    (fun () -> Trace.write_chrome_json tracer stdout)
+
+let test_off_by_default () =
+  (* No tracer: the deployment runs exactly as before (tier-1 behavior
+     is the digest test's baseline; here just assert the report carries
+     no trace summary). *)
+  let r = Runner.run_proto Runner.Pbft ~windows:small_windows (small_cfg ()) in
+  Alcotest.(check bool) "no trace summary when off" true (r.Report.trace = None)
+
+let suite =
+  List.map
+    (fun p ->
+      ( Printf.sprintf "digest deterministic (%s)" (Runner.proto_name p),
+        `Quick,
+        test_digest_deterministic p ))
+    Runner.all_protocols
+  @ [
+      ("chaos seed changes digest", `Slow, test_chaos_seed_changes_digest);
+      ("phase breakdown sanity", `Quick, test_phase_breakdown);
+      ("chrome trace-event json", `Quick, test_chrome_json);
+      ("keep_events required for json", `Quick, test_keep_events_required);
+      ("tracing off by default", `Quick, test_off_by_default);
+    ]

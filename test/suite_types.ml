@@ -145,6 +145,7 @@ let mk_client_ctx () =
       ledger_read = (fun ~height:_ -> []);
       complete = (fun b -> completed := b.Batch.id :: !completed);
       trace = (fun _ -> ());
+      phase = (fun ~key:_ ~name:_ -> ());
     }
   in
   (engine, ctx, sent, completed)
@@ -231,6 +232,7 @@ let test_ctx_map_send () =
       ledger_read = (fun ~height:_ -> []);
       complete = (fun _ -> ());
       trace = (fun _ -> ());
+      phase = (fun ~key:_ ~name:_ -> ());
     }
   in
   let inner : int Ctx.t = Ctx.map_send string_of_int ctx in

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Formatting gate for `dune build @ci`.
+#
+# CI runs the real `dune build @fmt` (see .github/workflows/ci.yml).
+# This local mirror performs the same check when an ocamlformat binary
+# is available and degrades to a skip when it is not: the bare
+# container has no ocamlformat, and `dune build @fmt` cannot be nested
+# inside a dune action anyway (it would contend for the build lock).
+set -u
+
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "fmt-gate: ocamlformat not installed; skipping (CI runs 'dune build @fmt')"
+  exit 0
+fi
+
+# Dune runs this action from _build/default; hop back to the source root.
+root="${PWD%%/_build*}"
+cd "$root" || exit 1
+
+fail=0
+while IFS= read -r f; do
+  if ! ocamlformat --check "$f"; then
+    echo "fmt-gate: $f is not formatted (fix with: dune fmt)"
+    fail=1
+  fi
+done < <(find lib bin test bench examples \( -name '*.ml' -o -name '*.mli' \) 2>/dev/null)
+
+if [ "$fail" -eq 0 ]; then
+  echo "fmt-gate: all sources formatted"
+fi
+exit "$fail"
