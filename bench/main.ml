@@ -1,12 +1,15 @@
 (* The benchmark harness: regenerates every table and figure of the
    paper's evaluation (§4) and runs Bechamel micro-benchmarks of the
-   substrates.
+   substrates.  All experiment grids are enumerated as Scenario.t
+   lists (the same lists `rdb_cli sweep` uses) and executed through
+   the multicore sweep engine.
 
    Usage:
      dune exec bench/main.exe                 # everything (default windows)
      dune exec bench/main.exe -- fig10        # one artifact
      dune exec bench/main.exe -- fig12 fig13
-     dune exec bench/main.exe -- --full all   # paper-length windows (slow)
+     dune exec bench/main.exe -- -j 8 all     # 8 worker domains
+     dune exec bench/main.exe -- --full all   # paper-length windows
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
 
    Artifacts: table1 table2 fig10 fig11 fig12 fig13 ablations micro.
@@ -14,13 +17,23 @@
    numbers these runs produce. *)
 
 module Runner = Rdb_experiments.Runner
+module Scenario = Rdb_experiments.Scenario
 module Figures = Rdb_experiments.Figures
 module Tables = Rdb_experiments.Tables
 module Ablations = Rdb_experiments.Ablations
+module Sweep = Rdb_sweep.Sweep
 module Config = Rdb_types.Config
 module Report = Rdb_fabric.Report
+module Json = Rdb_fabric.Json
 
 let say fmt = Printf.printf fmt
+
+let jobs_ref = ref (Sweep.default_jobs ())
+
+(* Run one scenario grid through the sweep engine, failing loudly if
+   any scenario failed (bench grids contain no chaos faults, so a
+   failure is always a bug). *)
+let sweep scenarios = Sweep.reports_exn (Sweep.run ~jobs:!jobs_ref scenarios)
 
 (* -- machine-readable results (BENCH_results.json) ------------------------ *)
 
@@ -42,41 +55,42 @@ let timed name ?(runs = fun _ -> []) f =
   record name wall (runs r);
   r
 
-let json_of_run (label, (r : Report.t)) =
-  Printf.sprintf
-    "{\"label\":%S,\"protocol\":%S,\"z\":%d,\"n\":%d,\"batch_size\":%d,\
-     \"throughput_txn_s\":%.1f,\"avg_latency_ms\":%.3f,\"p50_latency_ms\":%.3f,\
-     \"p95_latency_ms\":%.3f,\"p99_latency_ms\":%.3f,\"completed_txns\":%d,\
-     \"view_changes\":%d,\"state_transfers\":%d,\"holes_filled\":%d,\
-     \"retransmissions\":%d}"
-    label r.Report.protocol r.Report.z r.Report.n r.Report.batch_size
-    r.Report.throughput_txn_s r.Report.avg_latency_ms r.Report.p50_latency_ms
-    r.Report.p95_latency_ms r.Report.p99_latency_ms r.Report.completed_txns
-    r.Report.view_changes r.Report.state_transfers r.Report.holes_filled
-    r.Report.retransmissions
-
 let write_results ~windows () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Int 2);
+        ("generated_unix", Json.Float (Float.round (Unix.time ())));
+        ("jobs", Json.Int !jobs_ref);
+        ( "windows",
+          Json.Obj
+            [
+              ("warmup_s", Json.Float (Rdb_sim.Time.to_sec_f windows.Runner.warmup));
+              ("measure_s", Json.Float (Rdb_sim.Time.to_sec_f windows.Runner.measure));
+            ] );
+        ( "artifacts",
+          Json.List
+            (List.rev_map
+               (fun a ->
+                 Json.Obj
+                   [
+                     ("name", Json.String a.a_name);
+                     ("wall_s", Json.Float a.a_wall_s);
+                     ( "runs",
+                       Json.List
+                         (List.map
+                            (fun (label, r) ->
+                              Json.Obj
+                                [ ("label", Json.String label); ("report", Report.to_json r) ])
+                            a.a_runs) );
+                   ])
+               !artifacts) );
+      ]
+  in
   let oc = open_out "BENCH_results.json" in
-  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"generated_unix\": %.0f,\n" (Unix.time ());
-  Printf.fprintf oc "  \"windows\": {\"warmup_s\": %.1f, \"measure_s\": %.1f},\n"
-    (Rdb_sim.Time.to_sec_f windows.Runner.warmup)
-    (Rdb_sim.Time.to_sec_f windows.Runner.measure);
-  Printf.fprintf oc "  \"artifacts\": [\n";
-  let arts = List.rev !artifacts in
-  List.iteri
-    (fun i a ->
-      Printf.fprintf oc "    {\"name\":%S, \"wall_s\":%.2f, \"runs\":[" a.a_name a.a_wall_s;
-      List.iteri
-        (fun j run ->
-          if j > 0 then output_string oc ",";
-          Printf.fprintf oc "\n      %s" (json_of_run run))
-        a.a_runs;
-      if a.a_runs <> [] then output_string oc "\n    ";
-      Printf.fprintf oc "]}%s\n" (if i < List.length arts - 1 then "," else ""))
-    arts;
-  Printf.fprintf oc "  ]\n}\n";
+  output_string oc (Json.to_string doc);
   close_out oc;
-  say "wrote BENCH_results.json (%d artifacts)\n%!" (List.length arts)
+  say "wrote BENCH_results.json (%d artifacts)\n%!" (List.length !artifacts)
 
 (* -- bench smoke + regression gate ----------------------------------------- *)
 
@@ -87,91 +101,95 @@ let write_results ~windows () =
 let smoke_windows = { Runner.warmup = Rdb_sim.Time.ms 500; measure = Rdb_sim.Time.ms 1500 }
 let smoke_cfg () = Config.make ~z:2 ~n:4 ~batch_size:50 ~client_inflight:16 ~seed:1 ()
 
+let smoke_scenarios () =
+  List.map (fun p -> Scenario.make ~windows:smoke_windows p (smoke_cfg ())) Runner.all_protocols
+
 let smoke_runs () =
   List.map
-    (fun p ->
-      let r = Runner.run_proto p ~windows:smoke_windows (smoke_cfg ()) in
+    (fun ((s : Scenario.t), r) ->
       say "  %s\n%!" (Report.to_string r);
-      (Runner.proto_name p, r))
-    Runner.all_protocols
+      (s, r))
+    (sweep (smoke_scenarios ()))
 
 let run_smoke () =
-  timed "smoke" ~runs:(fun rs -> rs) (fun () ->
+  timed "smoke"
+    ~runs:(List.map (fun ((s : Scenario.t), r) -> (Scenario.proto_name s.Scenario.proto, r)))
+    (fun () ->
       say "== bench smoke (z=2 n=4 batch=50, 0.5s + 1.5s) ==\n%!";
       smoke_runs ())
 
 (* Baseline file: written by --write-baseline, committed as
    bench/baseline.json, checked by --check (the CI regression gate).
-   The parser below is deliberately minimal — it reads only the format
-   written here (no external JSON dependency in the container). *)
+   Since schema 2 the runs are keyed by Scenario.to_string ids, so the
+   gate re-derives its matrix from the baseline file itself. *)
 let write_baseline path runs =
-  let oc = open_out path in
-  Printf.fprintf oc "{\n  \"schema\": 1,\n  \"tolerance_pct\": 10.0,\n";
-  Printf.fprintf oc
-    "  \"config\": {\"z\": 2, \"n\": 4, \"batch_size\": 50, \"client_inflight\": 16, \"seed\": \
-     1, \"warmup_ms\": 500, \"measure_ms\": 1500},\n";
-  Printf.fprintf oc "  \"runs\": [\n";
-  List.iteri
-    (fun i (name, (r : Report.t)) ->
-      Printf.fprintf oc
-        "    {\"protocol\": %S, \"throughput_txn_s\": %.1f, \"avg_latency_ms\": %.3f}%s\n" name
-        r.Report.throughput_txn_s r.Report.avg_latency_ms
-        (if i < List.length runs - 1 then "," else ""))
-    runs;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  say "wrote %s (%d protocols)\n%!" path (List.length runs)
-
-(* Minimal scanner for the baseline format above. *)
-let find_sub s pat ~from =
-  let n = String.length s and m = String.length pat in
-  let rec go i =
-    if i + m > n then None
-    else if String.sub s i m = pat then Some i
-    else go (i + 1)
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Int 2);
+        ("tolerance_pct", Json.Float 10.0);
+        ( "runs",
+          Json.List
+            (List.map
+               (fun ((s : Scenario.t), (r : Report.t)) ->
+                 Json.Obj
+                   [
+                     ("scenario", Json.String (Scenario.to_string s));
+                     ("throughput_txn_s", Json.Float r.Report.throughput_txn_s);
+                     ("avg_latency_ms", Json.Float r.Report.avg_latency_ms);
+                   ])
+               runs) );
+      ]
   in
-  if from >= n then None else go from
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  close_out oc;
+  say "wrote %s (%d scenarios)\n%!" path (List.length runs)
 
-let number_after s name ~from =
-  match find_sub s (Printf.sprintf "\"%s\":" name) ~from with
-  | None -> None
-  | Some i ->
-      let start = i + String.length name + 3 in
-      let stop = ref start in
-      while
-        !stop < String.length s
-        && (match s.[!stop] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | ' ' -> true | _ -> false)
-      do
-        incr stop
-      done;
-      float_of_string_opt (String.trim (String.sub s start (!stop - start)))
+type baseline_run = { b_scenario : Scenario.t; b_thr : float; b_lat : float }
 
 let parse_baseline path =
   let ic = open_in path in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
-  let tolerance =
-    match number_after s "tolerance_pct" ~from:0 with Some t -> t | None -> 10.
-  in
-  let rec collect acc from =
-    match find_sub s "\"protocol\": \"" ~from with
-    | None -> List.rev acc
-    | Some i ->
-        let name_start = i + String.length "\"protocol\": \"" in
-        let name_end = String.index_from s name_start '"' in
-        let proto = String.sub s name_start (name_end - name_start) in
-        let thr = number_after s "throughput_txn_s" ~from:name_end in
-        let lat = number_after s "avg_latency_ms" ~from:name_end in
-        (match (thr, lat) with
-        | Some thr, Some lat -> collect ((proto, thr, lat) :: acc) name_end
-        | _ -> collect acc name_end)
-  in
-  (tolerance, collect [] 0)
+  let fail fmt = Printf.ksprintf (fun m -> say "bench --check: %s\n" m; exit 2) fmt in
+  match Json.of_string s with
+  | Error msg -> fail "cannot parse %s: %s" path msg
+  | Ok doc ->
+      (match Option.bind (Json.member "schema" doc) Json.to_int with
+      | Some 2 -> ()
+      | Some v ->
+          fail
+            "%s has schema %d, expected 2 (re-baseline with: dune exec bench/main.exe -- \
+             --write-baseline %s)"
+            path v path
+      | None -> fail "%s carries no schema field" path);
+      let tolerance =
+        match Option.bind (Json.member "tolerance_pct" doc) Json.to_float with
+        | Some t -> t
+        | None -> 10.
+      in
+      let runs =
+        match Option.bind (Json.member "runs" doc) Json.to_list with
+        | Some runs -> runs
+        | None -> fail "%s has no runs" path
+      in
+      let parse_run rj =
+        let str name = Option.bind (Json.member name rj) Json.to_str in
+        let num name = Option.bind (Json.member name rj) Json.to_float in
+        match (str "scenario", num "throughput_txn_s", num "avg_latency_ms") with
+        | Some id, Some b_thr, Some b_lat -> (
+            match Scenario.of_string id with
+            | Some b_scenario -> { b_scenario; b_thr; b_lat }
+            | None -> fail "unparseable scenario id %S" id)
+        | _ -> fail "ill-formed baseline run entry"
+      in
+      (tolerance, List.map parse_run runs)
 
-(* The CI regression gate: rerun the smoke matrix, compare per-protocol
-   throughput and average latency against the committed baseline, exit
-   non-zero if any metric drifts beyond the tolerance.  Re-baseline
-   intentional performance changes with:
+(* The CI regression gate: rerun every baseline scenario (through the
+   sweep engine), compare per-scenario throughput and average latency
+   against the committed values, exit non-zero if any metric drifts
+   beyond the tolerance.  Re-baseline intentional performance changes:
      dune exec bench/main.exe -- --write-baseline bench/baseline.json *)
 let run_check path =
   let tolerance, baseline = parse_baseline path in
@@ -180,9 +198,9 @@ let run_check path =
     exit 2
   end;
   say "== bench regression check against %s (tolerance %.0f%%) ==\n%!" path tolerance;
-  let fresh = smoke_runs () in
+  let fresh = sweep (List.map (fun b -> b.b_scenario) baseline) in
   let failures = ref 0 in
-  let check proto metric ~base ~got =
+  let check id metric ~base ~got =
     let drift = (got -. base) /. base *. 100. in
     (* Higher throughput / lower latency than baseline is never a
        regression; only flag drift in the bad direction. *)
@@ -191,25 +209,22 @@ let run_check path =
       | "throughput_txn_s" -> drift < -.tolerance
       | _ -> drift > tolerance
     in
-    say "  %-9s %-18s baseline %10.1f  got %10.1f  (%+.1f%%) %s\n%!" proto metric base got drift
+    say "  %-40s %-18s baseline %10.1f  got %10.1f  (%+.1f%%) %s\n%!" id metric base got drift
       (if bad then "FAIL" else "ok");
     if bad then incr failures
   in
-  List.iter
-    (fun (proto, base_thr, base_lat) ->
-      match List.assoc_opt proto fresh with
-      | None ->
-          say "  %-9s missing from fresh run set: FAIL\n" proto;
-          incr failures
-      | Some (r : Report.t) ->
-          check proto "throughput_txn_s" ~base:base_thr ~got:r.Report.throughput_txn_s;
-          check proto "avg_latency_ms" ~base:base_lat ~got:r.Report.avg_latency_ms)
-    baseline;
+  List.iter2
+    (fun b ((s : Scenario.t), (r : Report.t)) ->
+      let id = Scenario.to_string s in
+      assert (Scenario.equal b.b_scenario s);
+      check id "throughput_txn_s" ~base:b.b_thr ~got:r.Report.throughput_txn_s;
+      check id "avg_latency_ms" ~base:b.b_lat ~got:r.Report.avg_latency_ms)
+    baseline fresh;
   if !failures > 0 then begin
     say "bench --check: %d metric(s) regressed beyond %.0f%%\n" !failures tolerance;
     exit 1
   end;
-  say "bench --check: all %d protocols within %.0f%% of baseline\n" (List.length baseline)
+  say "bench --check: all %d scenarios within %.0f%% of baseline\n" (List.length baseline)
     tolerance
 
 (* -- Bechamel micro-benchmarks ----------------------------------------------- *)
@@ -246,11 +261,10 @@ let micro_tests () =
           ~name:(Printf.sprintf "sim-0.5s-%s" (Runner.proto_name p))
           (Staged.stage (fun () ->
                let cfg = Config.make ~z:2 ~n:4 ~batch_size:10 ~client_inflight:4 () in
-               ignore
-                 (Runner.run_proto p
-                    ~windows:
-                      { Runner.warmup = Rdb_sim.Time.ms 100; measure = Rdb_sim.Time.ms 400 }
-                    cfg))))
+               let windows =
+                 { Runner.warmup = Rdb_sim.Time.ms 100; measure = Rdb_sim.Time.ms 400 }
+               in
+               ignore (Runner.run (Scenario.make ~windows p cfg)))))
       Runner.all_protocols
 
 let run_micro () =
@@ -291,19 +305,19 @@ let run_table2 () =
   timed "table2"
     ~runs:(List.map (fun (p, report) -> (Runner.proto_name p, report)))
     (fun () ->
-      let rows = Tables.Table2.run ~windows:!windows_ref () in
+      let rows = Tables.Table2.rows_of_reports (sweep (Tables.Table2.scenarios ~windows:!windows_ref ())) in
       Tables.Table2.print rows;
       rows)
 
 let run_fig10 () =
   timed "fig10" ~runs:(figure_runs "") (fun () ->
-      let rows = Figures.Fig10.run ~windows:!windows_ref () in
+      let rows = Figures.Fig10.rows_of_reports (sweep (Figures.Fig10.scenarios ~windows:!windows_ref ())) in
       Figures.Fig10.print rows;
       rows)
 
 let run_fig11 () =
   timed "fig11" ~runs:(figure_runs "") (fun () ->
-      let rows = Figures.Fig11.run ~windows:!windows_ref () in
+      let rows = Figures.Fig11.rows_of_reports (sweep (Figures.Fig11.scenarios ~windows:!windows_ref ())) in
       Figures.Fig11.print rows;
       rows)
 
@@ -314,15 +328,33 @@ let run_fig12 () =
       @ figure_runs "f-failures:" ff
       @ figure_runs "primary-failure:" pf)
     (fun () ->
-      let one = Figures.Fig12.run_one_failure ~windows:!windows_ref () in
-      let ff = Figures.Fig12.run_f_failures ~windows:!windows_ref () in
-      let pf = Figures.Fig12.run_primary_failure ~windows:!windows_ref () in
+      (* One sweep over all three panels: the engine interleaves them
+         across domains instead of three serial barriers. *)
+      let windows = !windows_ref in
+      let s_one = Figures.Fig12.scenarios_one_failure ~windows () in
+      let s_ff = Figures.Fig12.scenarios_f_failures ~windows () in
+      let s_pf = Figures.Fig12.scenarios_primary_failure ~windows () in
+      let results = sweep (s_one @ s_ff @ s_pf) in
+      let rec split k l =
+        if k = 0 then ([], l)
+        else
+          match l with
+          | [] -> invalid_arg "fig12 split"
+          | x :: rest ->
+              let a, b = split (k - 1) rest in
+              (x :: a, b)
+      in
+      let r_one, rest = split (List.length s_one) results in
+      let r_ff, r_pf = split (List.length s_ff) rest in
+      let one = Figures.Fig12.rows_of_reports r_one in
+      let ff = Figures.Fig12.rows_of_reports r_ff in
+      let pf = Figures.Fig12.rows_of_reports r_pf in
       Figures.Fig12.print ~one ~ff ~pf;
       (one, ff, pf))
 
 let run_ablations () =
   timed "ablations"
-    ~runs:(fun (a, b, c, d) ->
+    ~runs:(fun (rows : Ablations.rows) ->
       List.concat_map
         (fun (r : Ablations.Fanout.row) ->
           [
@@ -331,17 +363,17 @@ let run_ablations () =
             (Printf.sprintf "fanout:%s:one-receiver-down" r.Ablations.Fanout.label,
              r.Ablations.Fanout.one_receiver_down);
           ])
-        a
+        rows.Ablations.fanout
       @ List.map
           (fun (r : Ablations.Pipeline.row) ->
             (Printf.sprintf "pipeline:depth=%d" r.Ablations.Pipeline.depth,
              r.Ablations.Pipeline.report))
-          b
+          rows.Ablations.pipeline
       @ List.map
           (fun (r : Ablations.Crypto_split.row) ->
             (Printf.sprintf "crypto:%s" r.Ablations.Crypto_split.label,
              r.Ablations.Crypto_split.report))
-          c
+          rows.Ablations.crypto_split
       @ List.concat_map
           (fun (r : Ablations.Threshold_certs.row) ->
             [
@@ -350,29 +382,23 @@ let run_ablations () =
               (Printf.sprintf "certs:n=%d:threshold" r.Ablations.Threshold_certs.n,
                r.Ablations.Threshold_certs.threshold);
             ])
-          d)
+          rows.Ablations.threshold_certs)
     (fun () ->
       let windows = !windows_ref in
-      let a = Ablations.Fanout.run ~windows () in
-      Ablations.Fanout.print a;
-      let b = Ablations.Pipeline.run ~windows () in
-      Ablations.Pipeline.print b;
-      let c = Ablations.Crypto_split.run ~windows () in
-      Ablations.Crypto_split.print c;
-      let d = Ablations.Threshold_certs.run ~windows () in
-      Ablations.Threshold_certs.print d;
-      (a, b, c, d))
+      let rows = Ablations.rows_of_reports ~windows (sweep (Ablations.scenarios ~windows ())) in
+      Ablations.print rows;
+      rows)
 
 let run_fig13 () =
   timed "fig13" ~runs:(figure_runs "") (fun () ->
-      let rows = Figures.Fig13.run ~windows:!windows_ref () in
+      let rows = Figures.Fig13.rows_of_reports (sweep (Figures.Fig13.scenarios ~windows:!windows_ref ())) in
       Figures.Fig13.print rows;
       rows)
 
-(* Pull "--flag PATH" out of an argument list; returns (path, rest). *)
+(* Pull "--flag PATH" out of an argument list; returns (value, rest). *)
 let rec take_flag flag = function
   | [] -> (None, [])
-  | f :: path :: rest when f = flag -> (Some path, rest)
+  | f :: value :: rest when f = flag -> (Some value, rest)
   | a :: rest ->
       let v, rest = take_flag flag rest in
       (v, a :: rest)
@@ -382,12 +408,22 @@ let () =
   let full = List.mem "--full" args in
   if full then windows_ref := Runner.full_windows;
   let args = List.filter (fun a -> a <> "--full") args in
+  (match take_flag "-j" args with
+  | Some j, _ -> (
+      match int_of_string_opt j with
+      | Some j when j >= 1 -> jobs_ref := j
+      | _ ->
+          say "-j expects a positive integer\n";
+          exit 2)
+  | None, _ -> ());
+  let _, args = take_flag "-j" args in
   let check_path, args = take_flag "--check" args in
   let baseline_path, args = take_flag "--write-baseline" args in
   (match (check_path, baseline_path) with
   | Some path, _ ->
-      (* CI regression gate: compare a fresh smoke matrix against the
-         committed baseline and exit non-zero on regression. *)
+      (* CI regression gate: compare a fresh run of the baseline's
+         scenarios against the committed values, exit non-zero on
+         regression. *)
       run_check path;
       exit 0
   | None, Some path ->
@@ -399,9 +435,12 @@ let () =
       [ "table1"; "table2"; "fig10"; "fig11"; "fig12"; "fig13"; "ablations"; "micro" ]
     else args
   in
-  say "ResilientDB/GeoBFT evaluation harness (windows: warmup %.0fs + measure %.0fs)\n%!"
+  say "ResilientDB/GeoBFT evaluation harness (windows: warmup %.0fs + measure %.0fs, %d worker domain%s)\n%!"
     (Rdb_sim.Time.to_sec_f !windows_ref.Runner.warmup)
-    (Rdb_sim.Time.to_sec_f !windows_ref.Runner.measure);
+    (Rdb_sim.Time.to_sec_f !windows_ref.Runner.measure)
+    !jobs_ref
+    (if !jobs_ref = 1 then "" else "s")
+  ;
   List.iter
     (function
       | "table1" -> run_table1 ()

@@ -1,13 +1,21 @@
-(* resilientdb-cli: run one simulated deployment from the command line.
+(* resilientdb-cli: run simulated deployments from the command line.
 
    Examples:
      resilientdb-cli run --protocol geobft --clusters 4 --replicas 7
      resilientdb-cli run -p pbft -z 6 -n 10 --batch 200 --measure 30
      resilientdb-cli run -p geobft -z 2 -n 4 --fault primary
+     resilientdb-cli sweep fig10 fig11 -j 8 --out results.json
+     resilientdb-cli sweep --smoke -j 2           # the CI smoke matrix
+     resilientdb-cli sweep all --full -j 16       # paper-length windows
+     resilientdb-cli sweep --scenario "geobft z4 n7 b100 i64 seed1 w1000+4000"
      resilientdb-cli matrix            # print the Table 1 calibration *)
 
 open Cmdliner
 module Runner = Resilientdb.Experiments.Runner
+module Scenario = Resilientdb.Scenario
+module Sweep = Resilientdb.Sweep
+module Figures = Resilientdb.Experiments.Figures
+module Ablations = Resilientdb.Experiments.Ablations
 module Config = Resilientdb.Config
 module Time = Resilientdb.Time
 module Report = Resilientdb.Report
@@ -24,17 +32,13 @@ let protocol_arg =
 
 let fault_arg =
   let parse s =
-    match String.lowercase_ascii s with
-    | "none" -> Ok Runner.No_fault
-    | "one" | "one-nonprimary" -> Ok Runner.One_nonprimary
-    | "f" | "f-nonprimary" -> Ok Runner.F_nonprimary
-    | "primary" -> Ok Runner.Primary_failure
-    | "chaos" -> Ok (Runner.Chaos (-1))
-    | s when String.length s > 6 && String.sub s 0 6 = "chaos:" -> (
-        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
-        | Some seed when seed >= 0 -> Ok (Runner.Chaos seed)
-        | _ -> Error (`Msg "chaos seed must be a non-negative integer"))
-    | _ -> Error (`Msg "fault must be one of: none, one, f, primary, chaos[:SEED]")
+    match Scenario.fault_of_id (String.lowercase_ascii s) with
+    | Some f -> Ok f
+    | None -> (
+        match String.lowercase_ascii s with
+        | "one-nonprimary" -> Ok Runner.One_nonprimary
+        | "f-nonprimary" -> Ok Runner.F_nonprimary
+        | _ -> Error (`Msg "fault must be one of: none, one, f, primary, chaos[:SEED]"))
   in
   let print fmt f = Format.pp_print_string fmt (Runner.fault_name f) in
   Arg.conv (parse, print)
@@ -85,12 +89,16 @@ let run_cmd =
   in
   let go protocol z n batch inflight warmup measure seed fault trace_out =
     let cfg = Config.make ~z ~n ~batch_size:batch ~client_inflight:inflight ~seed () in
-    let windows = { Runner.warmup = Time.sec warmup; measure = Time.sec measure } in
+    let windows = { Scenario.warmup = Time.sec warmup; measure = Time.sec measure } in
+    let scenario =
+      Scenario.make ~windows ~fault ~trace:(Option.is_some trace_out) protocol cfg
+    in
+    Printf.printf "scenario: %s\n%!" (Scenario.to_string scenario);
     let tracer =
       Option.map (fun _ -> Resilientdb.Trace.create ~keep_events:true ()) trace_out
     in
     let t0 = Unix.gettimeofday () in
-    let report = Runner.run_proto protocol ~windows ~fault ?tracer cfg in
+    let report = Runner.run ?tracer scenario in
     Printf.printf "%s\n" (Report.to_string report);
     Printf.printf "%s\n" (Format.asprintf "%a" Report.pp_recovery report);
     (match (trace_out, tracer) with
@@ -114,6 +122,201 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulated geo-scale deployment and report its metrics.") term
 
+(* -- sweep ----------------------------------------------------------------- *)
+
+(* The CI smoke matrix: one small fixed-seed traced run per protocol.
+   Kept aligned with the bench smoke so both artifacts exercise the
+   same deployments. *)
+let smoke_scenarios () =
+  let windows = { Scenario.warmup = Time.ms 500; measure = Time.ms 1500 } in
+  let cfg = Config.make ~z:2 ~n:4 ~batch_size:50 ~client_inflight:16 ~seed:1 () in
+  List.map (fun p -> Scenario.make ~windows ~trace:true p cfg) Scenario.all_protocols
+
+(* The chaos validation matrix: every protocol absorbs its seeded
+   fault envelope with the invariant monitor armed (same deployments
+   as test/chaos_sweep.ml). *)
+let chaos_scenarios ~seeds () =
+  let windows = { Scenario.warmup = Time.sec 1; measure = Time.sec 11 } in
+  let cfg = Config.make ~z:2 ~n:4 ~batch_size:20 ~client_inflight:8 ~seed:1 () in
+  List.concat_map
+    (fun p -> List.map (fun seed -> Scenario.make ~windows ~fault:(Scenario.Chaos seed) p cfg) seeds)
+    Scenario.all_protocols
+
+let matrix_names = [ "smoke"; "fig10"; "fig11"; "fig12"; "fig13"; "ablations"; "table2"; "chaos"; "all" ]
+
+let rec matrix_scenarios ~windows ~seeds = function
+  | "smoke" -> Ok (smoke_scenarios ())
+  | "fig10" -> Ok (Figures.Fig10.scenarios ~windows ())
+  | "fig11" -> Ok (Figures.Fig11.scenarios ~windows ())
+  | "fig12" ->
+      Ok
+        (Figures.Fig12.scenarios_one_failure ~windows ()
+        @ Figures.Fig12.scenarios_f_failures ~windows ()
+        @ Figures.Fig12.scenarios_primary_failure ~windows ())
+  | "fig13" -> Ok (Figures.Fig13.scenarios ~windows ())
+  | "ablations" -> Ok (Ablations.scenarios ~windows ())
+  | "table2" -> Ok (Resilientdb.Experiments.Tables.Table2.scenarios ~windows ())
+  | "chaos" -> Ok (chaos_scenarios ~seeds ())
+  | "all" ->
+      Ok
+        (List.concat_map
+           (fun m ->
+             match matrix_scenarios ~windows ~seeds m with Ok l -> l | Error _ -> [])
+           [ "fig10"; "fig11"; "fig12"; "fig13"; "ablations"; "table2" ])
+  | other ->
+      Error
+        (Printf.sprintf "unknown matrix %S (expected one of: %s, or --scenario ID)" other
+           (String.concat " " matrix_names))
+
+let sweep_cmd =
+  let matrices =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"MATRIX"
+             ~doc:
+               (Printf.sprintf
+                  "Scenario matrices to sweep: %s.  Combine freely with --scenario."
+                  (String.concat ", " matrix_names)))
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Shorthand for the smoke matrix (one small traced run per protocol) — the CI job.")
+  in
+  let jobs =
+    Arg.(value & opt int (Sweep.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:
+               "Worker domains (default: cores - 1).  Results are byte-identical for every N; \
+                $(docv)=1 is a genuinely serial pass.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Paper-length measurement windows (15 s warm-up + 45 s measure) instead of the \
+                   quick defaults.")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Arm the consensus-path tracer on every scenario so each report carries its \
+                   deterministic trace digest.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:
+               "Write the aggregated results document to \\$(docv): CSV if it ends in .csv, \
+                versioned JSON otherwise.  The document is a pure function of the scenario \
+                list — no wall-clock times or job counts — so -j 1 and -j 8 write identical \
+                bytes.")
+  in
+  let scenario_ids =
+    Arg.(value & opt_all string []
+         & info [ "scenario"; "s" ] ~docv:"ID"
+             ~doc:
+               "Add one explicit scenario by its stable id (repeatable), e.g. \
+                \"geobft z4 n7 b100 i64 seed1 w1000+4000\".")
+  in
+  let seeds =
+    Arg.(value & opt string "1-4"
+         & info [ "seeds" ] ~docv:"LO-HI" ~doc:"Chaos-matrix planner seed range (default 1-4).")
+  in
+  let go matrices smoke jobs full trace out scenario_ids seeds =
+    let windows = if full then Scenario.full_windows else Scenario.default_windows in
+    let seeds =
+      match String.split_on_char '-' (String.trim seeds) with
+      | [ one ] when int_of_string_opt one <> None -> [ int_of_string one ]
+      | [ lo; hi ] -> (
+          match (int_of_string_opt lo, int_of_string_opt hi) with
+          | Some lo, Some hi when lo <= hi -> List.init (hi - lo + 1) (fun i -> lo + i)
+          | _ -> prerr_endline "--seeds must be LO-HI"; exit 2)
+      | _ -> prerr_endline "--seeds must be LO-HI"; exit 2
+    in
+    let matrices = if smoke then "smoke" :: matrices else matrices in
+    if matrices = [] && scenario_ids = [] then begin
+      Printf.eprintf "nothing to sweep: name a matrix (%s) or pass --scenario ID\n"
+        (String.concat ", " matrix_names);
+      exit 2
+    end;
+    let from_matrices =
+      List.concat_map
+        (fun m ->
+          match matrix_scenarios ~windows ~seeds m with
+          | Ok l -> l
+          | Error msg -> prerr_endline msg; exit 2)
+        matrices
+    in
+    let explicit =
+      List.map
+        (fun id ->
+          match Scenario.of_string id with
+          | Some s -> s
+          | None ->
+              Printf.eprintf "unparseable scenario id %S\n" id;
+              exit 2)
+        scenario_ids
+    in
+    let scenarios = from_matrices @ explicit in
+    let scenarios =
+      if trace then List.map (fun s -> { s with Scenario.trace = true }) scenarios else scenarios
+    in
+    Printf.printf "sweeping %d scenarios over %d worker domain%s\n%!" (List.length scenarios)
+      jobs (if jobs = 1 then "" else "s");
+    let t0 = Unix.gettimeofday () in
+    let on_done ~done_ ~total scenario outcome =
+      match outcome with
+      | Ok (r : Report.t) ->
+          Printf.printf "  [%*d/%d] ok   %-55s %10.0f txn/s  lat %7.1f ms\n%!"
+            (String.length (string_of_int total)) done_ total (Scenario.to_string scenario)
+            r.Report.throughput_txn_s r.Report.avg_latency_ms
+      | Error _ ->
+          Printf.printf "  [%*d/%d] FAIL %s\n%!"
+            (String.length (string_of_int total)) done_ total (Scenario.to_string scenario)
+    in
+    let results = Sweep.run ~jobs ~on_done scenarios in
+    let wall = Unix.gettimeofday () -. t0 in
+    let failures =
+      List.filter_map
+        (fun (r : Sweep.result) ->
+          match r.Sweep.outcome with
+          | Ok _ -> None
+          | Error msg -> Some (Scenario.to_string r.Sweep.scenario, msg))
+        results
+    in
+    (match Sweep.digests results with
+    | [] -> ()
+    | ds ->
+        Printf.printf "trace digests (deterministic: same scenario, same digest, any -j):\n";
+        List.iter (fun (id, d) -> Printf.printf "  %s  %s\n" d id) ds);
+    (match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        if Filename.check_suffix file ".csv" then Sweep.write_csv oc results
+        else Sweep.write_json oc results;
+        close_out oc;
+        Printf.printf "wrote %s (%d results)\n" file (List.length results));
+    (* Wall-clock summary goes to the console only, never into the
+       results document, which must be identical across -j values. *)
+    Printf.printf "swept %d scenarios in %.1fs of wall-clock time (-j %d)\n" (List.length results)
+      wall jobs;
+    if failures <> [] then begin
+      Printf.printf "%d scenario(s) failed:\n" (List.length failures);
+      List.iter (fun (id, msg) -> Printf.printf "  %s\n%s\n" id msg) failures;
+      exit 1
+    end
+  in
+  let term =
+    Term.(const go $ matrices $ smoke $ jobs $ full $ trace $ out $ scenario_ids $ seeds)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a matrix of simulated deployments across OCaml 5 domains and aggregate the \
+          reports into one versioned document.  Deterministic: for a fixed scenario list the \
+          ordered results (and every trace digest) are identical for any -j.")
+    term
+
 let matrix_cmd =
   let go () = Resilientdb.Experiments.Tables.Table1.print_configured () in
   Cmd.v
@@ -124,6 +327,6 @@ let main =
   Cmd.group
     (Cmd.info "resilientdb-cli" ~version:"1.0.0"
        ~doc:"GeoBFT and the ResilientDB fabric: simulated geo-scale BFT deployments.")
-    [ run_cmd; matrix_cmd ]
+    [ run_cmd; sweep_cmd; matrix_cmd ]
 
 let () = exit (Cmd.eval main)

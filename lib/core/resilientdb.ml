@@ -93,14 +93,20 @@ module Steward = Rdb_steward.Replica
 module Deployment = Rdb_fabric.Deployment
 module Metrics = Rdb_fabric.Metrics
 module Report = Rdb_fabric.Report
+module Json = Rdb_fabric.Json
 
 (* Chaos fault injection + invariant monitoring *)
 module Chaos = Rdb_chaos.Chaos
 module Recovery = Rdb_recovery.Recovery
 
 (* Paper evaluation *)
+module Scenario = Rdb_experiments.Scenario
+module Sweep = Rdb_sweep.Sweep
+
 module Experiments = struct
+  module Scenario = Rdb_experiments.Scenario
   module Runner = Rdb_experiments.Runner
   module Figures = Rdb_experiments.Figures
   module Tables = Rdb_experiments.Tables
+  module Ablations = Rdb_experiments.Ablations
 end

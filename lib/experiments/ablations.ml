@@ -18,28 +18,58 @@
       messages — client requests and commits — and MACs the rest).
       We re-cost Pbft as if every message carried a signature
       (signature-heavy classic BFT), showing why the MAC/signature
-      split matters. *)
+      split matters.
+
+   Like Figures.*, every ablation exposes [scenarios] (the canonical
+   grid, in order) and [rows_of_reports] (fold the ordered results
+   back into rows — positional, so it accepts exactly the list
+   [scenarios] produced, run serially or through the sweep engine). *)
 
 module Config = Rdb_types.Config
 module Report = Rdb_fabric.Report
 open Runner
 
+let run_serial scenarios = List.map (fun s -> (s, Runner.run s)) scenarios
+
+let shape_error name =
+  invalid_arg
+    (Printf.sprintf "Ablations.%s.rows_of_reports: results do not match this ablation's grid" name)
+
 (* -- A: sharing fan-out -------------------------------------------------- *)
 module Fanout = struct
   type row = { fanout : int; label : string; healthy : Report.t; one_receiver_down : Report.t }
 
-  let run ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
-    let f = (n - 1) / 3 in
-    List.map
-      (fun (fanout, label) ->
+  let fanouts ~n = [ 1; 0; n ] (* 0 = the paper's f+1 *)
+
+  (* For each fan-out: a healthy run, then one crashed backup per
+     cluster (with fan-out 1 some shares now land exclusively on dead
+     replicas — the rotation hits them every n rounds — forcing
+     detection and resends). *)
+  let scenarios ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
+    List.concat_map
+      (fun fanout ->
         let cfg = { (Config.make ~z ~n ()) with Config.geobft_fanout = fanout } in
-        let healthy = run_proto Geobft ~windows cfg in
-        (* One crashed backup per cluster: with fan-out 1 some shares
-           now land exclusively on dead replicas (the rotation hits
-           them every n rounds), forcing detection and resends. *)
-        let one_receiver_down = run_proto Geobft ~windows ~fault:One_nonprimary cfg in
-        { fanout; label; healthy; one_receiver_down })
-      [ (1, "s=1 (minimal)"); (0, Printf.sprintf "s=f+1=%d (paper)" (f + 1)); (n, "s=n (broadcast)") ]
+        [
+          Scenario.make ~windows Geobft cfg;
+          Scenario.make ~windows ~fault:One_nonprimary Geobft cfg;
+        ])
+      (fanouts ~n)
+
+  let label_of ~n ~fanout =
+    if fanout = 1 then "s=1 (minimal)"
+    else if fanout = 0 then Printf.sprintf "s=f+1=%d (paper)" (((n - 1) / 3) + 1)
+    else "s=n (broadcast)"
+
+  let rec rows_of_reports = function
+    | [] -> []
+    | ((s : Scenario.t), healthy) :: (_, one_receiver_down) :: rest ->
+        let cfg = s.Scenario.cfg in
+        let fanout = cfg.Config.geobft_fanout in
+        { fanout; label = label_of ~n:cfg.Config.n ~fanout; healthy; one_receiver_down }
+        :: rows_of_reports rest
+    | _ -> shape_error "Fanout"
+
+  let run ?windows ?z ?n () = rows_of_reports (run_serial (scenarios ?windows ?z ?n ()))
 
   let print rows =
     Printf.printf "\nAblation A: GeoBFT global-sharing fan-out (z=4, n=7)\n";
@@ -58,12 +88,22 @@ end
 module Pipeline = struct
   type row = { depth : int; report : Report.t }
 
-  let run ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
+  let depths = [ 1; 2; 4; 8; 32 ]
+
+  let scenarios ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
     List.map
       (fun depth ->
-        let cfg = { (Config.make ~z ~n ()) with Config.pipeline_depth = depth } in
-        { depth; report = run_proto Geobft ~windows cfg })
-      [ 1; 2; 4; 8; 32 ]
+        Scenario.make ~windows Geobft
+          { (Config.make ~z ~n ()) with Config.pipeline_depth = depth })
+      depths
+
+  let rows_of_reports results =
+    List.map
+      (fun ((s : Scenario.t), report) ->
+        { depth = s.Scenario.cfg.Config.pipeline_depth; report })
+      results
+
+  let run ?windows ?z ?n () = rows_of_reports (run_serial (scenarios ?windows ?z ?n ()))
 
   let print rows =
     Printf.printf "\nAblation B: GeoBFT consensus pipelining depth (z=4, n=7)\n";
@@ -79,24 +119,29 @@ end
 module Crypto_split = struct
   type row = { label : string; report : Report.t }
 
-  let run ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
+  let labels = [ "MACs + sigs (ResilientDB)"; "signatures everywhere" ]
+
+  let scenarios ?(windows = default_windows) ?(z = 4) ?(n = 7) () =
     let base = Config.make ~z ~n () in
     let sign_everything =
       (* Every MAC becomes a signature: what classic signature-based
          BFT pays per message. *)
       {
         base with
-        Config.costs =
-          {
-            base.Config.costs with
-            Config.mac_us = base.Config.costs.Config.verify_us;
-          };
+        Config.costs = { base.Config.costs with Config.mac_us = base.Config.costs.Config.verify_us };
       }
     in
-    [
-      { label = "MACs + sigs (ResilientDB)"; report = run_proto Pbft ~windows base };
-      { label = "signatures everywhere"; report = run_proto Pbft ~windows sign_everything };
-    ]
+    [ Scenario.make ~windows Pbft base; Scenario.make ~windows Pbft sign_everything ]
+
+  let rows_of_reports results =
+    match results with
+    | [ (_, macs); (_, sigs) ] ->
+        [
+          { label = List.nth labels 0; report = macs }; { label = List.nth labels 1; report = sigs };
+        ]
+    | _ -> shape_error "Crypto_split"
+
+  let run ?windows ?z ?n () = rows_of_reports (run_serial (scenarios ?windows ?z ?n ()))
 
   let print rows =
     Printf.printf "\nAblation C: authenticators in Pbft (z=4, n=7)\n";
@@ -116,14 +161,25 @@ module Threshold_certs = struct
      every receiver verifies all of them. *)
   type row = { n : int; plain : Report.t; threshold : Report.t }
 
-  let run ?(windows = default_windows) ?(z = 4) () =
-    List.map
+  let ns = [ 7; 15 ]
+
+  let scenarios ?(windows = default_windows) ?(z = 4) () =
+    List.concat_map
       (fun n ->
         let base = Config.make ~z ~n () in
-        let plain = run_proto Geobft ~windows base in
-        let threshold = run_proto Geobft ~windows { base with Config.threshold_certs = true } in
-        { n; plain; threshold })
-      [ 7; 15 ]
+        [
+          Scenario.make ~windows Geobft base;
+          Scenario.make ~windows Geobft { base with Config.threshold_certs = true };
+        ])
+      ns
+
+  let rec rows_of_reports = function
+    | [] -> []
+    | ((s : Scenario.t), plain) :: (_, threshold) :: rest ->
+        { n = s.Scenario.cfg.Config.n; plain; threshold } :: rows_of_reports rest
+    | _ -> shape_error "Threshold_certs"
+
+  let run ?windows ?z () = rows_of_reports (run_serial (scenarios ?windows ?z ()))
 
   let print rows =
     Printf.printf
@@ -138,12 +194,45 @@ module Threshold_certs = struct
       rows
 end
 
+(* The full ablation grid as one scenario list (canonical order), plus
+   the inverse: split a result list in that order back into the four
+   ablations' rows. *)
+let scenarios ?(windows = default_windows) () =
+  Fanout.scenarios ~windows () @ Pipeline.scenarios ~windows ()
+  @ Crypto_split.scenarios ~windows ()
+  @ Threshold_certs.scenarios ~windows ()
+
+type rows = {
+  fanout : Fanout.row list;
+  pipeline : Pipeline.row list;
+  crypto_split : Crypto_split.row list;
+  threshold_certs : Threshold_certs.row list;
+}
+
+let rows_of_reports ?(windows = default_windows) results =
+  let split_at k l =
+    let rec go acc k = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> shape_error "scenarios"
+      | x :: rest -> go (x :: acc) (k - 1) rest
+    in
+    go [] k l
+  in
+  let a, rest = split_at (List.length (Fanout.scenarios ~windows ())) results in
+  let b, rest = split_at (List.length (Pipeline.scenarios ~windows ())) rest in
+  let c, d = split_at (List.length (Crypto_split.scenarios ~windows ())) rest in
+  {
+    fanout = Fanout.rows_of_reports a;
+    pipeline = Pipeline.rows_of_reports b;
+    crypto_split = Crypto_split.rows_of_reports c;
+    threshold_certs = Threshold_certs.rows_of_reports d;
+  }
+
+let print rows =
+  Fanout.print rows.fanout;
+  Pipeline.print rows.pipeline;
+  Crypto_split.print rows.crypto_split;
+  Threshold_certs.print rows.threshold_certs
+
 let run_all ?(windows = default_windows) () =
-  let a = Fanout.run ~windows () in
-  Fanout.print a;
-  let b = Pipeline.run ~windows () in
-  Pipeline.print b;
-  let c = Crypto_split.run ~windows () in
-  Crypto_split.print c;
-  let d = Threshold_certs.run ~windows () in
-  Threshold_certs.print d
+  print (rows_of_reports ~windows (run_serial (scenarios ~windows ())))

@@ -1,6 +1,12 @@
 (** Ablation studies for the design decisions DESIGN.md calls out —
     beyond the paper's own figures, each isolates one choice and
-    measures its contribution. *)
+    measures its contribution.
+
+    Like {!Figures}, every ablation exposes [scenarios] (its canonical
+    parameter grid) and [rows_of_reports] (fold the ordered results —
+    serial or from the sweep engine — back into rows; positional, so
+    pass exactly the (scenario, report) list for [scenarios]'s
+    output).  [run] is the serial convenience. *)
 
 module Config = Rdb_types.Config
 module Report = Rdb_fabric.Report
@@ -11,6 +17,8 @@ open Runner
 module Fanout : sig
   type row = { fanout : int; label : string; healthy : Report.t; one_receiver_down : Report.t }
 
+  val scenarios : ?windows:windows -> ?z:int -> ?n:int -> unit -> Scenario.t list
+  val rows_of_reports : (Scenario.t * Report.t) list -> row list
   val run : ?windows:windows -> ?z:int -> ?n:int -> unit -> row list
   val print : row list -> unit
 end
@@ -20,6 +28,9 @@ end
 module Pipeline : sig
   type row = { depth : int; report : Report.t }
 
+  val depths : int list
+  val scenarios : ?windows:windows -> ?z:int -> ?n:int -> unit -> Scenario.t list
+  val rows_of_reports : (Scenario.t * Report.t) list -> row list
   val run : ?windows:windows -> ?z:int -> ?n:int -> unit -> row list
   val print : row list -> unit
 end
@@ -29,6 +40,8 @@ end
 module Crypto_split : sig
   type row = { label : string; report : Report.t }
 
+  val scenarios : ?windows:windows -> ?z:int -> ?n:int -> unit -> Scenario.t list
+  val rows_of_reports : (Scenario.t * Report.t) list -> row list
   val run : ?windows:windows -> ?z:int -> ?n:int -> unit -> row list
   val print : row list -> unit
 end
@@ -38,8 +51,30 @@ end
 module Threshold_certs : sig
   type row = { n : int; plain : Report.t; threshold : Report.t }
 
+  val ns : int list
+  val scenarios : ?windows:windows -> ?z:int -> unit -> Scenario.t list
+  val rows_of_reports : (Scenario.t * Report.t) list -> row list
   val run : ?windows:windows -> ?z:int -> unit -> row list
   val print : row list -> unit
 end
 
+(** {1 The whole ablation grid as one sweep} *)
+
+val scenarios : ?windows:windows -> unit -> Scenario.t list
+(** All four ablations' scenarios, concatenated in canonical order. *)
+
+type rows = {
+  fanout : Fanout.row list;
+  pipeline : Pipeline.row list;
+  crypto_split : Crypto_split.row list;
+  threshold_certs : Threshold_certs.row list;
+}
+
+val rows_of_reports : ?windows:windows -> (Scenario.t * Report.t) list -> rows
+(** Split ordered results for {!scenarios} back into per-ablation rows.
+    [windows] must match the value passed to {!scenarios}. *)
+
+val print : rows -> unit
+
 val run_all : ?windows:windows -> unit -> unit
+(** Serial: run {!scenarios} and print all four tables. *)

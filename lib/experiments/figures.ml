@@ -1,7 +1,14 @@
-(* One module per evaluation artifact of the paper (§4).  Each
-   experiment returns structured rows and can render itself as the
-   table/series the paper plots; EXPERIMENTS.md records the paper's
-   values next to ours. *)
+(* One module per evaluation artifact of the paper (§4).
+
+   Every figure exposes the same shape:
+   - [scenarios ... ()] — the exact grid of Scenario.t the paper
+     sweeps, in canonical order (this is the single source of truth:
+     bench, the sweep engine and the CLI all enumerate through here);
+   - [rows_of_reports] — fold ordered (scenario, report) pairs (from
+     Runner.run or the sweep engine) back into plot rows;
+   - [run] — serial convenience: scenarios |> run each |> rows;
+   - [print] — render the series the paper plots (EXPERIMENTS.md
+     records the paper's values next to ours). *)
 
 module Config = Rdb_types.Config
 module Report = Rdb_fabric.Report
@@ -9,15 +16,19 @@ open Runner
 
 type row = { proto : proto; x : int; report : Report.t }
 
-let collect ~protocols ~xs ~cfg_of ?(fault = No_fault) ~windows () =
+(* Grid enumeration: protocols outermost, swept parameter inner —
+   the canonical order every consumer sees. *)
+let grid ~protocols ~xs ~cfg_of ?(fault = No_fault) ~windows () =
   List.concat_map
-    (fun p ->
-      List.map
-        (fun x ->
-          let cfg : Config.t = cfg_of x in
-          { proto = p; x; report = run_proto p ~windows ~fault cfg })
-        xs)
+    (fun p -> List.map (fun x -> Scenario.make ~windows ~fault p (cfg_of x)) xs)
     protocols
+
+let run_serial scenarios = List.map (fun s -> (s, Runner.run s)) scenarios
+
+let rows_of_reports ~x_of results =
+  List.map
+    (fun ((s : Scenario.t), report) -> { proto = s.Scenario.proto; x = x_of s; report })
+    results
 
 let print_series ~title ~x_label ~rows ~value ~fmt_value =
   Printf.printf "\n%s\n" title;
@@ -47,8 +58,13 @@ module Fig10 = struct
 
   let cfg_of ?(base = Config.default) z = Config.make ~base ~z ~n:(60 / z) ()
 
-  let run ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
-    collect ~protocols ~xs:zs ~cfg_of:(fun z -> cfg_of ?base z) ~windows ()
+  let scenarios ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    grid ~protocols ~xs:zs ~cfg_of:(fun z -> cfg_of ?base z) ~windows ()
+
+  let rows_of_reports results = rows_of_reports ~x_of:(fun s -> s.Scenario.cfg.Config.z) results
+
+  let run ?protocols ?windows ?base () =
+    rows_of_reports (run_serial (scenarios ?protocols ?windows ?base ()))
 
   let print rows =
     print_series ~title:"Figure 10 (left): throughput (txn/s) vs #clusters, zn = 60"
@@ -67,8 +83,13 @@ module Fig11 = struct
 
   let cfg_of ?(base = Config.default) n = Config.make ~base ~z:4 ~n ()
 
-  let run ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
-    collect ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~windows ()
+  let scenarios ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    grid ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~windows ()
+
+  let rows_of_reports results = rows_of_reports ~x_of:(fun s -> s.Scenario.cfg.Config.n) results
+
+  let run ?protocols ?windows ?base () =
+    rows_of_reports (run_serial (scenarios ?protocols ?windows ?base ()))
 
   let print rows =
     print_series ~title:"Figure 11 (left): throughput (txn/s) vs replicas per cluster, z = 4"
@@ -88,18 +109,30 @@ module Fig12 = struct
   let cfg_of ?(base = Config.default) n = Config.make ~base ~z:4 ~n ()
 
   (* Left: one non-primary failure.  Every protocol. *)
-  let run_one_failure ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
-    collect ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:One_nonprimary ~windows ()
+  let scenarios_one_failure ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    grid ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:One_nonprimary ~windows ()
 
   (* Middle: f non-primary failures per cluster. *)
-  let run_f_failures ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
-    collect ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:F_nonprimary ~windows ()
+  let scenarios_f_failures ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    grid ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:F_nonprimary ~windows ()
 
   (* Right: single primary failure mid-run.  The paper runs only
      GeoBFT and Pbft here (Zyzzyva cannot survive it, HotStuff has no
      fixed primary, Steward has no usable view-change). *)
-  let run_primary_failure ?(protocols = [ Geobft; Pbft ]) ?(windows = default_windows) ?base () =
-    collect ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:Primary_failure ~windows ()
+  let scenarios_primary_failure ?(protocols = [ Geobft; Pbft ]) ?(windows = default_windows)
+      ?base () =
+    grid ~protocols ~xs:ns ~cfg_of:(fun n -> cfg_of ?base n) ~fault:Primary_failure ~windows ()
+
+  let rows_of_reports results = rows_of_reports ~x_of:(fun s -> s.Scenario.cfg.Config.n) results
+
+  let run_one_failure ?protocols ?windows ?base () =
+    rows_of_reports (run_serial (scenarios_one_failure ?protocols ?windows ?base ()))
+
+  let run_f_failures ?protocols ?windows ?base () =
+    rows_of_reports (run_serial (scenarios_f_failures ?protocols ?windows ?base ()))
+
+  let run_primary_failure ?protocols ?windows ?base () =
+    rows_of_reports (run_serial (scenarios_primary_failure ?protocols ?windows ?base ()))
 
   let print ~one ~ff ~pf =
     print_series ~title:"Figure 12 (left): throughput (txn/s), one non-primary failure, z = 4"
@@ -122,8 +155,14 @@ module Fig13 = struct
 
   let cfg_of ?(base = Config.default) b = Config.make ~base ~z:4 ~n:7 ~batch_size:b ()
 
-  let run ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
-    collect ~protocols ~xs:batches ~cfg_of:(fun b -> cfg_of ?base b) ~windows ()
+  let scenarios ?(protocols = all_protocols) ?(windows = default_windows) ?base () =
+    grid ~protocols ~xs:batches ~cfg_of:(fun b -> cfg_of ?base b) ~windows ()
+
+  let rows_of_reports results =
+    rows_of_reports ~x_of:(fun s -> s.Scenario.cfg.Config.batch_size) results
+
+  let run ?protocols ?windows ?base () =
+    rows_of_reports (run_serial (scenarios ?protocols ?windows ?base ()))
 
   let print rows =
     print_series ~title:"Figure 13: throughput (txn/s) vs batch size, z = 4, n = 7"

@@ -1,6 +1,11 @@
-(** The paper's Figures 10-13 as runnable experiments.  Each module
-    sweeps the paper's parameter, runs every protocol, and prints the
-    same series the paper plots (EXPERIMENTS.md compares the values). *)
+(** The paper's Figures 10-13 as runnable experiments.
+
+    Every figure exposes the same shape: [scenarios] is the single
+    source of truth for its parameter grid (bench, the sweep engine
+    and the CLI all enumerate through it), [rows_of_reports] folds
+    ordered (scenario, report) pairs back into plot rows,
+    [run] is the serial convenience, and [print] renders the series
+    the paper plots (EXPERIMENTS.md compares the values). *)
 
 module Config = Rdb_types.Config
 module Report = Rdb_fabric.Report
@@ -8,19 +13,15 @@ open Runner
 
 type row = { proto : proto; x : int; report : Report.t }
 
-val collect :
-  protocols:proto list ->
-  xs:int list ->
-  cfg_of:(int -> Config.t) ->
-  ?fault:fault ->
-  windows:windows ->
-  unit ->
-  row list
-
 (** Figure 10: throughput & latency vs number of clusters; zn = 60. *)
 module Fig10 : sig
   val zs : int list
   val cfg_of : ?base:Config.t -> int -> Config.t
+
+  val scenarios :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+
+  val rows_of_reports : (Scenario.t * Report.t) list -> row list
   val run : ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
   val print : row list -> unit
 end
@@ -29,6 +30,11 @@ end
 module Fig11 : sig
   val ns : int list
   val cfg_of : ?base:Config.t -> int -> Config.t
+
+  val scenarios :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+
+  val rows_of_reports : (Scenario.t * Report.t) list -> row list
   val run : ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
   val print : row list -> unit
 end
@@ -39,12 +45,27 @@ end
 module Fig12 : sig
   val ns : int list
   val cfg_of : ?base:Config.t -> int -> Config.t
+
+  val scenarios_one_failure :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+
+  val scenarios_f_failures :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+
+  val scenarios_primary_failure :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+
+  val rows_of_reports : (Scenario.t * Report.t) list -> row list
+
   val run_one_failure :
     ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+
   val run_f_failures :
     ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+
   val run_primary_failure :
     ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
+
   val print : one:row list -> ff:row list -> pf:row list -> unit
 end
 
@@ -52,6 +73,11 @@ end
 module Fig13 : sig
   val batches : int list
   val cfg_of : ?base:Config.t -> int -> Config.t
+
+  val scenarios :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+
+  val rows_of_reports : (Scenario.t * Report.t) list -> row list
   val run : ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
   val print : row list -> unit
 end

@@ -16,49 +16,29 @@ module ZyzDep = Rdb_fabric.Deployment.Make (Rdb_zyzzyva.Replica)
 module HsDep = Rdb_fabric.Deployment.Make (Rdb_hotstuff.Replica)
 module StwDep = Rdb_fabric.Deployment.Make (Rdb_steward.Replica)
 
-type proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
+(* The scenario vocabulary (protocols, faults, windows) lives in
+   {!Scenario}; re-exported here with type equations so existing code
+   written against Runner keeps compiling. *)
 
-let all_protocols = [ Geobft; Pbft; Zyzzyva; Hotstuff; Steward ]
+type proto = Scenario.proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
 
-let proto_name = function
-  | Geobft -> "GeoBFT"
-  | Pbft -> "Pbft"
-  | Zyzzyva -> "Zyzzyva"
-  | Hotstuff -> "HotStuff"
-  | Steward -> "Steward"
+let all_protocols = Scenario.all_protocols
+let proto_name = Scenario.proto_name
+let proto_of_string = Scenario.proto_of_string
 
-let proto_of_string s =
-  match String.lowercase_ascii s with
-  | "geobft" -> Some Geobft
-  | "pbft" -> Some Pbft
-  | "zyzzyva" -> Some Zyzzyva
-  | "hotstuff" -> Some Hotstuff
-  | "steward" -> Some Steward
-  | _ -> None
-
-(* The failure scenarios of §4.3, plus seeded chaos injection. *)
-type fault =
+type fault = Scenario.fault =
   | No_fault
-  | One_nonprimary           (* one backup crashed from the start *)
-  | F_nonprimary             (* f backups per cluster crashed from the start *)
-  | Primary_failure          (* the (initial) primary crashes mid-run *)
-  | Chaos of int             (* seeded fault timeline + invariant monitor;
-                                a negative seed means "use cfg.seed" *)
+  | One_nonprimary
+  | F_nonprimary
+  | Primary_failure
+  | Chaos of int
 
-let fault_name = function
-  | No_fault -> "none"
-  | One_nonprimary -> "one non-primary"
-  | F_nonprimary -> "f non-primary per cluster"
-  | Primary_failure -> "primary"
-  | Chaos s -> if s < 0 then "chaos" else Printf.sprintf "chaos (seed %d)" s
+let fault_name = Scenario.fault_name
 
-(* Simulated measurement windows.  The paper runs 60 s + 120 s on the
-   cloud; a deterministic simulator needs less: throughput is stable
-   within a few seconds once pipelines fill. *)
-type windows = { warmup : Time.t; measure : Time.t }
+type windows = Scenario.windows = { warmup : Time.t; measure : Time.t }
 
-let default_windows = { warmup = Time.sec 1; measure = Time.sec 4 }
-let full_windows = { warmup = Time.sec 15; measure = Time.sec 45 }
+let default_windows = Scenario.default_windows
+let full_windows = Scenario.full_windows
 
 (* The slice of the deployment interface the runner needs, as a named
    module type so the protocol dispatch can use first-class modules. *)
@@ -215,8 +195,7 @@ let chaos_plan (type a) (module D : DEP with type t = a) (d : a) (p : proto)
   let timeline = Chaos.plan ~rng ~surface pc in
   (seed, surface, timeline, liveness_window_ms)
 
-let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?tracer
-    (cfg : Config.t) : Report.t =
+let exec (p : proto) ~(windows : windows) ~(fault : fault) ~tracer (cfg : Config.t) : Report.t =
   let go : type a.
       (module DEP with type t = a) ->
       equiv:
@@ -255,6 +234,24 @@ let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?trac
   | Zyzzyva -> go (module ZyzDep) ~equiv:(fun _ -> None)
   | Hotstuff -> go (module HsDep) ~equiv:(fun _ -> None)
   | Steward -> go (module StwDep) ~equiv:(fun _ -> None)
+
+(* The scenario-first entry point.  [tracer] (an externally owned
+   tracer, e.g. the CLI's keep_events one for Chrome JSON output)
+   overrides the scenario's [trace] flag; otherwise [trace = true]
+   creates a summary-only tracer so the report carries the per-phase
+   breakdown and the deterministic digest. *)
+let run ?tracer (s : Scenario.t) : Report.t =
+  let tracer =
+    match tracer with
+    | Some _ as t -> t
+    | None -> if s.Scenario.trace then Some (Rdb_trace.Trace.create ()) else None
+  in
+  exec s.Scenario.proto ~windows:s.Scenario.windows ~fault:s.Scenario.fault ~tracer
+    s.Scenario.cfg
+
+let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?tracer
+    (cfg : Config.t) : Report.t =
+  exec p ~windows ~fault ~tracer cfg
 
 (* The fault timeline a chaos run with this seed would execute, without
    running it — lets tests (and curious users) verify event-for-event

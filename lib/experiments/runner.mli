@@ -1,57 +1,61 @@
-(** Uniform experiment driver: pick a protocol, a configuration and a
-    failure scenario; run one simulated deployment; get its report. *)
+(** Uniform experiment driver: build one {!Scenario.t}, call {!run},
+    get the deployment's {!Report.t}.
+
+    The scenario vocabulary (protocols, faults, windows) lives in
+    {!Scenario} and is re-exported here with type equations, so
+    [Runner.Geobft], [Runner.Chaos 3] and [{ Runner.warmup; measure }]
+    keep working. *)
 
 module Config = Rdb_types.Config
 module Time = Rdb_sim.Time
 module Report = Rdb_fabric.Report
 module Chaos = Rdb_chaos.Chaos
 
-type proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
+type proto = Scenario.proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
 
 val all_protocols : proto list
-
 val proto_name : proto -> string
 val proto_of_string : string -> proto option
 
-(** The §4.3 failure scenarios, plus seeded chaos injection. *)
-type fault =
+(** The §4.3 failure scenarios, plus seeded chaos injection (see
+    {!Scenario.fault}). *)
+type fault = Scenario.fault =
   | No_fault
-  | One_nonprimary   (** one backup crashed from the start *)
-  | F_nonprimary     (** f backups per cluster crashed from the start *)
-  | Primary_failure  (** the initial primary crashes mid-measurement *)
+  | One_nonprimary
+  | F_nonprimary
+  | Primary_failure
   | Chaos of int
-      (** sample a fault timeline from this seed (negative: use
-          [cfg.seed]), run it under the continuous invariant monitor,
-          and raise {!Chaos.Violation} — with the seed, the full
-          timeline and the first broken invariant — if safety or
-          post-heal liveness is ever violated *)
 
 val fault_name : fault -> string
 
-type windows = { warmup : Time.t; measure : Time.t }
+type windows = Scenario.windows = { warmup : Time.t; measure : Time.t }
 
 val default_windows : windows
-(** 2 s + 6 s of simulated time: enough for a deterministic simulator
-    whose pipelines fill within a second. *)
-
 val full_windows : windows
-(** 15 s + 45 s, approaching the paper's 60 s + 120 s methodology. *)
+
+val run : ?tracer:Rdb_trace.Trace.t -> Scenario.t -> Report.t
+(** Build the deployment (compact-ledger mode), inject the scenario's
+    fault, run warm-up + measurement, return the report.
+
+    When the scenario has [trace = true], a summary-only tracer is
+    created internally and the report carries the per-phase breakdown
+    plus the deterministic digest.  [tracer] overrides that with an
+    externally owned tracer (e.g. one created with [~keep_events:true]
+    for Chrome trace-event output).
+
+    @raise Chaos.Violation under [Chaos _] if an invariant breaks. *)
 
 val run_proto :
   proto -> ?windows:windows -> ?fault:fault -> ?tracer:Rdb_trace.Trace.t -> Config.t -> Report.t
-(** Build the deployment (compact-ledger mode), inject the fault,
-    run warm-up + measurement, return the report.  [tracer] threads a
-    consensus-path tracer through the whole stack (network, CPU,
-    protocol phases); the report then carries its summary.
-    @raise Chaos.Violation under [Chaos _] if an invariant breaks. *)
+  [@@ocaml.deprecated "Build a Scenario.t and call Runner.run instead."]
+(** Positional/optional-argument form, kept for compatibility. *)
 
 val chaos_profile : proto -> Config.t -> Chaos.caps * Chaos.agreement_mode * float
 (** What the chaos scheduler may throw at each protocol (capabilities,
     agreement mode, liveness window in ms) — the faults it is
     {e required} to survive, so a violation is always a bug. *)
 
-val chaos_timeline :
-  proto -> ?windows:windows -> seed:int -> Config.t -> Chaos.timeline
-(** The exact fault timeline [run_proto ~fault:(Chaos seed)] would
-    execute, without running it: same deployment construction, same
-    RNG split — reproducibility made checkable. *)
+val chaos_timeline : proto -> ?windows:windows -> seed:int -> Config.t -> Chaos.timeline
+(** The exact fault timeline a [Chaos seed] scenario would execute,
+    without running it: same deployment construction, same RNG split —
+    reproducibility made checkable. *)

@@ -137,8 +137,14 @@ module Table2 = struct
     | Hotstuff -> (Printf.sprintf "O(8zn) = %d" (8 * z * n), "(4 leader phases)")
     | Steward -> (Printf.sprintf "O(2zn^2)", "O(z^2)")
 
-  let run ?(windows = default_windows) ?(cfg = Config.make ~z:4 ~n:7 ()) () =
-    List.map (fun p -> (p, run_proto p ~windows cfg)) all_protocols
+  let scenarios ?(windows = default_windows) ?(cfg = Config.make ~z:4 ~n:7 ()) () =
+    List.map (fun p -> Scenario.make ~windows p cfg) all_protocols
+
+  let rows_of_reports results =
+    List.map (fun ((s : Scenario.t), report) -> (s.Scenario.proto, report)) results
+
+  let run ?windows ?cfg () =
+    rows_of_reports (List.map (fun s -> (s, Runner.run s)) (scenarios ?windows ?cfg ()))
 
   let print ?(cfg = Config.make ~z:4 ~n:7 ()) rows =
     let z = cfg.Config.z and n = cfg.Config.n in

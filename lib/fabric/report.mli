@@ -44,3 +44,20 @@ val pp_trace : Format.formatter -> t -> unit
     prints nothing when the run was not traced. *)
 
 val to_string : t -> string
+
+(** {1 Versioned JSON wire format}
+
+    [to_json]/[of_json] are exact inverses: every field (including the
+    optional trace summary) survives the round-trip, floats included
+    (shortest-round-trip decimal encoding).  The [schema_version]
+    field is embedded in every document; [of_json] accepts documents
+    up to the current version and refuses newer ones. *)
+
+val schema_version : int
+
+val to_json : t -> Json.t
+val to_json_string : t -> string
+(** Compact single-line rendering of {!to_json}. *)
+
+val of_json : Json.t -> (t, string) result
+val of_json_string : string -> (t, string) result

@@ -1,0 +1,218 @@
+(* Deterministic multicore sweep engine.
+
+   The paper's entire evaluation (§4, Figures 10-13) is a grid of
+   *independent* deployments — protocol × clusters × replicas × batch
+   × fault — and each per-scenario simulation is sequential by
+   construction (one DES event loop).  So the sweep is embarrassingly
+   parallel: schedule whole scenarios across OCaml 5 domains and the
+   wall-clock win is pure, with zero model change.
+
+   Determinism argument (DESIGN.md §12):
+   - a scenario run builds *all* of its state locally (engine, RNG
+     streams, network, replicas, YCSB table, tracer); the codebase
+     keeps no global mutable state, so runs cannot observe each other;
+   - the work queue only decides *which domain* runs a scenario and
+     *when* — never what the scenario computes;
+   - results land in a slot array indexed by the scenario's position
+     in the input list, so the output order is canonical regardless of
+     completion order.
+
+   Hence [run ~jobs:n] returns byte-identical reports (and identical
+   per-run trace digests) for every n, which the determinism suite
+   asserts and the per-run digest lets anyone re-check.
+
+   Scheduling: a single shared queue, self-scheduling workers
+   ([Atomic.fetch_and_add] on the next-index counter — lock-free, no
+   idle domain while work remains).  Dispatch order is longest-
+   expected-first ({!Scenario.cost_estimate}) so a big simulation
+   starts early instead of serializing the tail of the sweep. *)
+
+module Scenario = Rdb_experiments.Scenario
+module Runner = Rdb_experiments.Runner
+module Report = Rdb_fabric.Report
+module Json = Rdb_fabric.Json
+
+type result = { scenario : Scenario.t; outcome : (Report.t, string) Stdlib.result }
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run_one (s : Scenario.t) : (Report.t, string) Stdlib.result =
+  match Runner.run s with
+  | report -> Ok report
+  | exception Rdb_chaos.Chaos.Violation msg -> Error msg
+  | exception exn -> Error (Printexc.to_string exn)
+
+let run ?jobs ?on_done (scenarios : Scenario.t list) : result list =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let scenarios = Array.of_list scenarios in
+  let total = Array.length scenarios in
+  if total = 0 then []
+  else begin
+    (* Dispatch order: longest-expected-first, index as tie-break so
+       the order (and thus which domain gets what — though not the
+       results) is reproducible. *)
+    let order = Array.init total (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        match compare (Scenario.cost_estimate scenarios.(b)) (Scenario.cost_estimate scenarios.(a))
+        with
+        | 0 -> compare a b
+        | c -> c)
+      order;
+    let slots : result option array = Array.make total None in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let progress_mutex = Mutex.create () in
+    let worker () =
+      let rec loop () =
+        let k = Atomic.fetch_and_add next 1 in
+        if k < total then begin
+          let i = order.(k) in
+          let scenario = scenarios.(i) in
+          let outcome = run_one scenario in
+          slots.(i) <- Some { scenario; outcome };
+          let done_ = Atomic.fetch_and_add completed 1 + 1 in
+          (match on_done with
+          | None -> ()
+          | Some f ->
+              Mutex.lock progress_mutex;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock progress_mutex)
+                (fun () -> f ~done_ ~total scenario outcome));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* jobs workers in total: jobs - 1 spawned domains plus this one.
+       jobs = 1 spawns nothing and is a genuinely serial pass. *)
+    let domains = List.init (min jobs total - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* every slot is filled before the joins return *))
+         slots)
+  end
+
+let reports_exn (results : result list) : (Scenario.t * Report.t) list =
+  let failures =
+    List.filter_map
+      (fun r ->
+        match r.outcome with
+        | Ok _ -> None
+        | Error msg -> Some (Printf.sprintf "%s:\n%s" (Scenario.to_string r.scenario) msg))
+      results
+  in
+  if failures <> [] then
+    failwith
+      (Printf.sprintf "%d sweep scenario(s) failed:\n%s" (List.length failures)
+         (String.concat "\n" failures));
+  List.map
+    (fun r ->
+      match r.outcome with Ok report -> (r.scenario, report) | Error _ -> assert false)
+    results
+
+(* -- results documents --------------------------------------------------- *)
+
+(* Deliberately free of wall-clock times, job counts and hostnames:
+   the document is a pure function of the scenario list and the
+   binary, so `sweep -j 4` and `-j 1` write byte-identical files (the
+   determinism suite compares them). *)
+let schema_version = 1
+
+let to_json (results : result list) : Json.t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("report_schema_version", Json.Int Report.schema_version);
+      ("scenario_schema_version", Json.Int Scenario.schema_version);
+      ( "results",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 (("id", Json.String (Scenario.to_string r.scenario))
+                  :: ("scenario", Scenario.to_json r.scenario)
+                  ::
+                  (match r.outcome with
+                  | Ok report -> [ ("report", Report.to_json report) ]
+                  | Error msg -> [ ("error", Json.String msg) ])))
+             results) );
+    ]
+
+let to_json_string results = Json.to_string (to_json results)
+
+let csv_header =
+  "id,protocol,z,n,batch_size,fault,warmup_ms,measure_ms,throughput_txn_s,avg_latency_ms,\
+   p50_latency_ms,p95_latency_ms,p99_latency_ms,completed_txns,decisions,view_changes,\
+   state_transfers,holes_filled,retransmissions,trace_digest,error"
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv_string (results : result list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b csv_header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      let s = r.scenario in
+      let c = s.Scenario.cfg in
+      let fmt = Json.float_to_string in
+      let common =
+        [
+          csv_escape (Scenario.to_string s);
+          Scenario.proto_name s.Scenario.proto;
+          string_of_int c.Rdb_types.Config.z;
+          string_of_int c.Rdb_types.Config.n;
+          string_of_int c.Rdb_types.Config.batch_size;
+          Scenario.fault_id s.Scenario.fault;
+          fmt (Rdb_sim.Time.to_ms_f s.Scenario.windows.Scenario.warmup);
+          fmt (Rdb_sim.Time.to_ms_f s.Scenario.windows.Scenario.measure);
+        ]
+      in
+      let rest =
+        match r.outcome with
+        | Ok (rep : Report.t) ->
+            [
+              fmt rep.Report.throughput_txn_s;
+              fmt rep.Report.avg_latency_ms;
+              fmt rep.Report.p50_latency_ms;
+              fmt rep.Report.p95_latency_ms;
+              fmt rep.Report.p99_latency_ms;
+              string_of_int rep.Report.completed_txns;
+              string_of_int rep.Report.decisions;
+              string_of_int rep.Report.view_changes;
+              string_of_int rep.Report.state_transfers;
+              string_of_int rep.Report.holes_filled;
+              string_of_int rep.Report.retransmissions;
+              (match rep.Report.trace with
+              | Some t -> t.Rdb_trace.Trace.digest_hex
+              | None -> "");
+              "";
+            ]
+        | Error msg -> [ ""; ""; ""; ""; ""; ""; ""; ""; ""; ""; ""; ""; csv_escape msg ]
+      in
+      Buffer.add_string b (String.concat "," (common @ rest));
+      Buffer.add_char b '\n')
+    results;
+  Buffer.contents b
+
+let write_json oc results = output_string oc (to_json_string results)
+let write_csv oc results = output_string oc (to_csv_string results)
+
+(* Digest list in canonical order — the compact determinism witness
+   ((id, digest) per traced scenario). *)
+let digests (results : result list) : (string * string) list =
+  List.filter_map
+    (fun r ->
+      match r.outcome with
+      | Ok { Report.trace = Some t; _ } ->
+          Some (Scenario.to_string r.scenario, t.Rdb_trace.Trace.digest_hex)
+      | _ -> None)
+    results

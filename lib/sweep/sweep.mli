@@ -1,0 +1,62 @@
+(** Deterministic multicore sweep engine: schedule independent
+    simulation scenarios across OCaml 5 domains, collect reports in
+    canonical scenario order regardless of completion order.
+
+    Each per-scenario simulation stays single-domain (the DES is
+    sequential by construction) and builds all of its state locally,
+    so parallelism is a pure wall-clock win: [run ~jobs:n] produces
+    byte-identical results documents — and identical per-run trace
+    digests — for every [n].  DESIGN.md §12 gives the full determinism
+    argument; the determinism suite asserts it for all five
+    protocols. *)
+
+module Scenario = Rdb_experiments.Scenario
+module Report = Rdb_fabric.Report
+module Json = Rdb_fabric.Json
+
+type result = {
+  scenario : Scenario.t;
+  outcome : (Report.t, string) Stdlib.result;
+      (** [Error] carries the exception rendering — notably a
+          {!Rdb_chaos.Chaos.Violation} message with the offending seed
+          and timeline. *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1] (at least 1): leave one
+    core for the caller/OS. *)
+
+val run :
+  ?jobs:int ->
+  ?on_done:
+    (done_:int -> total:int -> Scenario.t -> (Report.t, string) Stdlib.result -> unit) ->
+  Scenario.t list ->
+  result list
+(** Run every scenario, [jobs] at a time (default {!default_jobs};
+    [1] is a genuinely serial pass — no domain is spawned).  Workers
+    self-schedule off a shared lock-free queue, longest-expected-
+    scenario first; results are returned in input order.  [on_done]
+    is a progress callback (completion order, serialized by a mutex —
+    safe to print from). *)
+
+val reports_exn : result list -> (Scenario.t * Report.t) list
+(** Unwrap all-[Ok] results, or raise [Failure] listing every failed
+    scenario id with its error. *)
+
+(** {1 Results documents}
+
+    Both renderings are pure functions of the (ordered) results — no
+    wall-clock times, job counts or hostnames — so serial and parallel
+    sweeps of the same scenario list write byte-identical files. *)
+
+val schema_version : int
+
+val to_json : result list -> Json.t
+val to_json_string : result list -> string
+val to_csv_string : result list -> string
+val write_json : out_channel -> result list -> unit
+val write_csv : out_channel -> result list -> unit
+
+val digests : result list -> (string * string) list
+(** [(id, trace digest)] for every traced, successful scenario, in
+    canonical order — the compact determinism witness. *)

@@ -4,18 +4,22 @@
    offending seed and timeline in the payload, so a red run is always
    reproducible with `resilientdb-cli run --fault chaos:SEED`.
 
-   The default seed set is deliberately small so the sweep rides along
-   in tier-1 `dune runtest` (alias chaos-sweep); set CHAOS_SEEDS=LO-HI
-   (e.g. CHAOS_SEEDS=1-16) for the wider validation sweep. *)
+   The protocol x seed grid is submitted through the multicore sweep
+   engine (the Chaos.Violation of a failing run surfaces as that
+   scenario's [Error] outcome, in canonical order).  The default seed
+   set is deliberately small so the sweep rides along in tier-1 `dune
+   runtest` (alias chaos-sweep); set CHAOS_SEEDS=LO-HI (e.g.
+   CHAOS_SEEDS=1-16) for the wider validation sweep, and CHAOS_JOBS=N
+   to override the worker-domain count. *)
 
 module Config = Rdb_types.Config
 module Time = Rdb_sim.Time
-module Chaos = Rdb_chaos.Chaos
-module Runner = Rdb_experiments.Runner
+module Scenario = Rdb_experiments.Scenario
+module Sweep = Rdb_sweep.Sweep
 module Report = Rdb_fabric.Report
 
 let cfg () = Config.make ~z:2 ~n:4 ~batch_size:20 ~client_inflight:8 ~seed:1 ()
-let windows = { Runner.warmup = Time.sec 1; measure = Time.sec 11 }
+let windows = { Scenario.warmup = Time.sec 1; measure = Time.sec 11 }
 
 let seeds () =
   match Sys.getenv_opt "CHAOS_SEEDS" with
@@ -30,31 +34,46 @@ let seeds () =
       | _ -> failwith "CHAOS_SEEDS must be LO-HI")
 
 let () =
-  let failures = ref 0 in
   let seeds = seeds () in
+  let scenarios =
+    List.concat_map
+      (fun proto ->
+        List.map
+          (fun seed -> Scenario.make ~windows ~fault:(Scenario.Chaos seed) proto (cfg ()))
+          seeds)
+      Scenario.all_protocols
+  in
+  let jobs =
+    match Option.bind (Sys.getenv_opt "CHAOS_JOBS") int_of_string_opt with
+    | Some j when j >= 1 -> j
+    | _ -> Sweep.default_jobs ()
+  in
+  let results = Sweep.run ~jobs scenarios in
+  let failures = ref 0 in
   List.iter
-    (fun proto ->
-      List.iter
-        (fun seed ->
-          let name = Runner.proto_name proto in
-          match Runner.run_proto proto ~windows ~fault:(Runner.Chaos seed) (cfg ()) with
-          | report ->
-              if report.Report.completed_txns = 0 then begin
-                incr failures;
-                Printf.printf "FAIL %-8s seed %2d: no progress under chaos\n%!" name seed
-              end
-              else
-                Printf.printf
-                  "ok   %-8s seed %2d: %6d txns | st %d | holes %d | rtx %d\n%!" name seed
-                  report.Report.completed_txns report.Report.state_transfers
-                  report.Report.holes_filled report.Report.retransmissions
-          | exception Chaos.Violation msg ->
-              incr failures;
-              Printf.printf "FAIL %-8s seed %2d:\n%s\n%!" name seed msg)
-        seeds)
-    Runner.all_protocols;
+    (fun (r : Sweep.result) ->
+      let s = r.Sweep.scenario in
+      let name = Scenario.proto_name s.Scenario.proto in
+      let seed = match s.Scenario.fault with Scenario.Chaos seed -> seed | _ -> -1 in
+      match r.Sweep.outcome with
+      | Ok report ->
+          if report.Report.completed_txns = 0 then begin
+            incr failures;
+            Printf.printf "FAIL %-8s seed %2d: no progress under chaos\n%!" name seed
+          end
+          else
+            Printf.printf "ok   %-8s seed %2d: %6d txns | st %d | holes %d | rtx %d\n%!" name seed
+              report.Report.completed_txns report.Report.state_transfers
+              report.Report.holes_filled report.Report.retransmissions
+      | Error msg ->
+          incr failures;
+          Printf.printf "FAIL %-8s seed %2d:\n%s\n%!" name seed msg)
+    results;
   if !failures > 0 then begin
     Printf.printf "%d chaos sweep failure(s)\n%!" !failures;
     exit 1
   end
-  else Printf.printf "chaos sweep clean: %d protocols x %d seeds\n%!" 5 (List.length seeds)
+  else
+    Printf.printf "chaos sweep clean: %d protocols x %d seeds (-j %d)\n%!"
+      (List.length Scenario.all_protocols)
+      (List.length seeds) jobs

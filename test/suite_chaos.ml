@@ -9,6 +9,7 @@ module Time = Rdb_sim.Time
 module Ledger = Rdb_ledger.Ledger
 module Chaos = Rdb_chaos.Chaos
 module Runner = Rdb_experiments.Runner
+module Scenario = Rdb_experiments.Scenario
 module Report = Rdb_fabric.Report
 
 (* Matches the envelope the seeds were validated against: default
@@ -26,9 +27,9 @@ let smoke proto () =
      actually contain faults. *)
   let tl = Runner.chaos_timeline proto ~windows ~seed cfg in
   Alcotest.(check bool) "timeline non-empty" true (List.length tl > 0);
-  (* run_proto raises Chaos.Violation — seed, timeline and first broken
+  (* Runner.run raises Chaos.Violation — seed, timeline and first broken
      invariant in the payload — if safety or liveness is ever violated. *)
-  let report = Runner.run_proto proto ~windows ~fault:(Runner.Chaos seed) cfg in
+  let report = Runner.run (Scenario.make ~windows ~fault:(Runner.Chaos seed) proto cfg) in
   Alcotest.(check bool) "progress under chaos" true
     (report.Report.completed_txns > 0)
 

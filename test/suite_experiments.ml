@@ -6,6 +6,7 @@ module Config = Rdb_types.Config
 module Time = Rdb_sim.Time
 module Report = Rdb_fabric.Report
 module Runner = Rdb_experiments.Runner
+module Scenario = Rdb_experiments.Scenario
 module Figures = Rdb_experiments.Figures
 
 let tiny = { Runner.warmup = Time.sec 1; measure = Time.sec 2 }
@@ -48,18 +49,18 @@ let test_runner_fault_dispatch () =
   (* A primary-failure run must report view changes for Pbft; a
      fault-free run must not. *)
   let cfg = Itest.small_cfg ~z:1 ~n:4 ~inflight:2 () in
-  let healthy = Runner.run_proto Runner.Pbft ~windows:tiny cfg in
+  let healthy = Runner.run (Scenario.make ~windows:tiny Runner.Pbft cfg) in
   Alcotest.(check int) "no view changes" 0 healthy.Report.view_changes;
   let windows = { Runner.warmup = Time.sec 1; measure = Time.sec 6 } in
-  let failed = Runner.run_proto Runner.Pbft ~windows ~fault:Runner.Primary_failure cfg in
+  let failed = Runner.run (Scenario.make ~windows ~fault:Runner.Primary_failure Runner.Pbft cfg) in
   Alcotest.(check bool) "view change after primary failure" true (failed.Report.view_changes > 0)
 
 let test_geobft_vs_pbft_at_small_scale () =
   (* Even at toy scale the headline relation should hold: GeoBFT
      commits at least as much as Pbft on a 2-region deployment. *)
   let cfg = Config.make ~z:2 ~n:4 ~batch_size:20 ~client_inflight:8 () in
-  let geo = Runner.run_proto Runner.Geobft ~windows:tiny cfg in
-  let pbft = Runner.run_proto Runner.Pbft ~windows:tiny cfg in
+  let geo = Runner.run (Scenario.make ~windows:tiny Runner.Geobft cfg) in
+  let pbft = Runner.run (Scenario.make ~windows:tiny Runner.Pbft cfg) in
   Alcotest.(check bool)
     (Printf.sprintf "geobft (%.0f) >= pbft (%.0f)" geo.Report.throughput_txn_s
        pbft.Report.throughput_txn_s)
@@ -71,7 +72,7 @@ let test_geobft_global_traffic_scales_with_fanout () =
      decision than fan-out f+1. *)
   let base = Itest.small_cfg ~z:2 ~n:4 () in
   let run fanout =
-    Runner.run_proto Runner.Geobft ~windows:tiny { base with Config.geobft_fanout = fanout }
+    Runner.run (Scenario.make ~windows:tiny Runner.Geobft { base with Config.geobft_fanout = fanout })
   in
   let paper = run 0 and broadcast = run 4 in
   Alcotest.(check bool) "broadcast fan-out costs more global traffic" true

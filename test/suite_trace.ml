@@ -17,7 +17,8 @@ let small_windows = { Runner.warmup = Time.ms 200; measure = Time.ms 600 }
 
 let digest_of ?(windows = small_windows) ?fault ?keep_events ?(seed = 1) proto =
   let tracer = Trace.create ?keep_events () in
-  let r = Runner.run_proto proto ~windows ?fault ~tracer (small_cfg ~seed ()) in
+  let scenario = Rdb_experiments.Scenario.make ~windows ?fault proto (small_cfg ~seed ()) in
+  let r = Runner.run ~tracer scenario in
   match r.Report.trace with
   | Some s -> (s, tracer)
   | None -> Alcotest.fail "report carries no trace summary"
@@ -109,7 +110,7 @@ let test_off_by_default () =
   (* No tracer: the deployment runs exactly as before (tier-1 behavior
      is the digest test's baseline; here just assert the report carries
      no trace summary). *)
-  let r = Runner.run_proto Runner.Pbft ~windows:small_windows (small_cfg ()) in
+  let r = Runner.run (Rdb_experiments.Scenario.make ~windows:small_windows Runner.Pbft (small_cfg ())) in
   Alcotest.(check bool) "no trace summary when off" true (r.Report.trace = None)
 
 let suite =

@@ -25,6 +25,7 @@ let () =
       ("trace", Suite_trace.suite);
       ("integration", Itest.suite);
       ("experiments", Suite_experiments.suite);
+      ("sweep", Suite_sweep.suite);
       ("byzantine", Suite_byzantine.suite);
       ("chaos", Suite_chaos.suite);
     ]
