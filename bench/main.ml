@@ -189,7 +189,12 @@ let parse_baseline path =
 (* The CI regression gate: rerun every baseline scenario (through the
    sweep engine), compare per-scenario throughput and average latency
    against the committed values, exit non-zero if any metric drifts
-   beyond the tolerance.  Re-baseline intentional performance changes:
+   beyond the tolerance.  The current run matrix is cross-checked
+   against the baseline's coverage: a matrix scenario with no baseline
+   entry is a MISSING failure (otherwise newly added scenarios would
+   silently escape the gate).  Good-direction drift beyond the band is
+   reported as IMPROVED — not a failure, but a nudge to refresh the
+   baseline so the band stays centred on reality.  Re-baseline with:
      dune exec bench/main.exe -- --write-baseline bench/baseline.json *)
 let run_check path =
   let tolerance, baseline = parse_baseline path in
@@ -198,20 +203,32 @@ let run_check path =
     exit 2
   end;
   say "== bench regression check against %s (tolerance %.0f%%) ==\n%!" path tolerance;
+  let covered = List.map (fun b -> Scenario.to_string b.b_scenario) baseline in
+  let missing =
+    List.filter
+      (fun s -> not (List.mem (Scenario.to_string s) covered))
+      (smoke_scenarios ())
+  in
+  List.iter
+    (fun s -> say "  MISSING  %s has no baseline entry\n%!" (Scenario.to_string s))
+    missing;
   let fresh = sweep (List.map (fun b -> b.b_scenario) baseline) in
-  let failures = ref 0 in
+  let failures = ref 0 and improved = ref 0 in
   let check id metric ~base ~got =
     let drift = (got -. base) /. base *. 100. in
     (* Higher throughput / lower latency than baseline is never a
-       regression; only flag drift in the bad direction. *)
-    let bad =
+       regression; only flag drift in the bad direction.  Drift beyond
+       the band in the *good* direction means the baseline has gone
+       stale — call it out without failing. *)
+    let bad, good =
       match metric with
-      | "throughput_txn_s" -> drift < -.tolerance
-      | _ -> drift > tolerance
+      | "throughput_txn_s" -> (drift < -.tolerance, drift > tolerance)
+      | _ -> (drift > tolerance, drift < -.tolerance)
     in
     say "  %-40s %-18s baseline %10.1f  got %10.1f  (%+.1f%%) %s\n%!" id metric base got drift
-      (if bad then "FAIL" else "ok");
-    if bad then incr failures
+      (if bad then "FAIL" else if good then "IMPROVED" else "ok");
+    if bad then incr failures;
+    if good then incr improved
   in
   List.iter2
     (fun b ((s : Scenario.t), (r : Report.t)) ->
@@ -220,8 +237,19 @@ let run_check path =
       check id "throughput_txn_s" ~base:b.b_thr ~got:r.Report.throughput_txn_s;
       check id "avg_latency_ms" ~base:b.b_lat ~got:r.Report.avg_latency_ms)
     baseline fresh;
-  if !failures > 0 then begin
-    say "bench --check: %d metric(s) regressed beyond %.0f%%\n" !failures tolerance;
+  if !improved > 0 then
+    say
+      "bench --check: %d metric(s) improved beyond the %.0f%% band; consider refreshing the \
+       baseline (dune exec bench/main.exe -- --write-baseline %s)\n"
+      !improved tolerance path;
+  if !failures > 0 || missing <> [] then begin
+    if !failures > 0 then
+      say "bench --check: %d metric(s) regressed beyond %.0f%%\n" !failures tolerance;
+    if missing <> [] then
+      say
+        "bench --check: %d run-matrix scenario(s) missing from %s (re-baseline with: dune exec \
+         bench/main.exe -- --write-baseline %s)\n"
+        (List.length missing) path path;
     exit 1
   end;
   say "bench --check: all %d scenarios within %.0f%% of baseline\n" (List.length baseline)

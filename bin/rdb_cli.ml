@@ -323,10 +323,207 @@ let matrix_cmd =
     (Cmd.info "matrix" ~doc:"Print the Table 1 latency/bandwidth calibration matrix.")
     Term.(const go $ const ())
 
+(* -- check ------------------------------------------------------------------ *)
+
+module Check = Resilientdb.Check
+module Perturb = Resilientdb.Perturb
+module Mutation = Resilientdb.Mutation
+
+let check_cmd =
+  let budget =
+    Arg.(value & opt int 64
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Schedules to explore per scenario (schedule 0 is unperturbed).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Perturbation seed.")
+  in
+  let scenario_ids =
+    Arg.(value & opt_all string []
+         & info [ "scenario"; "s" ] ~docv:"ID"
+             ~doc:
+               "Explore this scenario by its stable id (repeatable) instead of the default \
+                per-protocol matrix.")
+  in
+  let mutate =
+    Arg.(value & opt (some string) None
+         & info [ "mutate" ] ~docv:"ID"
+             ~doc:
+               "Activate one test-only protocol mutation and verify the checker catches it \
+                (the scenario that exposes it is chosen automatically unless --scenario is \
+                given).")
+  in
+  let mutants_flag =
+    Arg.(value & flag
+         & info [ "mutants" ]
+             ~doc:
+               "Validation sweep: explore every known mutation in turn; each must be caught \
+                and shrunk within the budget.")
+  in
+  let replay_file =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay a counterexample artifact and report whether it reproduces.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"DIR"
+             ~doc:"Write every counterexample artifact as \\$(docv)/check-<name>.json.")
+  in
+  let write_artifact out name (ce : Check.counterexample) =
+    match out with
+    | None -> ()
+    | Some dir ->
+        (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+        let file = Filename.concat dir (Printf.sprintf "check-%s.json" name) in
+        let oc = open_out file in
+        output_string oc (Check.counterexample_to_string ce);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "  wrote %s\n%!" file
+  in
+  let describe (ce : Check.counterexample) =
+    Printf.printf "  VIOLATION %s at schedule %d (%d runs): %s\n" ce.Check.violation.invariant
+      ce.Check.schedule ce.Check.runs ce.Check.violation.detail;
+    Printf.printf "  minimal schedule (%d perturbations): [%s]\n"
+      (List.length ce.Check.perturbations)
+      (String.concat "; " (List.map Perturb.to_string ce.Check.perturbations));
+    match ce.Check.digest with
+    | Some d -> Printf.printf "  trace digest: %s\n%!" d
+    | None -> ()
+  in
+  let explore_label ~budget ~seed ?mutation ?provoke ~name scenario =
+    Printf.printf "check %-24s %s%s\n%!" name
+      (Scenario.to_string scenario)
+      (match mutation with None -> "" | Some m -> Printf.sprintf "  [mutation %s]" m);
+    let last = ref (-1) in
+    let on_schedule ~schedule =
+      if schedule / 16 > !last then begin
+        last := schedule / 16;
+        Printf.printf "  ... schedule %d/%d\n%!" schedule budget
+      end
+    in
+    Check.explore ~budget ~seed ?mutation ?provoke ~on_schedule scenario
+  in
+  let go budget seed scenario_ids mutate mutants_flag replay_file out =
+    match replay_file with
+    | Some file -> (
+        let contents =
+          let ic = open_in_bin file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic; s
+        in
+        match Check.counterexample_of_string contents with
+        | Error msg -> Printf.eprintf "cannot load %s: %s\n" file msg; exit 2
+        | Ok ce ->
+            Printf.printf "replaying %s: %s (%d perturbations)\n%!" file
+              (Scenario.to_string ce.Check.scenario)
+              (List.length ce.Check.perturbations);
+            let r = Check.replay ce in
+            (match r.Check.observed with
+            | Some v -> Printf.printf "observed: %s\n" (Check.violation_to_string v)
+            | None -> Printf.printf "observed: no violation\n");
+            (match r.Check.digest_match with
+            | Some true -> Printf.printf "trace digest matches the artifact\n"
+            | Some false -> Printf.printf "trace digest DIFFERS from the artifact\n"
+            | None -> ());
+            if r.Check.reproduced then Printf.printf "reproduced\n"
+            else begin
+              Printf.printf "NOT reproduced\n";
+              exit 1
+            end)
+    | None ->
+        let explicit =
+          List.map
+            (fun id ->
+              match Scenario.of_string id with
+              | Some s -> s
+              | None -> Printf.eprintf "unparseable scenario id %S\n" id; exit 2)
+            scenario_ids
+        in
+        if mutants_flag then begin
+          (* Every mutation must be caught and shrunk within the budget. *)
+          let escaped = ref [] in
+          List.iter
+            (fun (id, (scenario, provoke)) ->
+              match explore_label ~budget ~seed ~mutation:id ?provoke ~name:id scenario with
+              | Some ce ->
+                  describe ce;
+                  write_artifact out id ce
+              | None ->
+                  Printf.printf "  ESCAPED: mutation %s survived %d schedules\n%!" id budget;
+                  escaped := id :: !escaped)
+            Check.mutants;
+          if !escaped <> [] then begin
+            Printf.printf "%d mutation(s) escaped the checker: %s\n" (List.length !escaped)
+              (String.concat ", " (List.rev !escaped));
+            exit 1
+          end;
+          Printf.printf "all %d mutations caught and shrunk\n" (List.length Check.mutants)
+        end
+        else
+          match mutate with
+          | Some id -> (
+              if not (List.mem id Mutation.known) then begin
+                Printf.eprintf "unknown mutation %S (known: %s)\n" id
+                  (String.concat ", " (List.map fst Check.mutants));
+                exit 2
+              end;
+              let scenario, provoke =
+                match (explicit, Check.mutant_scenario id) with
+                | s :: _, reg -> (s, Option.bind reg (fun (_, p) -> p))
+                | [], Some (s, p) -> (s, p)
+                | [], None -> (Check.default_scenario Scenario.Geobft, None)
+              in
+              match explore_label ~budget ~seed ~mutation:id ?provoke ~name:id scenario with
+              | Some ce ->
+                  describe ce;
+                  write_artifact out id ce
+              | None ->
+                  Printf.printf "  ESCAPED: mutation %s survived %d schedules\n" id budget;
+                  exit 1)
+          | None ->
+              (* Bug hunt: the unmutated protocols must come out clean. *)
+              let scenarios =
+                if explicit <> [] then
+                  List.map (fun s -> (Scenario.proto_name s.Scenario.proto, s)) explicit
+                else
+                  List.map
+                    (fun p -> (Scenario.proto_name p, Check.default_scenario ~seed p))
+                    Scenario.all_protocols
+              in
+              let dirty = ref [] in
+              List.iter
+                (fun (name, scenario) ->
+                  match explore_label ~budget ~seed ~name scenario with
+                  | Some ce ->
+                      describe ce;
+                      write_artifact out name ce;
+                      dirty := name :: !dirty
+                  | None -> Printf.printf "  clean over %d schedules\n%!" budget)
+                scenarios;
+              if !dirty <> [] then begin
+                Printf.printf "%d scenario(s) violated an invariant: %s\n" (List.length !dirty)
+                  (String.concat ", " (List.rev !dirty));
+                exit 1
+              end
+  in
+  let term =
+    Term.(const go $ budget $ seed $ scenario_ids $ mutate $ mutants_flag $ replay_file $ out)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Explore seeded schedule perturbations (delivery delays, tie-break permutations, \
+          same-link reorders) of simulated deployments under an invariant oracle; shrink any \
+          violation to a minimal replayable counterexample.")
+    term
+
 let main =
   Cmd.group
     (Cmd.info "resilientdb-cli" ~version:"1.0.0"
        ~doc:"GeoBFT and the ResilientDB fabric: simulated geo-scale BFT deployments.")
-    [ run_cmd; sweep_cmd; matrix_cmd ]
+    [ run_cmd; sweep_cmd; matrix_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,508 @@
+(* The schedule-exploration checker (DESIGN.md §13).
+
+   Replays a Scenario.t under seeded schedule perturbations while an
+   invariant oracle watches:
+
+   - the chaos safety monitor (prefix agreement, monotone execution,
+     no duplicate execution, liveness) from lib/chaos, reused with an
+     empty fault timeline;
+   - certificate invariants scanned over every replica ledger at end
+     of run: quorum-many distinct signers per commit certificate, and
+     no two conflicting certificates for one (cluster, round) anywhere
+     in the deployment — GeoBFT's one-certificate-per-cluster-per-round;
+   - the quorum-evidence extractor (Rdb_types.Evidence): any protocol
+     decision taken on less support than the unmutated configuration
+     demands;
+   - an execution-frontier check (fault-free runs only): no replica
+     may sit still across the second half of the measurement window
+     while the rest of the deployment keeps executing.
+
+   On a violation, a ddmin shrinker minimizes the perturbation list to
+   a 1-minimal failing schedule and the result is serialized as a
+   replayable JSON artifact.
+
+   Runs are strictly sequential: the mutation/evidence hooks are plain
+   globals, so the checker never uses the multicore sweep engine. *)
+
+module Scenario = Rdb_experiments.Scenario
+module Runner = Rdb_experiments.Runner
+module Chaos = Rdb_chaos.Chaos
+module Ledger = Rdb_ledger.Ledger
+module Block = Rdb_ledger.Block
+module Certificate = Rdb_types.Certificate
+module Config = Rdb_types.Config
+module Mutation = Rdb_types.Mutation
+module Evidence = Rdb_types.Evidence
+module Engine = Rdb_sim.Engine
+module Time = Rdb_sim.Time
+module Rng = Rdb_prng.Rng
+module Json = Rdb_fabric.Json
+module Report = Rdb_fabric.Report
+
+type violation = Chaos.violation = { at : Time.t; invariant : string; detail : string }
+
+let violation_to_string = Chaos.violation_to_string
+
+(* -- provocations --------------------------------------------------------- *)
+
+(* A provocation schedules an in-envelope fault through the chaos
+   surface so that rarely-exercised machinery (e.g. GeoBFT's remote
+   view change) runs inside a short deterministic window.  Named, so
+   replay artifacts can reference them. *)
+let provocations : (string * (Chaos.surface -> unit)) list =
+  [
+    ( "geobft-equivocate-c0",
+      fun s ->
+        (* Cluster 0 withholds its shares from every remote cluster
+           between 1.5 s and 6.5 s: remote clusters starve, detect the
+           silence, and drive the Figure-7 remote view change.  The
+           protocol is required to absorb exactly this (the chaos
+           envelope grants GeoBFT equivocation), so the unmutated run
+           stays clean. *)
+        match (s.Chaos.equivocate, s.Chaos.stop_equivocate) with
+        | Some eq, Some stop ->
+            let skip = List.init (s.Chaos.z - 1) (fun i -> i + 1) in
+            s.Chaos.at (Time.of_ms_f 1500.) (fun () -> eq ~cluster:0 ~skip);
+            s.Chaos.at (Time.of_ms_f 6500.) (fun () -> stop ~cluster:0)
+        | _ -> () );
+  ]
+
+let provocation name = List.assoc_opt name provocations
+
+(* -- certificate invariants ----------------------------------------------- *)
+
+(* Expected certificate quorum per protocol; None when the protocol's
+   ledger carries no certificates ([cert = None] blocks). *)
+let cert_quorum (s : Scenario.t) =
+  let cfg = s.Scenario.cfg in
+  match s.Scenario.proto with
+  | Scenario.Geobft -> Some (Config.quorum cfg)
+  | Scenario.Pbft ->
+      (* Standalone Pbft runs one flat group over all z*n replicas. *)
+      let nn = cfg.Config.z * cfg.Config.n in
+      Some (nn - ((nn - 1) / 3))
+  | Scenario.Zyzzyva | Scenario.Hotstuff | Scenario.Steward -> None
+
+let scan_certificates (s : Scenario.t) (surface : Chaos.surface) : violation option =
+  let quorum = cert_quorum s in
+  let n_replicas = surface.Chaos.z * surface.Chaos.n in
+  let seen : (int * int, string) Hashtbl.t = Hashtbl.create 256 in
+  let found = ref None in
+  let record inv detail =
+    if !found = None then found := Some { at = surface.Chaos.now (); invariant = inv; detail }
+  in
+  (try
+     for r = 0 to n_replicas - 1 do
+       let led = surface.Chaos.ledger r in
+       for h = 0 to Ledger.length led - 1 do
+         match (Ledger.get led h).Block.cert with
+         | None -> ()
+         | Some c ->
+             let signers =
+               List.sort_uniq compare
+                 (List.map (fun cs -> cs.Certificate.replica) c.Certificate.commits)
+             in
+             (match quorum with
+             | Some q when Certificate.n_signatures c < q ->
+                 record "certificate-quorum"
+                   (Printf.sprintf
+                      "replica %d height %d: certificate for (cluster %d, round %d) carries %d \
+                       signatures, quorum is %d"
+                      r h c.Certificate.cluster c.Certificate.seq (Certificate.n_signatures c) q)
+             | _ -> ());
+             if List.length signers <> Certificate.n_signatures c then
+               record "certificate-signers"
+                 (Printf.sprintf
+                    "replica %d height %d: certificate for (cluster %d, round %d) has duplicate \
+                     signers"
+                    r h c.Certificate.cluster c.Certificate.seq);
+             let key = (c.Certificate.cluster, c.Certificate.seq) in
+             (match Hashtbl.find_opt seen key with
+             | Some d when not (String.equal d c.Certificate.digest) ->
+                 record "conflicting-certificates"
+                   (Printf.sprintf
+                      "two certificates for (cluster %d, round %d) endorse different digests"
+                      c.Certificate.cluster c.Certificate.seq)
+             | Some _ -> ()
+             | None -> Hashtbl.replace seen key c.Certificate.digest);
+             if !found <> None then raise Exit
+       done
+     done
+   with Exit -> ());
+  !found
+
+(* -- execution frontier --------------------------------------------------- *)
+
+(* In a fault-free run every correct replica must keep executing: once
+   the deployment has demonstrably worked ([min_global_total] blocks
+   executed somewhere), no replica may sit still across the entire
+   second half of the measurement window — that is a starved replica
+   (e.g. a primary whose shares are systematically rejected) or a
+   deployment-wide pipeline stall, not slow start.  Perturbation delays
+   are capped well below the half-window, so a delayed-but-correct
+   replica always lands some block in it.  Skipped when a provocation
+   is active: provocations starve replicas on purpose, inside the
+   chaos envelope. *)
+let min_global_total = 8
+
+let frontier_check (surface : Chaos.surface) ~mid : violation option =
+  match mid with
+  | None -> None
+  | Some (mid_lens : int array) ->
+      let n = Array.length mid_lens in
+      let ends = Array.init n (fun r -> Ledger.length (surface.Chaos.ledger r)) in
+      let gmax a = Array.fold_left max 0 a in
+      if gmax ends < min_global_total then None
+      else begin
+        let stalled = ref None in
+        for r = n - 1 downto 0 do
+          if ends.(r) = mid_lens.(r) then stalled := Some r
+        done;
+        match !stalled with
+        | None -> None
+        | Some r ->
+            Some
+              {
+                at = surface.Chaos.now ();
+                invariant = "execution-frontier";
+                detail =
+                  Printf.sprintf
+                    "replica %d executed nothing over the second half of the run (stuck at %d \
+                     blocks) in a working deployment (max ledger %d blocks)"
+                    r ends.(r) (gmax ends);
+              }
+      end
+
+(* -- one run -------------------------------------------------------------- *)
+
+type run_result = {
+  violation : violation option;
+  applied : Perturb.t list;
+  digest : string option;
+}
+
+let run_one (s : Scenario.t) ~(hooks : Perturb.hooks) ~(provoke : string option) : run_result =
+  Evidence.arm ();
+  let surface_ref = ref None in
+  let mon = ref None in
+  let mid = ref None in
+  let install (i : Runner.instrument) =
+    let surface = i.Runner.inst_surface in
+    surface_ref := Some surface;
+    Engine.set_defer_hook i.Runner.inst_engine (Some hooks.Perturb.defer);
+    i.Runner.inst_set_delivery_hook (Some hooks.Perturb.deliver);
+    mon := Some (Chaos.monitor ~liveness_window_ms:i.Runner.inst_liveness_window_ms surface []);
+    (match Option.bind provoke provocation with Some p -> p surface | None -> ());
+    let windows = s.Scenario.windows in
+    let half =
+      Time.add windows.Scenario.warmup (Int64.div windows.Scenario.measure 2L)
+    in
+    if s.Scenario.fault = Scenario.No_fault && provoke = None then
+      surface.Chaos.at half (fun () ->
+          mid :=
+            Some
+              (Array.init
+                 (surface.Chaos.z * surface.Chaos.n)
+                 (fun r -> Ledger.length (surface.Chaos.ledger r))))
+  in
+  let outcome =
+    try Ok (Runner.run_instrumented ~install s)
+    with
+    | Chaos.Violation msg -> Error ("chaos", msg)
+    | e -> Error ("exception", Printexc.to_string e)
+  in
+  let evidence = Evidence.violations () in
+  Evidence.disarm ();
+  let surface = Option.get !surface_ref in
+  let violation =
+    match outcome with
+    | Error (inv, detail) -> Some { at = surface.Chaos.now (); invariant = inv; detail }
+    | Ok _ -> (
+        (match !mon with Some m -> Chaos.check_now m | None -> ());
+        match Option.bind !mon Chaos.first_violation with
+        | Some v -> Some v
+        | None -> (
+            match evidence with
+            | e :: _ ->
+                Some
+                  {
+                    at = surface.Chaos.now ();
+                    invariant = "quorum-evidence";
+                    detail = Evidence.entry_to_string e;
+                  }
+            | [] -> (
+                match scan_certificates s surface with
+                | Some v -> Some v
+                | None -> frontier_check surface ~mid:!mid)))
+  in
+  let digest =
+    match outcome with
+    | Ok report ->
+        Option.map (fun t -> t.Rdb_trace.Trace.digest_hex) report.Report.trace
+    | Error _ -> None
+  in
+  { violation; applied = hooks.Perturb.applied (); digest }
+
+(* -- delta debugging ------------------------------------------------------ *)
+
+let split_into n lst =
+  let len = List.length lst in
+  let base = len / n and extra = len mod n in
+  let rec go i rest acc =
+    if i >= n then List.rev acc
+    else
+      let take = base + if i < extra then 1 else 0 in
+      let rec split k l pre =
+        if k = 0 then (List.rev pre, l)
+        else match l with [] -> (List.rev pre, []) | x :: tl -> split (k - 1) tl (x :: pre)
+      in
+      let chunk, rest = split take rest [] in
+      go (i + 1) rest (chunk :: acc)
+  in
+  go 0 lst []
+
+(* Zeller-Hildebrandt ddmin to 1-minimality: the result still fails,
+   and removing any single element makes it pass. *)
+let ddmin ~test items =
+  let runs = ref 0 in
+  let test l =
+    incr runs;
+    test l
+  in
+  let result =
+    if items = [] then items
+    else if test [] then []
+    else begin
+      let rec go current n =
+        let len = List.length current in
+        if len <= 1 then current
+        else begin
+          let chunks = split_into n current in
+          match List.find_opt test chunks with
+          | Some c -> go c 2
+          | None -> (
+              let complements =
+                List.mapi (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) chunks)) chunks
+              in
+              match List.find_opt test complements with
+              | Some c -> go c (max (n - 1) 2)
+              | None -> if n < len then go current (min len (2 * n)) else current)
+        end
+      in
+      go items 2
+    end
+  in
+  (result, !runs)
+
+(* -- exploration ---------------------------------------------------------- *)
+
+type counterexample = {
+  scenario : Scenario.t;
+  mutation : string option;
+  provoke : string option;
+  seed : int;
+  schedule : int;  (** schedule index where the violation surfaced *)
+  perturbations : Perturb.t list;  (** shrunk, 1-minimal *)
+  violation : violation;
+  digest : string option;  (** trace digest of the minimal replay *)
+  runs : int;  (** simulations spent, exploration + shrinking *)
+}
+
+let schedule_rng ~seed ~schedule =
+  Rng.create (Int64.of_int ((seed * 1_000_003) + schedule))
+
+let explore ?(budget = 64) ?(seed = 1) ?mutation ?provoke ?on_schedule (s : Scenario.t) :
+    counterexample option =
+  Mutation.set mutation;
+  let finish v =
+    Mutation.set None;
+    v
+  in
+  let runs = ref 0 in
+  let attempt k =
+    incr runs;
+    (match on_schedule with Some f -> f ~schedule:k | None -> ());
+    let hooks =
+      if k = 0 then Perturb.unperturbed
+      else
+        Perturb.explore
+          ~rng:(schedule_rng ~seed ~schedule:k)
+          ~tier:(Perturb.tier_for ~schedule:k)
+    in
+    run_one s ~hooks ~provoke
+  in
+  let rec loop k =
+    if k >= budget then finish None
+    else
+      let r = attempt k in
+      match r.violation with
+      | None -> loop (k + 1)
+      | Some _ ->
+          let test ps =
+            incr runs;
+            (run_one s ~hooks:(Perturb.replay ps) ~provoke).violation <> None
+          in
+          let minimal, _ = ddmin ~test r.applied in
+          (* One final replay of the minimal schedule: its violation and
+             digest are what the artifact pins. *)
+          incr runs;
+          let final = run_one s ~hooks:(Perturb.replay minimal) ~provoke in
+          let violation =
+            match final.violation with Some v -> v | None -> Option.get r.violation
+          in
+          finish
+            (Some
+               {
+                 scenario = s;
+                 mutation;
+                 provoke;
+                 seed;
+                 schedule = k;
+                 perturbations = minimal;
+                 violation;
+                 digest = final.digest;
+                 runs = !runs;
+               })
+  in
+  loop 0
+
+(* -- artifacts ------------------------------------------------------------ *)
+
+let schema_version = 1
+
+let counterexample_to_json (ce : counterexample) : Json.t =
+  let opt_str = function None -> Json.Null | Some s -> Json.String s in
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("scenario", Json.String (Scenario.to_string ce.scenario));
+      ("mutation", opt_str ce.mutation);
+      ("provoke", opt_str ce.provoke);
+      ("seed", Json.Int ce.seed);
+      ("schedule", Json.Int ce.schedule);
+      ("perturbations", Json.List (List.map Perturb.to_json ce.perturbations));
+      ( "violation",
+        Json.Obj
+          [
+            ("invariant", Json.String ce.violation.invariant);
+            ("detail", Json.String ce.violation.detail);
+            ("at_ms", Json.Float (Time.to_ms_f ce.violation.at));
+          ] );
+      ("trace_digest", opt_str ce.digest);
+      ("runs", Json.Int ce.runs);
+    ]
+
+let counterexample_to_string ce = Json.to_string (counterexample_to_json ce)
+
+let counterexample_of_json (j : Json.t) : (counterexample, string) result =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let req name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "artifact: missing or malformed %S" name)
+  in
+  let opt_str name =
+    match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+  in
+  let* schema = req "schema" Json.to_int in
+  if schema <> schema_version then
+    Error (Printf.sprintf "artifact: unsupported schema %d" schema)
+  else
+    let* sid = req "scenario" Json.to_str in
+    let* scenario =
+      match Scenario.of_string sid with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "artifact: unparseable scenario id %S" sid)
+    in
+    let* seed = req "seed" Json.to_int in
+    let* schedule = req "schedule" Json.to_int in
+    let* pjs = req "perturbations" Json.to_list in
+    let* perturbations =
+      List.fold_left
+        (fun acc pj ->
+          let* acc = acc in
+          let* p = Perturb.of_json pj in
+          Ok (p :: acc))
+        (Ok []) pjs
+      |> fun r -> (match r with Ok l -> Ok (List.rev l) | Error e -> Error e)
+    in
+    let* vj = req "violation" (fun x -> Some x) in
+    let* invariant = match Option.bind (Json.member "invariant" vj) Json.to_str with
+      | Some s -> Ok s
+      | None -> Error "artifact: missing violation.invariant"
+    in
+    let* detail = match Option.bind (Json.member "detail" vj) Json.to_str with
+      | Some s -> Ok s
+      | None -> Error "artifact: missing violation.detail"
+    in
+    let at_ms =
+      match Option.bind (Json.member "at_ms" vj) Json.to_float with Some f -> f | None -> 0.
+    in
+    Ok
+      {
+        scenario;
+        mutation = opt_str "mutation";
+        provoke = opt_str "provoke";
+        seed;
+        schedule;
+        perturbations;
+        violation = { at = Time.of_ms_f at_ms; invariant; detail };
+        digest = opt_str "trace_digest";
+        runs = (match Option.bind (Json.member "runs" j) Json.to_int with Some r -> r | None -> 0);
+      }
+
+let counterexample_of_string s =
+  match Json.of_string s with Ok j -> counterexample_of_json j | Error e -> Error e
+
+(* -- replay --------------------------------------------------------------- *)
+
+type replay_outcome = {
+  reproduced : bool;  (** the replay violated the same invariant *)
+  observed : violation option;
+  digest_match : bool option;  (** None when either side lacks a digest *)
+}
+
+let replay (ce : counterexample) : replay_outcome =
+  Mutation.set ce.mutation;
+  let r = run_one ce.scenario ~hooks:(Perturb.replay ce.perturbations) ~provoke:ce.provoke in
+  Mutation.set None;
+  let reproduced =
+    match r.violation with
+    | Some v -> String.equal v.invariant ce.violation.invariant
+    | None -> false
+  in
+  let digest_match =
+    match (ce.digest, r.digest) with
+    | Some a, Some b -> Some (String.equal a b)
+    | _ -> None
+  in
+  { reproduced; observed = r.violation; digest_match }
+
+(* -- default matrices ----------------------------------------------------- *)
+
+(* Small, fast deployments: the checker's power comes from schedule
+   diversity, not scale. *)
+let default_scenario ?(seed = 1) (p : Scenario.proto) : Scenario.t =
+  let cfg = Config.make ~z:2 ~n:4 ~batch_size:20 ~client_inflight:8 ~seed () in
+  let windows = { Scenario.warmup = Time.ms 500; measure = Time.ms 2000 } in
+  Scenario.make ~windows ~trace:true p cfg
+
+(* Every mutation with the scenario (and provocation) that flushes it
+   out.  [geobft-rvc-weak] needs remote view-change traffic, which the
+   equivocation provocation generates inside the chaos envelope. *)
+let mutants : (string * (Scenario.t * string option)) list =
+  let plain p = (default_scenario p, None) in
+  [
+    ("pbft-prepare-quorum", plain Scenario.Pbft);
+    ("pbft-commit-quorum", plain Scenario.Pbft);
+    ("zyzzyva-spec-history", plain Scenario.Zyzzyva);
+    ("hotstuff-qc-quorum", plain Scenario.Hotstuff);
+    ("geobft-share-stale", plain Scenario.Geobft);
+    ( "geobft-rvc-weak",
+      let cfg = Config.make ~z:2 ~n:4 ~batch_size:20 ~client_inflight:8 ~seed:1 () in
+      let windows = { Scenario.warmup = Time.ms 1000; measure = Time.ms 8000 } in
+      (Scenario.make ~windows ~trace:true Scenario.Geobft cfg, Some "geobft-equivocate-c0") );
+    ("steward-certify-quorum", plain Scenario.Steward);
+  ]
+
+let mutant_scenario id = List.assoc_opt id mutants

@@ -1,0 +1,101 @@
+(** Schedule-exploration checker (DESIGN.md §13): replay a
+    {!Scenario.t} under seeded schedule perturbations with an invariant
+    oracle — the chaos safety monitor, per-protocol certificate
+    invariants, quorum-evidence extraction, and an execution-frontier
+    check — then delta-debug any violation down to a 1-minimal
+    perturbation list serialized as a replayable artifact. *)
+
+module Scenario = Rdb_experiments.Scenario
+module Chaos = Rdb_chaos.Chaos
+module Time = Rdb_sim.Time
+module Json = Rdb_fabric.Json
+
+type violation = Chaos.violation = { at : Time.t; invariant : string; detail : string }
+
+val violation_to_string : violation -> string
+
+val provocations : (string * (Chaos.surface -> unit)) list
+(** Named in-envelope fault windows (scheduled through the chaos
+    surface) that flush out rarely-exercised machinery; artifacts
+    reference them by name so replays reapply them. *)
+
+val provocation : string -> (Chaos.surface -> unit) option
+
+(** {1 Single runs} *)
+
+type run_result = {
+  violation : violation option;
+  applied : Perturb.t list;  (** perturbations that actually landed *)
+  digest : string option;  (** trace digest, when the scenario traces *)
+}
+
+val run_one : Scenario.t -> hooks:Perturb.hooks -> provoke:string option -> run_result
+(** One simulation under the given perturbation hooks, checked by the
+    full oracle.  Sequential only: the mutation/evidence hooks are
+    process-global. *)
+
+(** {1 Shrinking} *)
+
+val ddmin : test:(Perturb.t list -> bool) -> Perturb.t list -> Perturb.t list * int
+(** Delta debugging to 1-minimality.  [test subset] must return
+    whether the subset still fails.  Returns the minimal list and the
+    number of tests spent. *)
+
+(** {1 Exploration} *)
+
+type counterexample = {
+  scenario : Scenario.t;
+  mutation : string option;
+  provoke : string option;
+  seed : int;
+  schedule : int;  (** schedule index where the violation surfaced *)
+  perturbations : Perturb.t list;  (** shrunk, 1-minimal *)
+  violation : violation;
+  digest : string option;  (** trace digest of the minimal replay *)
+  runs : int;  (** simulations spent, exploration + shrinking *)
+}
+
+val explore :
+  ?budget:int ->
+  ?seed:int ->
+  ?mutation:string ->
+  ?provoke:string ->
+  ?on_schedule:(schedule:int -> unit) ->
+  Scenario.t ->
+  counterexample option
+(** Run up to [budget] (default 64) schedules — schedule 0 unperturbed,
+    the rest perturbed with cycling intensity tiers seeded from
+    [(seed, schedule)] — and stop at the first violation, which is
+    shrunk and replayed once more to pin its digest.  [mutation]
+    activates a test-only protocol mutation for the whole exploration. *)
+
+(** {1 Replayable artifacts} *)
+
+val schema_version : int
+
+val counterexample_to_json : counterexample -> Json.t
+val counterexample_to_string : counterexample -> string
+val counterexample_of_json : Json.t -> (counterexample, string) result
+val counterexample_of_string : string -> (counterexample, string) result
+
+type replay_outcome = {
+  reproduced : bool;  (** the replay violated the same invariant *)
+  observed : violation option;
+  digest_match : bool option;  (** [None] when either side lacks a digest *)
+}
+
+val replay : counterexample -> replay_outcome
+(** Re-run the artifact's scenario under its recorded perturbation
+    list (and mutation/provocation, if any). *)
+
+(** {1 Default matrices} *)
+
+val default_scenario : ?seed:int -> Scenario.proto -> Scenario.t
+(** The checker's stock deployment: z=2 n=4, small batches, traced,
+    0.5 s + 2 s windows. *)
+
+val mutants : (string * (Scenario.t * string option)) list
+(** Every known test-only mutation paired with the scenario (and
+    optional provocation) that exposes it. *)
+
+val mutant_scenario : string -> (Scenario.t * string option) option

@@ -99,6 +99,11 @@ module Json = Rdb_fabric.Json
 module Chaos = Rdb_chaos.Chaos
 module Recovery = Rdb_recovery.Recovery
 
+(* Schedule-exploration checker *)
+module Check = Rdb_check.Check
+module Perturb = Rdb_check.Perturb
+module Mutation = Rdb_types.Mutation
+
 (* Paper evaluation *)
 module Scenario = Rdb_experiments.Scenario
 module Sweep = Rdb_sweep.Sweep

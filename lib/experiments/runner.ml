@@ -66,6 +66,7 @@ module type DEP = sig
   val ledger : t -> replica:int -> Ledger.t
   val engine : t -> Engine.t
   val at : t -> time:Time.t -> (unit -> unit) -> unit
+  val set_delivery_hook : t -> Rdb_sim.Network.delivery_hook option -> unit
 end
 
 (* -- chaos wiring ------------------------------------------------------ *)
@@ -195,7 +196,19 @@ let chaos_plan (type a) (module D : DEP with type t = a) (d : a) (p : proto)
   let timeline = Chaos.plan ~rng ~surface pc in
   (seed, surface, timeline, liveness_window_ms)
 
-let exec (p : proto) ~(windows : windows) ~(fault : fault) ~tracer (cfg : Config.t) : Report.t =
+(* What the schedule-exploration checker (lib/check) gets to see of a
+   deployment it is about to run: the chaos-monitor surface (ledgers,
+   clock, scheduling), the engine and network hook installers, and the
+   protocol's liveness envelope. *)
+type instrument = {
+  inst_surface : Chaos.surface;
+  inst_engine : Engine.t;
+  inst_set_delivery_hook : Rdb_sim.Network.delivery_hook option -> unit;
+  inst_liveness_window_ms : float;
+}
+
+let exec ?instrument (p : proto) ~(windows : windows) ~(fault : fault) ~tracer (cfg : Config.t) :
+    Report.t =
   let go : type a.
       (module DEP with type t = a) ->
       equiv:
@@ -205,6 +218,18 @@ let exec (p : proto) ~(windows : windows) ~(fault : fault) ~tracer (cfg : Config
    fun (module D) ~equiv ->
     (* Experiments sweep many large deployments: keep ledgers compact. *)
     let d = D.create ?tracer ~retain_payloads:false cfg in
+    (match instrument with
+    | None -> ()
+    | Some install ->
+        let caps, agreement, liveness_window_ms = chaos_profile p cfg in
+        let surface = chaos_surface (module D) d cfg ~caps ~agreement ~equiv:(equiv d) in
+        install
+          {
+            inst_surface = surface;
+            inst_engine = D.engine d;
+            inst_set_delivery_hook = (fun h -> D.set_delivery_hook d h);
+            inst_liveness_window_ms = liveness_window_ms;
+          });
     match fault with
     | Chaos s ->
         let seed, surface, timeline, liveness_window_ms =
@@ -248,6 +273,19 @@ let run ?tracer (s : Scenario.t) : Report.t =
   in
   exec s.Scenario.proto ~windows:s.Scenario.windows ~fault:s.Scenario.fault ~tracer
     s.Scenario.cfg
+
+(* The checker's entry point: like {!run}, but [install] receives the
+   deployment's instrument record after construction and before the
+   first simulated event, so exploration hooks and extra monitors can
+   be armed on the very deployment about to run. *)
+let run_instrumented ?tracer ~install (s : Scenario.t) : Report.t =
+  let tracer =
+    match tracer with
+    | Some _ as t -> t
+    | None -> if s.Scenario.trace then Some (Rdb_trace.Trace.create ()) else None
+  in
+  exec ~instrument:install s.Scenario.proto ~windows:s.Scenario.windows ~fault:s.Scenario.fault
+    ~tracer s.Scenario.cfg
 
 let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?tracer
     (cfg : Config.t) : Report.t =

@@ -45,6 +45,24 @@ val run : ?tracer:Rdb_trace.Trace.t -> Scenario.t -> Report.t
 
     @raise Chaos.Violation under [Chaos _] if an invariant breaks. *)
 
+type instrument = {
+  inst_surface : Chaos.surface;
+  inst_engine : Rdb_sim.Engine.t;
+  inst_set_delivery_hook : Rdb_sim.Network.delivery_hook option -> unit;
+  inst_liveness_window_ms : float;
+}
+(** What the schedule-exploration checker sees of a deployment it is
+    about to run: the chaos-monitor surface (ledgers, clock, deferred
+    actions), the engine, the network delivery-hook installer, and the
+    protocol's liveness envelope (ms). *)
+
+val run_instrumented : ?tracer:Rdb_trace.Trace.t -> install:(instrument -> unit) -> Scenario.t -> Report.t
+(** Like {!run}, but calls [install] after the deployment is built and
+    before the first simulated event, so perturbation hooks and extra
+    monitors can be armed on the very deployment about to run.
+
+    @raise Chaos.Violation under [Chaos _] if an invariant breaks. *)
+
 val run_proto :
   proto -> ?windows:windows -> ?fault:fault -> ?tracer:Rdb_trace.Trace.t -> Config.t -> Report.t
   [@@ocaml.deprecated "Build a Scenario.t and call Runner.run instead."]

@@ -80,6 +80,7 @@ module Make (P : Protocol.S) = struct
   let ledger t ~replica = t.ledgers.(replica)
   let table t ~replica = t.tables.(replica)
   let keychain t = t.keychain
+  let set_delivery_hook t h = Network.set_delivery_hook t.net h
 
   let replica t i =
     match t.nodes.(i) with Replica r -> r | Client _ -> invalid_arg "Deployment.replica"
@@ -318,12 +319,23 @@ module Make (P : Protocol.S) = struct
     | Replica r -> P.on_recover r
     | Client _ -> ()
 
-  (* Test hook: rejoin WITHOUT the protocol's [on_recover] — the
-     pre-recovery-subsystem behaviour, kept so the chaos monitor can be
-     shown to still catch a recovery-disabled run. *)
+  (* Test hook: rejoin WITHOUT the protocol's [on_recover] and with
+     its out-of-band recovery machinery (behind-the-window catch-up)
+     turned off — the pre-recovery-subsystem behaviour, kept so the
+     chaos monitor can be shown to still catch a recovery-disabled
+     run. *)
   let uncrash_replica_no_recovery t node =
     t.crashed.(node) <- false;
-    Network.recover t.net node
+    Network.recover t.net node;
+    match t.nodes.(node) with
+    | Replica r -> P.disable_recovery r
+    | Client _ -> ()
+
+  (* Test hook: the fully recovery-less build — no behind-the-window
+     catch-up anywhere, not just at rejoin time (a lossy-but-alive
+     replica would otherwise rescue itself mid-run). *)
+  let disable_all_recovery t =
+    Array.iter (function Replica r -> P.disable_recovery r | Client _ -> ()) t.nodes
 
   let is_crashed t node = t.crashed.(node)
 

@@ -175,22 +175,51 @@ let of_string s =
             | 'b' -> Buffer.add_char b '\b'
             | 'f' -> Buffer.add_char b '\012'
             | 'u' ->
-                if !pos + 4 >= n then fail "truncated \\u escape";
-                let hex = String.sub s (!pos + 1) 4 in
-                let code =
-                  match int_of_string_opt ("0x" ^ hex) with
-                  | Some c -> c
-                  | None -> fail "bad \\u escape"
+                let hex4 () =
+                  if !pos + 4 >= n then fail "truncated \\u escape";
+                  let hex = String.sub s (!pos + 1) 4 in
+                  let code =
+                    match int_of_string_opt ("0x" ^ hex) with
+                    | Some c -> c
+                    | None -> fail "bad \\u escape"
+                  in
+                  pos := !pos + 4;
+                  code
                 in
-                pos := !pos + 4;
-                (* UTF-8 encode the BMP code point. *)
+                let code = hex4 () in
+                let code =
+                  (* RFC 8259 §7: code points above the BMP arrive as a
+                     UTF-16 surrogate pair; decode it to the real code
+                     point instead of emitting CESU-8.  An unpaired
+                     surrogate denotes no character at all. *)
+                  if code >= 0xD800 && code <= 0xDBFF then begin
+                    if
+                      not
+                        (!pos + 2 < n && s.[!pos + 1] = '\\' && s.[!pos + 2] = 'u')
+                    then fail "high surrogate not followed by \\u escape";
+                    pos := !pos + 2;
+                    let low = hex4 () in
+                    if low < 0xDC00 || low > 0xDFFF then
+                      fail "high surrogate not followed by a low surrogate";
+                    0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                  end
+                  else if code >= 0xDC00 && code <= 0xDFFF then fail "unpaired low surrogate"
+                  else code
+                in
+                (* UTF-8 encode the code point. *)
                 if code < 0x80 then Buffer.add_char b (Char.chr code)
                 else if code < 0x800 then begin
                   Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
                 end
-                else begin
+                else if code < 0x10000 then begin
                   Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
                   Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
                   Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
                 end
@@ -230,15 +259,24 @@ let of_string s =
       | None -> (
           match float_of_string_opt text with Some f -> Float f | None -> fail "bad number")
   in
+  (* Containers recurse; a hostile or corrupted document of nothing
+     but open brackets must come back as [Error], not a stack
+     overflow.  512 is far beyond anything the repo's wire formats
+     nest and far below any stack limit. *)
+  let max_depth = 512 in
+  let depth = ref 0 in
   let rec parse_value () =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
+        incr depth;
+        if !depth > max_depth then fail "nesting too deep";
         advance ();
         skip_ws ();
         if peek () = Some '}' then begin
           advance ();
+          decr depth;
           Obj []
         end
         else begin
@@ -259,13 +297,17 @@ let of_string s =
             | _ -> fail "expected ',' or '}'"
           in
           fields_loop ();
+          decr depth;
           Obj (List.rev !fields)
         end
     | Some '[' ->
+        incr depth;
+        if !depth > max_depth then fail "nesting too deep";
         advance ();
         skip_ws ();
         if peek () = Some ']' then begin
           advance ();
+          decr depth;
           List []
         end
         else begin
@@ -282,6 +324,7 @@ let of_string s =
             | _ -> fail "expected ',' or ']'"
           in
           items_loop ();
+          decr depth;
           List (List.rev !items)
         end
     | Some '"' -> String (parse_string ())

@@ -41,6 +41,8 @@ module Cpu = Rdb_sim.Cpu
 module Keychain = Rdb_crypto.Keychain
 module Engine = Rdb_pbft.Engine
 module Recovery = Rdb_recovery.Recovery
+module Mutation = Rdb_types.Mutation
+module Evidence = Rdb_types.Evidence
 open Messages
 
 let name = "GeoBFT"
@@ -327,10 +329,13 @@ and handle_rvc r (m : rvc) ~src =
               (Time.sub (r.ctx.Ctx.now ()) r.last_local_vc)
               (Time.of_ms_f r.cfg.Config.local_timeout_ms)
           in
-          if Hashtbl.length seen >= f + 1
+          let gate = if Mutation.is "geobft-rvc-weak" then 1 else f + 1 in
+          if Hashtbl.length seen >= gate
              && (not (Hashtbl.mem r.rvc_honored (req_cluster, m.vc_count)))
              && not recent_vc
           then begin
+            Evidence.note ~point:"geobft.rvc-honor" ~node:r.ctx.Ctx.id
+              ~count:(Hashtbl.length seen) ~need:(f + 1);
             Hashtbl.replace r.rvc_honored (req_cluster, m.vc_count) ();
             r.remote_vcs_triggered <- r.remote_vcs_triggered + 1;
             r.ctx.Ctx.trace
@@ -368,6 +373,13 @@ and share_round r ~round (batch : Batch.t) (cert : Certificate.t) =
             let idx = (round + i) mod cfg.Config.n in
             let dst = Config.replica_id cfg ~cluster:c ~index:idx in
             r.shares_sent <- r.shares_sent + 1;
+            (* Mutant: cluster 0's primary mislabels every share with
+               the previous round number; receivers must reject it (the
+               certificate binds the round), so remote clusters starve
+               on cluster 0's rounds while cluster 0 runs ahead. *)
+            let round =
+              if r.my_cluster = 0 && Mutation.is "geobft-share-stale" then round - 1 else round
+            in
             send r ~dst (Global_share { round; batch; cert })
           done
       done)
@@ -538,6 +550,10 @@ let create_replica (ctx : msg Ctx.t) =
                   for i = 0 to f do
                     let idx = (round + i) mod r.cfg.Config.n in
                     let dst = Config.replica_id r.cfg ~cluster:c2 ~index:idx in
+                    let round =
+                      if r.my_cluster = 0 && Mutation.is "geobft-share-stale" then round - 1
+                      else round
+                    in
                     send r ~dst (Global_share { round; batch = b; cert })
                   done
               | None -> ()
@@ -579,6 +595,20 @@ let create_replica (ctx : msg Ctx.t) =
     }
   in
   r_ref := Some r;
+  (* A backup whose local engine dropped messages past its acceptance
+     window (the cluster raced ahead while one delayed pre-prepare
+     stalled its frontier) never crashed, so only this hook notices it
+     is starving; the crash-rejoin fetch path brings it back. *)
+  Engine.set_on_behind engine
+    (Some
+       (fun ~seq:_ ->
+         match !r_ref with
+         | Some r when not r.recovering ->
+             r.recovering <- true;
+             Recovery.Stats.note_retransmit r.stats;
+             send_catchup_fetch r ~attempt:0;
+             (match r.task with Some task -> Recovery.Task.start task | None -> ())
+         | _ -> ()));
   r.task <-
     Some
       (Recovery.Task.create
@@ -684,3 +714,4 @@ let on_recover (r : replica) =
   update_detection_timers r
 
 let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
+let disable_recovery (r : replica) = Engine.set_on_behind r.engine None

@@ -33,6 +33,8 @@ module Time = Rdb_sim.Time
 module Cpu = Rdb_sim.Cpu
 module Sha256 = Rdb_crypto.Sha256
 module Recovery = Rdb_recovery.Recovery
+module Mutation = Rdb_types.Mutation
+module Evidence = Rdb_types.Evidence
 
 let name = "HotStuff"
 
@@ -240,6 +242,10 @@ let on_recover (r : replica) =
 
 let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
 
+(* HotStuff's only out-of-band machinery is the on_recover-armed stall
+   task; nothing to turn off. *)
+let disable_recovery (_ : replica) = ()
+
 
 (* -- leader side ---------------------------------------------------------- *)
 
@@ -271,9 +277,12 @@ and record_vote r inst ~height ~phase ~voter ~digest:_ =
   let tbl = s.votes.(phase_index phase) in
   if not (Hashtbl.mem tbl voter) then begin
     Hashtbl.replace tbl voter 1;
-    if Hashtbl.length tbl >= r.quorum then begin
+    let gate = if Mutation.is "hotstuff-qc-quorum" then r.quorum - 1 else r.quorum in
+    if Hashtbl.length tbl >= gate then begin
       let pi = phase_index phase in
       if not s.qc_seen.(pi) then begin
+        Evidence.note ~point:"hotstuff.qc" ~node:r.ctx.Ctx.id ~count:(Hashtbl.length tbl)
+          ~need:r.quorum;
         s.qc_seen.(pi) <- true;
         match s.batch with
         | None -> ()

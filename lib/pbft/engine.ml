@@ -35,6 +35,8 @@ module Wire = Rdb_types.Wire
 module Time = Rdb_sim.Time
 module Cpu = Rdb_sim.Cpu
 module Keychain = Rdb_crypto.Keychain
+module Mutation = Rdb_types.Mutation
+module Evidence = Rdb_types.Evidence
 open Messages
 
 type slot = {
@@ -83,6 +85,10 @@ type t = {
   mutable noop_nonce : int;
   on_committed : seq:int -> Batch.t -> Certificate.t -> unit;
   on_view_change : view:int -> unit;
+  mutable on_behind : (seq:int -> unit) option;
+      (* fired when a commit arrives so far past [next_emit] that the
+         acceptance window already dropped it: the group has moved on
+         and only a state transfer can bring this replica back *)
   mutable tamper : (dst:int -> msg -> msg option) option;
   mutable n_view_changes : int;            (* completed view changes (metric) *)
   mutable deferred : (int * msg) list;     (* messages from views ahead of ours *)
@@ -134,12 +140,14 @@ let create ~(ctx : msg Ctx.t) ~members ~cluster ?window ?checkpoint_every
     noop_nonce = 0;
     on_committed;
     on_view_change;
+    on_behind = None;
     tamper = None;
     n_view_changes = 0;
     deferred = [];
   }
 
 let set_tamper t fn = t.tamper <- fn
+let set_on_behind t fn = t.on_behind <- fn
 
 (* -- basic accessors --------------------------------------------------- *)
 
@@ -453,7 +461,9 @@ and check_prepared t s =
       let matching =
         Hashtbl.fold (fun _ d' acc -> if String.equal d d' then acc + 1 else acc) s.prepares 0
       in
-      if matching >= t.quorum then begin
+      let gate = if Mutation.is "pbft-prepare-quorum" then t.quorum - 1 else t.quorum in
+      if matching >= gate then begin
+        Evidence.note ~point:"pbft.prepared" ~node:t.ctx.Ctx.id ~count:matching ~need:t.quorum;
         s.sent_commit <- true;
         t.ctx.Ctx.phase ~key:s.seq ~name:"prepare";
         let payload =
@@ -494,7 +504,9 @@ and check_committed t s =
           (fun _ (v, d', _) acc -> if String.equal d d' && v = s.sview then acc + 1 else acc)
           s.commits 0
       in
-      if matching >= t.quorum then begin
+      let gate = if Mutation.is "pbft-commit-quorum" then t.quorum - 1 else t.quorum in
+      if matching >= gate then begin
+        Evidence.note ~point:"pbft.committed" ~node:t.ctx.Ctx.id ~count:matching ~need:t.quorum;
         s.committed <- true;
         emit_ready t
       end
@@ -736,6 +748,12 @@ let rec on_message t ~src (m : msg) =
     | Commit { view; seq; digest; signature } ->
         if seq < t.next_emit + (4 * t.window) then
           handle_commit t ~src_local ~view ~seq ~digest ~signature
+        else
+          (* Too far past our frontier to even buffer: the group has
+             left us behind, and nobody retransmits the normal-path
+             messages we are dropping here.  Hand the liveness problem
+             to the state-transfer layer. *)
+          Option.iter (fun f -> f ~seq) t.on_behind
     | Checkpoint { seq; state_digest } -> handle_checkpoint t ~src_local ~seq ~state_digest
     | ViewChange { target; last_stable; prepared } ->
         handle_view_change t ~src_local ~target ~last_stable ~prepared;

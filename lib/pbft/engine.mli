@@ -102,3 +102,11 @@ val set_tamper : t -> (dst:int -> Messages.msg -> Messages.msg option) option ->
 (** Intercept every outgoing message: [None] drops it, [Some m']
     replaces it — silent primaries, equivocation, partial sends
     (Example 2.4's faulty primaries). *)
+
+val set_on_behind : t -> (seq:int -> unit) option -> unit
+(** [set_on_behind t (Some f)] — call [f ~seq] whenever a commit
+    message arrives for a sequence number so far past this replica's
+    execution frontier that the acceptance window already discards it.
+    Nobody retransmits normal-path messages, so without intervention a
+    replica in that state is starved forever; the hook lets the owner
+    start the same state transfer a crash-rejoin uses. *)

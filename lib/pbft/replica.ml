@@ -171,6 +171,20 @@ let try_install (r : replica) =
 
 (* -- replica ------------------------------------------------------------- *)
 
+(* Start the crash-rejoin state transfer for a replica that fell
+   behind the group's acceptance window without ever crashing (e.g. a
+   delayed pre-prepare stalled its frontier while the others raced
+   ahead): nobody retransmits the normal-path messages its window
+   dropped, so the fetch/snapshot path is the only way back. *)
+let begin_catchup (r : replica) =
+  if not r.recovering then begin
+    r.recovering <- true;
+    Hashtbl.reset r.snap_replies;
+    Recovery.Stats.note_retransmit r.stats;
+    broadcast_fetch r;
+    match r.task with Some task -> Recovery.Task.start task | None -> ()
+  end
+
 let create_replica (ctx : msg Ctx.t) =
   let cfg = ctx.Ctx.config in
   let engine_ctx = Ctx.map_send (fun m -> Engine_msg m) ctx in
@@ -215,6 +229,8 @@ let create_replica (ctx : msg Ctx.t) =
     }
   in
   r_ref := Some r;
+  Engine.set_on_behind engine
+    (Some (fun ~seq:_ -> match !r_ref with Some r -> begin_catchup r | None -> ()));
   let base = Time.of_ms_f cfg.Config.local_timeout_ms in
   r.task <-
     Some
@@ -270,6 +286,7 @@ let on_recover (r : replica) =
   match r.task with Some task -> Recovery.Task.start task | None -> ()
 
 let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
+let disable_recovery (r : replica) = Engine.set_on_behind r.engine None
 
 (* -- client agent -------------------------------------------------------- *)
 

@@ -16,7 +16,14 @@ type t = {
   zetan : float;
   eta : float;
   zeta2theta : float;
+  (* Exact inverse-CDF table for small n: cum.(k) = zeta(k+1, theta).
+     The YCSB closed-form approximation is tuned for large key spaces
+     and drifts by up to ~13% per-rank at n <= 64, which is exactly the
+     regime our cluster/replica-indexed draws live in. *)
+  cum : float array option;
 }
+
+let exact_max_n = 64
 
 (* zeta(k, theta) = sum_{i=1..k} 1/i^theta.  Exact summation; for the
    sizes we use (<= 600k records, computed once per workload) this is
@@ -38,23 +45,50 @@ let create ?(theta = 0.99) n =
     (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
     /. (1. -. (zeta2theta /. zetan))
   in
-  { n; theta; alpha; zetan; eta; zeta2theta }
+  let cum =
+    if n > exact_max_n then None
+    else begin
+      let c = Array.make n 0. in
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) theta);
+        c.(i) <- !acc
+      done;
+      (* Pin the last entry so u = 1 - eps can never fall off the end
+         to a rounding mismatch with zetan. *)
+      c.(n - 1) <- zetan;
+      Some c
+    end
+  in
+  { n; theta; alpha; zetan; eta; zeta2theta; cum }
 
 let cardinality t = t.n
 
-(* One draw; returns a rank in [0, n), rank 0 being the most popular. *)
+(* One draw; returns a rank in [0, n), rank 0 being the most popular.
+   Exactly one [Rng.float] call on every path, so workload streams stay
+   byte-identical regardless of which branch serves a given n. *)
 let sample t rng =
   let u = Rng.float rng in
   let uz = u *. t.zetan in
-  if uz < 1.0 then 0
-  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
-  else
-    let v =
-      float_of_int t.n
-      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
-    in
-    let k = int_of_float v in
-    if k >= t.n then t.n - 1 else if k < 0 then 0 else k
+  match t.cum with
+  | Some c ->
+      (* Exact inverse CDF: least rank k with uz <= c.(k). *)
+      let lo = ref 0 and hi = ref (t.n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if uz <= c.(mid) then hi := mid else lo := mid + 1
+      done;
+      !lo
+  | None ->
+      if uz < 1.0 then 0
+      else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+      else
+        let v =
+          float_of_int t.n
+          *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+        in
+        let k = int_of_float v in
+        if k >= t.n then t.n - 1 else if k < 0 then 0 else k
 
 (* YCSB scrambles the zipfian rank through a hash so that the hot keys
    are spread over the key space rather than clustered at low ids. *)

@@ -7,6 +7,11 @@ type t
 val create : ?theta:float -> int -> t
 (** [create ~theta n] prepares a sampler over ranks [0..n-1].  [theta]
     is YCSB's zipfian constant (default 0.99; 0 is uniform).
+
+    For [n <= 64] the sampler uses an exact inverse-CDF table (the YCSB
+    closed-form approximation drifts by up to ~13% per rank at those
+    sizes); larger [n] keeps the O(1) approximation.  Both paths
+    consume exactly one RNG draw per sample.
     @raise Invalid_argument unless [n > 0] and [0 <= theta < 1]. *)
 
 val cardinality : t -> int

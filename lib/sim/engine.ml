@@ -16,7 +16,18 @@ type t = {
   rng : Rdb_prng.Rng.t;
   mutable executed : int;         (* events executed so far *)
   mutable horizon : Time.t;       (* events beyond this are not executed *)
+  (* Schedule-exploration hook (lib/check): when installed, the nth
+     schedule call (0-based) may be pushed behind its equal-timestamp
+     group — a legal permutation of simultaneous events.  [None] costs
+     one match per schedule. *)
+  mutable defer_hook : (int -> bool) option;
+  mutable sched_calls : int;
 }
+
+(* Far above any per-run event count, far below overflow: deferred
+   events sort after every normally-sequenced event of the same
+   timestamp while preserving their own relative order. *)
+let defer_offset = 1_000_000_000
 
 type timer = event
 
@@ -28,6 +39,8 @@ let create ?(seed = 42) () =
     rng = Rdb_prng.Rng.create (Int64.of_int seed);
     executed = 0;
     horizon = Int64.max_int;
+    defer_hook = None;
+    sched_calls = 0;
   }
 
 let now t = t.now
@@ -35,13 +48,27 @@ let rng t = t.rng
 let executed_events t = t.executed
 let pending_events t = Heap.length t.heap
 
+let set_defer_hook t h =
+  t.defer_hook <- h;
+  t.sched_calls <- 0
+
+let schedule_calls t = t.sched_calls
+
 (* Schedule [f] to run at absolute simulated time [at] (clamped to now:
    scheduling in the past runs "immediately", preserving causality). *)
 let schedule_at t ~at f =
   let at = Time.max at t.now in
   let ev = { run = f; cancelled = false } in
   t.seq <- t.seq + 1;
-  Heap.push t.heap ~time:at ~seq:t.seq ev;
+  let seq =
+    match t.defer_hook with
+    | None -> t.seq
+    | Some defer ->
+        let n = t.sched_calls in
+        t.sched_calls <- n + 1;
+        if defer n then t.seq + defer_offset else t.seq
+  in
+  Heap.push t.heap ~time:at ~seq ev;
   ev
 
 let schedule_after t ~delay f = schedule_at t ~at:(Time.add t.now delay) f

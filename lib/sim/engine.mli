@@ -22,6 +22,17 @@ val executed_events : t -> int
 
 val pending_events : t -> int
 
+val set_defer_hook : t -> (int -> bool) option -> unit
+(** Schedule-exploration hook: when installed, each [schedule_at] call
+    asks the hook (with a 0-based call counter, reset by this setter)
+    whether the event should be pushed {e behind} its equal-timestamp
+    group.  Deferred events keep their relative order.  This permutes
+    only ties in simulated time — a legal reordering of simultaneous
+    events — and is off ([None]) in every normal run. *)
+
+val schedule_calls : t -> int
+(** Schedule calls observed since the defer hook was installed. *)
+
 val schedule_at : t -> at:Time.t -> (unit -> unit) -> timer
 (** Schedule at an absolute time; times in the past run at [now]
     (causality is preserved, never reordered). *)

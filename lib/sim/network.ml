@@ -32,6 +32,15 @@
    trip is needed inside the simulator (message *sizes* are still
    modeled explicitly — they are supplied by the sender). *)
 
+type delivery_hook =
+  src:int ->
+  dst:int ->
+  nth:int ->
+  floor:Time.t ->
+  arrive:Time.t ->
+  last:Time.t option ->
+  Time.t
+
 type 'm t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -56,6 +65,13 @@ type 'm t = {
      tx spans, deliver / drop instants).  [None] costs one match per
      send — the zero-overhead-when-off contract. *)
   trace : Rdb_trace.Trace.t option;
+  (* Schedule-exploration hook (lib/check): may adjust a message's
+     arrival time within the latency model's legal envelope.  The
+     per-link last-arrival table is maintained only while a hook is
+     installed; [None] costs one match per send. *)
+  mutable dhook : delivery_hook option;
+  mutable dhook_sends : int;
+  dhook_last : (int * int, Time.t) Hashtbl.t;
 }
 
 let create ?(wan_egress_mbps = 0.) ?trace ~engine ~topo ~jitter_ms ~deliver () =
@@ -75,10 +91,18 @@ let create ?(wan_egress_mbps = 0.) ?trace ~engine ~topo ~jitter_ms ~deliver () =
     jitter_ms;
     stats = Stats.create ();
     trace;
+    dhook = None;
+    dhook_sends = 0;
+    dhook_last = Hashtbl.create 64;
   }
 
 let stats t = t.stats
 let topology t = t.topo
+
+let set_delivery_hook t h =
+  t.dhook <- h;
+  t.dhook_sends <- 0;
+  Hashtbl.reset t.dhook_last
 
 let crash t node = t.crashed.(node) <- true
 let recover t node = t.crashed.(node) <- false
@@ -189,6 +213,22 @@ let send t ~src ~dst ~size msg =
       else Time.of_ms_f (Rdb_prng.Rng.float_range (Engine.rng t.engine) ~lo:0. ~hi:t.jitter_ms)
     in
     let arrive = Time.add depart (Time.add delay jitter) in
+    let arrive =
+      match t.dhook with
+      | None -> arrive
+      | Some hook ->
+          let nth = t.dhook_sends in
+          t.dhook_sends <- nth + 1;
+          (* [floor] is the earliest legal arrival: departure plus the
+             base one-way latency (jitter is non-negative, so any time
+             >= floor is producible by the latency model). *)
+          let floor = Time.add depart delay in
+          let last = Hashtbl.find_opt t.dhook_last (src, dst) in
+          let arrive = Time.max floor (hook ~src ~dst ~nth ~floor ~arrive ~last) in
+          Hashtbl.replace t.dhook_last (src, dst)
+            (match last with None -> arrive | Some l -> Time.max l arrive);
+          arrive
+    in
     let deliver_traced () =
       if t.crashed.(dst) then trace_drop t ~src ~dst ~size ~reason:"dst-crashed"
       else begin

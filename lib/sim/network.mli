@@ -17,6 +17,22 @@
 type 'm t
 (** A network carrying payloads of type ['m]. *)
 
+type delivery_hook =
+  src:int ->
+  dst:int ->
+  nth:int ->
+  floor:Time.t ->
+  arrive:Time.t ->
+  last:Time.t option ->
+  Time.t
+(** Schedule-exploration hook: called once per admitted send with the
+    0-based send counter [nth], the earliest legal arrival [floor]
+    (departure + base one-way latency; jitter only ever adds), the
+    model-computed [arrive], and the latest arrival already scheduled
+    on this directed link ([last]).  The returned time replaces
+    [arrive], clamped up to [floor] — so every perturbed schedule is
+    one the latency model could itself have produced. *)
+
 val create :
   ?wan_egress_mbps:float ->
   ?trace:Rdb_trace.Trace.t ->
@@ -71,6 +87,11 @@ val set_link_dup : 'm t -> src:int -> dst:int -> p:float -> unit
 
 val clear_link_rules : 'm t -> unit
 (** Drop every per-link loss/duplication rate. *)
+
+val set_delivery_hook : 'm t -> delivery_hook option -> unit
+(** Install (or remove, with [None]) the exploration hook; resets the
+    send counter and the per-link last-arrival table.  Off in every
+    normal run. *)
 
 val stats : 'm t -> Stats.t
 val topology : 'm t -> Topology.t

@@ -45,6 +45,8 @@ module Time = Rdb_sim.Time
 module Cpu = Rdb_sim.Cpu
 module Sha256 = Rdb_crypto.Sha256
 module Recovery = Rdb_recovery.Recovery
+module Mutation = Rdb_types.Mutation
+module Evidence = Rdb_types.Evidence
 
 let name = "Steward"
 
@@ -182,7 +184,11 @@ let rec start_certify r ~tag ~digest ?batch ~on_cert () =
   end
 
 and check_certified r round =
-  if (not round.c_done) && Hashtbl.length round.partials >= Config.quorum r.cfg then begin
+  let need = Config.quorum r.cfg in
+  let gate = if Mutation.is "steward-certify-quorum" then need - 1 else need in
+  if (not round.c_done) && Hashtbl.length round.partials >= gate then begin
+    Evidence.note ~point:"steward.certified" ~node:r.ctx.Ctx.id
+      ~count:(Hashtbl.length round.partials) ~need;
     round.c_done <- true;
     (* Combine the threshold shares; the round record is no longer
        needed once combined (late partials are simply ignored). *)
@@ -273,6 +279,8 @@ and record_accept r ~g ~site ~digest =
   | Some d when String.equal d digest -> Hashtbl.replace tbl site ()
   | _ -> ());
   if Hashtbl.length tbl >= majority_sites r.cfg && not (Hashtbl.mem r.commit_sent g) then begin
+    Evidence.note ~point:"steward.commit" ~node:r.ctx.Ctx.id ~count:(Hashtbl.length tbl)
+      ~need:(majority_sites r.cfg);
     r.ctx.Ctx.phase ~key:g ~name:"commit";
     Hashtbl.replace r.commit_sent g ();
     Hashtbl.replace r.committed g ();
@@ -445,6 +453,7 @@ let create_replica (ctx : msg Ctx.t) =
 
 let on_recover (r : replica) = ensure_task r
 let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
+let disable_recovery (_ : replica) = ()
 
 (* -- dispatch ------------------------------------------------------------------ *)
 

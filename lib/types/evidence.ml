@@ -1,0 +1,34 @@
+(* Quorum-evidence extractor (DESIGN.md §13).
+
+   Protocols call [note] at every quorum-gated decision point with the
+   support they actually observed ([count]) and the quorum the
+   *unmutated* configuration demands ([need]).  When the checker arms
+   the extractor, any decision taken on insufficient support is
+   recorded as a violation — this is what makes quorum-weakening
+   mutations deterministically visible even though every honest
+   replica applies the same (wrong) rule and never diverges.
+
+   Disarmed (the default), [note] is a single load-and-branch; nothing
+   allocates and no state accumulates.  Not domain-safe: armed only by
+   the sequential checker and the test suite. *)
+
+type entry = { point : string; node : int; count : int; need : int }
+
+let armed = ref false
+let entries : entry list ref = ref []
+
+let arm () =
+  armed := true;
+  entries := []
+
+let disarm () =
+  armed := false;
+  entries := []
+
+let note ~point ~node ~count ~need =
+  if !armed && count < need then entries := { point; node; count; need } :: !entries
+
+let violations () = List.rev !entries
+
+let entry_to_string e =
+  Printf.sprintf "%s@node%d: decided on %d of %d required" e.point e.node e.count e.need

@@ -1,0 +1,23 @@
+(** Quorum-evidence extractor (DESIGN.md §13): protocols report the
+    support actually observed at each quorum-gated decision against the
+    quorum the unmutated configuration demands.  Armed by the
+    schedule-exploration checker; free (one load-and-branch) when off.
+
+    Not domain-safe: only the sequential checker and the test suite may
+    arm it. *)
+
+type entry = { point : string; node : int; count : int; need : int }
+
+val arm : unit -> unit
+(** Start recording; clears previous entries. *)
+
+val disarm : unit -> unit
+
+val note : point:string -> node:int -> count:int -> need:int -> unit
+(** Record a decision taken on [count] supporters where [need] were
+    required; only insufficient support ([count < need]) is kept. *)
+
+val violations : unit -> entry list
+(** Recorded under-quorum decisions, in occurrence order. *)
+
+val entry_to_string : entry -> string

@@ -1,0 +1,26 @@
+(* Test-only protocol mutations for checker validation (DESIGN.md §13).
+
+   Each protocol guards a handful of deliberately-wrong code paths
+   behind [is "<id>"]; the schedule-exploration checker (lib/check)
+   must catch every one of them.  The active mutation is a plain
+   global: mutations are only ever armed by the sequential checker and
+   the test suite, never by the multicore sweep engine, and the [None]
+   fast path keeps unmutated runs at one load per site. *)
+
+let active_id : string option ref = ref None
+
+let set id = active_id := id
+let active () = !active_id
+
+let is id = match !active_id with None -> false | Some a -> String.equal a id
+
+let known =
+  [
+    "pbft-prepare-quorum";
+    "pbft-commit-quorum";
+    "zyzzyva-spec-history";
+    "hotstuff-qc-quorum";
+    "geobft-rvc-weak";
+    "geobft-share-stale";
+    "steward-certify-quorum";
+  ]

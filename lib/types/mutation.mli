@@ -1,0 +1,19 @@
+(** Test-only protocol mutations (DESIGN.md §13): named wrong code
+    paths compiled into the protocols but dead unless armed.  The
+    schedule-exploration checker arms one, runs a scenario, and must
+    observe an invariant violation — mutation testing for the oracle.
+
+    Not domain-safe: only the sequential checker and the test suite may
+    arm mutations; the sweep engine never does. *)
+
+val set : string option -> unit
+(** Arm one mutation (or disarm with [None]). *)
+
+val active : unit -> string option
+
+val is : string -> bool
+(** [is id] — is mutation [id] armed?  The [None] fast path makes
+    unmutated call sites cost a single load. *)
+
+val known : string list
+(** Every mutation id wired into the protocols. *)

@@ -33,6 +33,8 @@ module Wire = Rdb_types.Wire
 module Time = Rdb_sim.Time
 module Cpu = Rdb_sim.Cpu
 module Sha256 = Rdb_crypto.Sha256
+module Mutation = Rdb_types.Mutation
+module Evidence = Rdb_types.Evidence
 
 let name = "Zyzzyva"
 
@@ -106,6 +108,7 @@ let view_changes (_ : replica) = 0
    envelope stays as-is (DESIGN.md Â§8). *)
 let on_recover (_ : replica) = ()
 let recovery (_ : replica) = Rdb_types.Protocol.no_recovery
+let disable_recovery (_ : replica) = ()
 let is_primary r = r.ctx.Ctx.id = r.view mod r.n
 
 (* Execute in sequence order; speculative replies go to the client. *)
@@ -153,17 +156,41 @@ let on_message r ~src (m : msg) =
       end
   | Order_req { view; seq; batch; history } ->
       if view = r.view && src = view mod r.n && not (Hashtbl.mem r.ordered seq) then begin
-        (* Verify the chained history: accept only the next expected
-           sequence number with a history extending ours.  Out-of-order
-           arrivals wait (the network may reorder). *)
         r.ctx.Ctx.phase ~key:seq ~name:"propose";
         Hashtbl.replace r.ordered seq (batch, history);
-        exec_ready r
+        if Mutation.is "zyzzyva-spec-history" then begin
+          (* Mutant: speculate without verifying that the order-request
+             extends the local history chain — execute in arrival
+             order.  Indistinguishable under FIFO arrivals; diverges
+             the moment a schedule reorders two order-requests. *)
+          if seq >= r.next_exec then begin
+            r.next_exec <- seq + 1;
+            r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+                r.ctx.Ctx.phase ~key:seq ~name:"execute";
+                (if not (Batch.is_noop batch) then
+                   send r ~dst:batch.Batch.origin
+                     (Spec_reply
+                        {
+                          batch_id = batch.Batch.id;
+                          seq;
+                          history;
+                          result_digest = result_digest batch;
+                        }));
+                exec_ready r)
+          end
+        end
+        else
+          (* The chained history check: execute only the next expected
+             sequence number (the history must extend ours).  Out-of-
+             order arrivals wait (the network may reorder). *)
+          exec_ready r
       end
   | Commit_cert { batch_id; seq; history; responders } ->
       (* n − f matching speculative responses prove the prefix up to
          [seq] is stable; acknowledge. *)
       if List.length responders >= r.n - r.f && seq < r.next_exec then begin
+        Evidence.note ~point:"zyzzyva.commit-cert" ~node:r.ctx.Ctx.id
+          ~count:(List.length responders) ~need:(r.n - r.f);
         (match Hashtbl.find_opt r.ordered seq with
         | Some (_, h) when String.equal h history ->
             r.max_committed <- max r.max_committed seq;

@@ -169,9 +169,12 @@ let run_stale_rejoin ~with_recovery =
   let surface = pbft_surface d cfg in
   let surface =
     if with_recovery then surface
-    else
-      (* The pre-recovery-subsystem behaviour: rejoin without [on_recover]. *)
+    else begin
+      (* The pre-recovery-subsystem behaviour: rejoin without
+         [on_recover], and no behind-the-window catch-up anywhere. *)
+      PbftDep.disable_all_recovery d;
       { surface with Chaos.recover = (fun v -> PbftDep.uncrash_replica_no_recovery d v) }
+    end
   in
   Chaos.install surface tl;
   let mon = Chaos.monitor surface tl in

@@ -1,0 +1,129 @@
+(* Schedule-exploration checker tests: artifact determinism, shrinker
+   idempotence, one pinned mutant-catch per protocol, and a small
+   unmutated clean sweep.  The checker is strictly sequential (the
+   mutation/evidence hooks are process-global), which Alcotest's
+   in-order runner already guarantees. *)
+
+module Check = Rdb_check.Check
+module Perturb = Rdb_check.Perturb
+module Scenario = Rdb_experiments.Scenario
+module Time = Rdb_sim.Time
+
+(* -- artifact determinism ------------------------------------------------- *)
+
+let test_artifact_bytes_deterministic () =
+  (* Same scenario, seed, and mutation: two independent explorations
+     must produce byte-identical violation artifacts. *)
+  let explore () =
+    match Check.mutant_scenario "pbft-prepare-quorum" with
+    | None -> Alcotest.fail "pbft-prepare-quorum not registered"
+    | Some (s, provoke) ->
+        (match Check.explore ~budget:2 ~seed:1 ~mutation:"pbft-prepare-quorum" ?provoke s with
+        | Some ce -> Check.counterexample_to_string ce
+        | None -> Alcotest.fail "pbft-prepare-quorum escaped a 2-schedule budget")
+  in
+  let a = explore () and b = explore () in
+  Alcotest.(check string) "identical artifact bytes" a b;
+  (* And the artifact round-trips through its own parser. *)
+  match Check.counterexample_of_string a with
+  | Error e -> Alcotest.fail e
+  | Ok ce -> Alcotest.(check string) "round-trip" a (Check.counterexample_to_string ce)
+
+(* -- shrinker ------------------------------------------------------------- *)
+
+let perturbations =
+  [
+    Perturb.Delay { nth = 3; extra = Time.ms 40 };
+    Perturb.Defer { nth = 11 };
+    Perturb.Swap { nth = 5 };
+    Perturb.Delay { nth = 90; extra = Time.ms 120 };
+    Perturb.Defer { nth = 200 };
+    Perturb.Swap { nth = 77 };
+    Perturb.Delay { nth = 300; extra = Time.ms 5 };
+  ]
+
+let test_ddmin_idempotent () =
+  (* Failure needs both the nth=11 defer and the nth=77 swap. *)
+  let test subset =
+    List.exists (function Perturb.Defer { nth = 11 } -> true | _ -> false) subset
+    && List.exists (function Perturb.Swap { nth = 77 } -> true | _ -> false) subset
+  in
+  let once, _ = Check.ddmin ~test perturbations in
+  Alcotest.(check int) "1-minimal" 2 (List.length once);
+  Alcotest.(check bool) "minimal subset still fails" true (test once);
+  let twice, reruns = Check.ddmin ~test once in
+  Alcotest.(check (list string)) "idempotent"
+    (List.map Perturb.to_string once)
+    (List.map Perturb.to_string twice);
+  (* Shrinking an already-minimal list only spends the probes that
+     confirm minimality. *)
+  Alcotest.(check bool) "cheap on minimal input" true (reruns <= 8)
+
+let test_ddmin_single_cause () =
+  let test subset =
+    List.exists (function Perturb.Delay { nth = 90; _ } -> true | _ -> false) subset
+  in
+  let minimal, _ = Check.ddmin ~test perturbations in
+  match minimal with
+  | [ Perturb.Delay { nth = 90; _ } ] -> ()
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected the single cause, got [%s]"
+           (String.concat "; " (List.map Perturb.to_string l)))
+
+(* -- pinned mutant catches ------------------------------------------------ *)
+
+(* One mutation per protocol, each caught within a small budget and
+   shrunk to a 1-minimal (here: empty — the violation is
+   schedule-independent) perturbation list.  The full seven-mutation
+   matrix runs in CI via `rdb_cli check --mutants`. *)
+let catch mutation () =
+  match Check.mutant_scenario mutation with
+  | None -> Alcotest.fail (mutation ^ " not registered")
+  | Some (s, provoke) -> (
+      match Check.explore ~budget:4 ~seed:1 ~mutation ?provoke s with
+      | None -> Alcotest.fail (mutation ^ " escaped a 4-schedule budget")
+      | Some ce ->
+          Alcotest.(check bool) "violation reported" true (ce.Check.violation.invariant <> "");
+          Alcotest.(check int) "caught unperturbed (schedule 0)" 0 ce.Check.schedule;
+          Alcotest.(check int) "shrunk to empty" 0 (List.length ce.Check.perturbations))
+
+let test_replay_reproduces () =
+  match Check.mutant_scenario "hotstuff-qc-quorum" with
+  | None -> Alcotest.fail "hotstuff-qc-quorum not registered"
+  | Some (s, provoke) -> (
+      match Check.explore ~budget:4 ~seed:1 ~mutation:"hotstuff-qc-quorum" ?provoke s with
+      | None -> Alcotest.fail "hotstuff-qc-quorum escaped"
+      | Some ce ->
+          let outcome = Check.replay ce in
+          Alcotest.(check bool) "replay reproduces" true outcome.Check.reproduced;
+          Alcotest.(check (option bool)) "deterministic trace digest" (Some true)
+            outcome.Check.digest_match)
+
+(* -- unmutated clean sweep ------------------------------------------------ *)
+
+let test_clean_sweep_small () =
+  List.iter
+    (fun p ->
+      let s = Check.default_scenario ~seed:1 p in
+      match Check.explore ~budget:2 ~seed:1 s with
+      | None -> ()
+      | Some ce ->
+          Alcotest.fail
+            (Printf.sprintf "%s violated %s: %s" (Scenario.proto_name p)
+               ce.Check.violation.invariant ce.Check.violation.detail))
+    Scenario.all_protocols
+
+let suite =
+  [
+    ("ddmin idempotent", `Quick, test_ddmin_idempotent);
+    ("ddmin single cause", `Quick, test_ddmin_single_cause);
+    ("artifact determinism", `Slow, test_artifact_bytes_deterministic);
+    ("mutant catch pbft", `Slow, catch "pbft-prepare-quorum");
+    ("mutant catch geobft", `Slow, catch "geobft-share-stale");
+    ("mutant catch zyzzyva", `Slow, catch "zyzzyva-spec-history");
+    ("mutant catch hotstuff", `Slow, catch "hotstuff-qc-quorum");
+    ("mutant catch steward", `Slow, catch "steward-certify-quorum");
+    ("replay reproduces", `Slow, test_replay_reproduces);
+    ("clean sweep small", `Slow, test_clean_sweep_small);
+  ]

@@ -103,9 +103,73 @@ let test_different_seeds_differ () =
   in
   Alcotest.(check bool) "different seeds, different histories" true (mk 1 <> mk 2)
 
+(* -- Json hardening ------------------------------------------------------ *)
+
+module Json = Rdb_fabric.Json
+
+let json_roundtrip_float f =
+  match Json.of_string (Json.to_string_compact (Json.Float f)) with
+  | Ok (Json.Float g) ->
+      Alcotest.(check bool) (Printf.sprintf "float %h round-trips" f) true (g = f);
+      Alcotest.(check bool)
+        (Printf.sprintf "float %h keeps its sign" f)
+        true
+        (Float.sign_bit g = Float.sign_bit f)
+  | Ok _ -> Alcotest.fail (Printf.sprintf "float %h reparsed as a non-float" f)
+  | Error e -> Alcotest.fail (Printf.sprintf "float %h: %s" f e)
+
+let test_json_float_roundtrips () =
+  List.iter json_roundtrip_float
+    [ -0.; 0.; 1e300; -1e300; 1e-300; 5e-324; Float.max_float; -.Float.max_float; 0.1; -2.5e-10 ]
+
+let test_json_surrogate_pairs () =
+  (* RFC 8259 §7: astral code points arrive as UTF-16 surrogate pairs
+     and must decode to the real code point (4-byte UTF-8), not to a
+     pair of 3-byte CESU-8 sequences. *)
+  (match Json.of_string {|"😀"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "U+1F600 as a surrogate pair" "\xF0\x9F\x98\x80" s
+  | Ok _ -> Alcotest.fail "surrogate pair parsed as a non-string"
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string {|"𐀀"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "U+10000, the first astral code point" "\xF0\x90\x80\x80" s
+  | Ok _ -> Alcotest.fail "surrogate pair parsed as a non-string"
+  | Error e -> Alcotest.fail e);
+  (* BMP escapes are unaffected. *)
+  (match Json.of_string {|"é中"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "BMP escapes" "\xC3\xA9\xE4\xB8\xAD" s
+  | _ -> Alcotest.fail "BMP escape failed");
+  (* Unpaired surrogates denote no character: parse error, never
+     invalid UTF-8 output. *)
+  List.iter
+    (fun doc ->
+      match Json.of_string doc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%s should not parse" doc))
+    [ {|"\uD800"|}; {|"\uDFFF"|}; {|"\uD800\uD800"|}; {|"\uD800x"|}; {|"\uDC00\uD800"|} ]
+
+let test_json_depth_guard () =
+  let deep k =
+    String.concat "" (List.init k (fun _ -> "[")) ^ String.concat "" (List.init k (fun _ -> "]"))
+  in
+  (match Json.of_string (deep 512) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Printf.sprintf "512 levels should parse: %s" e));
+  (match Json.of_string (deep 513) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "513 levels should be rejected");
+  (* A bracket bomb must come back as Error, not a crash. *)
+  match Json.of_string (String.concat "" (List.init 200_000 (fun _ -> "[{\"k\":"))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bracket bomb should be rejected"
+
 let suite =
   [
     ("metrics window", `Quick, test_metrics_window);
+    ("json float round-trips", `Quick, test_json_float_roundtrips);
+    ("json surrogate pairs", `Quick, test_json_surrogate_pairs);
+    ("json depth guard", `Quick, test_json_depth_guard);
     ("latency percentiles", `Quick, test_latency_percentiles);
     ("deployment validation", `Quick, test_deployment_layout_validation);
     ("retain_payloads modes", `Quick, test_retain_payloads_modes);

@@ -116,6 +116,50 @@ let test_zipf_scrambled_spreads () =
   Array.iteri (fun k c -> if c > counts.(!max_key) then max_key := k) counts;
   Alcotest.(check bool) "hot key scrambled away from 0" true (!max_key <> 0)
 
+let test_zipf_exact_matches_closed_form_cdf () =
+  (* For n <= 64 the sampler must follow the closed-form Zipf law
+     p_k = k^-theta / zeta(n, theta) — not YCSB's large-n approximation,
+     which drifts by up to ~13% per rank in this regime.  Validate the
+     empirical pmf and CDF across several thetas and sizes. *)
+  let zeta n theta =
+    let acc = ref 0. in
+    for i = 1 to n do
+      acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+    done;
+    !acc
+  in
+  List.iter
+    (fun (n, theta) ->
+      let z = Zipf.create ~theta n in
+      let g = Rng.create 11L in
+      let draws = 200_000 in
+      let counts = Array.make n 0 in
+      for _ = 1 to draws do
+        let k = Zipf.sample z g in
+        counts.(k) <- counts.(k) + 1
+      done;
+      let zn = zeta n theta in
+      let cum_emp = ref 0. and cum_exp = ref 0. and ks = ref 0. in
+      for k = 0 to n - 1 do
+        let expect = (1. /. Float.pow (float_of_int (k + 1)) theta) /. zn in
+        let got = float_of_int counts.(k) /. float_of_int draws in
+        (* Combined absolute + relative tolerance: generous enough for
+           binomial noise at 200k draws, far below the approximation's
+           former drift. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "pmf n=%d theta=%.2f rank %d (got %.5f expect %.5f)" n theta k got
+             expect)
+          true
+          (abs_float (got -. expect) <= 0.004 +. (0.04 *. expect));
+        cum_emp := !cum_emp +. got;
+        cum_exp := !cum_exp +. expect;
+        ks := Float.max !ks (abs_float (!cum_emp -. !cum_exp))
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "CDF deviation n=%d theta=%.2f (%.5f)" n theta !ks)
+        true (!ks < 0.01))
+    [ (4, 0.99); (8, 0.99); (16, 0.8); (33, 0.2); (64, 0.99); (64, 0.5) ]
+
 let prop_zipf_theta_zero_near_uniform =
   QCheck.Test.make ~name:"zipf theta=0 is near-uniform" ~count:5 QCheck.small_nat (fun seed ->
       let z = Zipf.create ~theta:0.0 100 in
@@ -142,5 +186,6 @@ let suite =
     ("zipf bounds", `Quick, test_zipf_bounds);
     ("zipf skew", `Quick, test_zipf_skew);
     ("zipf scrambled", `Quick, test_zipf_scrambled_spreads);
+    ("zipf exact small-n cdf", `Quick, test_zipf_exact_matches_closed_form_cdf);
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_zipf_theta_zero_near_uniform ]

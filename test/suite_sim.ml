@@ -42,6 +42,58 @@ let test_heap_fifo_ties () =
   in
   drain ()
 
+(* The schedule-exploration checker's tie-break perturbations assume
+   equal-timestamp events pop in push order (the (time, seq) key makes
+   insertion order the tie-break).  Pin that FIFO guarantee through
+   array growth and interleaved pops, where an unstable heap would
+   scramble it. *)
+let test_heap_fifo_stress () =
+  let h = Heap.create () in
+  let popped = ref [] in
+  let next = ref 0 in
+  let push_batch time count =
+    for _ = 1 to count do
+      incr next;
+      Heap.push h ~time ~seq:!next (time, !next)
+    done
+  in
+  let pop_phase count =
+    (* Each contiguous drain must come out time-sorted. *)
+    let last = ref Int64.min_int in
+    for _ = 1 to count do
+      match Heap.pop h with
+      | Some e ->
+          let t, _ = e.Heap.payload in
+          Alcotest.(check bool) "time nondecreasing within a drain" true (t >= !last);
+          last := t;
+          popped := e.Heap.payload :: !popped
+      | None -> Alcotest.fail "heap empty too early"
+    done
+  in
+  (* Three equal-time cohorts interleaved with pops; cohort sizes push
+     the backing array through its 64-entry initial capacity twice. *)
+  push_batch 10L 70;
+  pop_phase 30;
+  push_batch 10L 100;
+  push_batch 5L 40;
+  pop_phase 120;
+  push_batch 10L 50;
+  pop_phase (Heap.length h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h);
+  (* Within each timestamp, pops must follow push order exactly — the
+     FIFO stability the simulation's determinism rests on. *)
+  let last_seq : (int64, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (t, s) ->
+      (match Hashtbl.find_opt last_seq t with
+      | Some prev ->
+          Alcotest.(check bool)
+            (Printf.sprintf "FIFO within t=%Ld: %d after %d" t s prev)
+            true (s > prev)
+      | None -> ());
+      Hashtbl.replace last_seq t s)
+    (List.rev !popped)
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap always pops in nondecreasing time order" ~count:100
     QCheck.(list (int_bound 10_000))
@@ -313,6 +365,7 @@ let suite =
   [
     ("heap ordering", `Quick, test_heap_ordering);
     ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap fifo stress", `Quick, test_heap_fifo_stress);
     ("engine ordering", `Quick, test_engine_ordering_and_time);
     ("engine cancel", `Quick, test_engine_cancel);
     ("engine run_until", `Quick, test_engine_run_until);

@@ -28,4 +28,5 @@ let () =
       ("sweep", Suite_sweep.suite);
       ("byzantine", Suite_byzantine.suite);
       ("chaos", Suite_chaos.suite);
+      ("check", Suite_check.suite);
     ]
