@@ -23,6 +23,7 @@ module Tables = Rdb_experiments.Tables
 module Ablations = Rdb_experiments.Ablations
 module Sweep = Rdb_sweep.Sweep
 module Config = Rdb_types.Config
+module Adversary = Rdb_adversary.Adversary
 module Report = Rdb_fabric.Report
 module Json = Rdb_fabric.Json
 
@@ -101,8 +102,21 @@ let write_results ~windows () =
 let smoke_windows = { Runner.warmup = Rdb_sim.Time.ms 500; measure = Rdb_sim.Time.ms 1500 }
 let smoke_cfg () = Config.make ~z:2 ~n:4 ~batch_size:50 ~client_inflight:16 ~seed:1 ()
 
+(* One adversary scenario rides along in the smoke matrix: a corrupted
+   cluster-0 primary silencing its global shares toward remote
+   clusters for most of the measured window.  GeoBFT absorbs it (f=1
+   per cluster; the f+1 fan-out and local rebroadcast route around the
+   muted sender), so the entry pins the cost of a *live* interposition
+   hook — the other five entries keep pinning the hook's disabled
+   path, which must stay at its pre-adversary numbers. *)
+let smoke_attack () =
+  match Adversary.Attack.of_id "0@600:1400!mute.share.rem" with
+  | Some a -> a
+  | None -> failwith "bench: unparseable smoke attack id"
+
 let smoke_scenarios () =
   List.map (fun p -> Scenario.make ~windows:smoke_windows p (smoke_cfg ())) Runner.all_protocols
+  @ [ Scenario.make ~windows:smoke_windows ~attack:(smoke_attack ()) Scenario.Geobft (smoke_cfg ()) ]
 
 let smoke_runs () =
   List.map

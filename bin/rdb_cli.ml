@@ -520,10 +520,212 @@ let check_cmd =
           violation to a minimal replayable counterexample.")
     term
 
+(* -- attack ----------------------------------------------------------------- *)
+
+module Adversary = Resilientdb.Adversary
+
+let attack_cmd =
+  let budget =
+    Arg.(value & opt int 64
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Attack programs to try per scenario (attempt 0 is the empty attack).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Attack-sampler seed.")
+  in
+  let scenario_ids =
+    Arg.(value & opt_all string []
+         & info [ "scenario"; "s" ] ~docv:"ID"
+             ~doc:
+               "Search this scenario by its stable id (repeatable) instead of the default \
+                per-protocol matrix.  An attack=<id> token in the scenario pins attempt 0 to \
+                that program.")
+  in
+  let mutate =
+    Arg.(value & opt (some string) None
+         & info [ "mutate" ] ~docv:"ID"
+             ~doc:
+               "Activate one test-only protocol mutation and verify the attack search exposes \
+                it (the scenario is chosen automatically unless --scenario is given).")
+  in
+  let mutants_flag =
+    Arg.(value & flag
+         & info [ "mutants" ]
+             ~doc:
+               "Validation sweep: search every registered attack mutant in turn; each must be \
+                caught and shrunk within the budget.")
+  in
+  let replay_file =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay an attack artifact and report whether it reproduces.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"DIR"
+             ~doc:"Write every attack artifact as \\$(docv)/attack-<name>.json.")
+  in
+  let write_artifact out name (ce : Check.attack_counterexample) =
+    match out with
+    | None -> ()
+    | Some dir ->
+        (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+        let file = Filename.concat dir (Printf.sprintf "attack-%s.json" name) in
+        let oc = open_out file in
+        output_string oc (Check.attack_counterexample_to_string ce);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "  wrote %s\n%!" file
+  in
+  let describe (ce : Check.attack_counterexample) =
+    Printf.printf "  VIOLATION %s at attempt %d (%d runs): %s\n"
+      ce.Check.atk_violation.invariant ce.Check.atk_attempt ce.Check.atk_runs
+      ce.Check.atk_violation.detail;
+    Printf.printf "  minimal attack (%d rules): %s\n"
+      (List.length ce.Check.atk_attack.Adversary.Attack.rules)
+      (Adversary.Attack.to_id ce.Check.atk_attack);
+    match ce.Check.atk_digest with
+    | Some d -> Printf.printf "  trace digest: %s\n%!" d
+    | None -> ()
+  in
+  let search_label ~budget ~seed ?mutation ~name scenario =
+    Printf.printf "attack %-24s %s%s\n%!" name
+      (Scenario.to_string scenario)
+      (match mutation with None -> "" | Some m -> Printf.sprintf "  [mutation %s]" m);
+    let last = ref (-1) in
+    let on_attempt ~attempt =
+      if attempt / 16 > !last then begin
+        last := attempt / 16;
+        Printf.printf "  ... attempt %d/%d\n%!" attempt budget
+      end
+    in
+    Check.explore_attacks ~budget ~seed ?mutation ~on_attempt scenario
+  in
+  let go budget seed scenario_ids mutate mutants_flag replay_file out =
+    match replay_file with
+    | Some file -> (
+        let contents =
+          let ic = open_in_bin file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic; s
+        in
+        match Check.attack_counterexample_of_string contents with
+        | Error msg -> Printf.eprintf "cannot load %s: %s\n" file msg; exit 2
+        | Ok ce ->
+            Printf.printf "replaying %s: %s attack=%s\n%!" file
+              (Scenario.to_string ce.Check.atk_scenario)
+              (Adversary.Attack.to_id ce.Check.atk_attack);
+            let r = Check.replay_attack ce in
+            (match r.Check.observed with
+            | Some v -> Printf.printf "observed: %s\n" (Check.violation_to_string v)
+            | None -> Printf.printf "observed: no violation\n");
+            (match r.Check.digest_match with
+            | Some true -> Printf.printf "trace digest matches the artifact\n"
+            | Some false -> Printf.printf "trace digest DIFFERS from the artifact\n"
+            | None -> ());
+            if r.Check.reproduced then Printf.printf "reproduced\n"
+            else begin
+              Printf.printf "NOT reproduced\n";
+              exit 1
+            end)
+    | None ->
+        let explicit =
+          List.map
+            (fun id ->
+              match Scenario.of_string id with
+              | Some s -> s
+              | None -> Printf.eprintf "unparseable scenario id %S\n" id; exit 2)
+            scenario_ids
+        in
+        if mutants_flag then begin
+          (* Every registered attack mutant must be exposed and shrunk. *)
+          let escaped = ref [] in
+          List.iter
+            (fun (id, scenario) ->
+              match search_label ~budget ~seed ~mutation:id ~name:id scenario with
+              | Some ce ->
+                  describe ce;
+                  write_artifact out id ce
+              | None ->
+                  Printf.printf "  ESCAPED: mutation %s survived %d attack programs\n%!" id
+                    budget;
+                  escaped := id :: !escaped)
+            Check.attack_mutants;
+          if !escaped <> [] then begin
+            Printf.printf "%d mutation(s) escaped the attack search: %s\n"
+              (List.length !escaped)
+              (String.concat ", " (List.rev !escaped));
+            exit 1
+          end;
+          Printf.printf "all %d mutations exposed and shrunk\n"
+            (List.length Check.attack_mutants)
+        end
+        else
+          match mutate with
+          | Some id -> (
+              if not (List.mem id Mutation.known) then begin
+                Printf.eprintf "unknown mutation %S (known: %s)\n" id
+                  (String.concat ", " Mutation.known);
+                exit 2
+              end;
+              let scenario =
+                match (explicit, Check.attack_mutant_scenario id) with
+                | s :: _, _ -> s
+                | [], Some s -> s
+                | [], None -> Check.default_attack_scenario Scenario.Geobft
+              in
+              match search_label ~budget ~seed ~mutation:id ~name:id scenario with
+              | Some ce ->
+                  describe ce;
+                  write_artifact out id ce
+              | None ->
+                  Printf.printf "  ESCAPED: mutation %s survived %d attack programs\n" id
+                    budget;
+                  exit 1)
+          | None ->
+              (* Bug hunt: the unmutated protocols must absorb every
+                 in-envelope strategy. *)
+              let scenarios =
+                if explicit <> [] then
+                  List.map (fun s -> (Scenario.proto_name s.Scenario.proto, s)) explicit
+                else
+                  List.map
+                    (fun p -> (Scenario.proto_name p, Check.default_attack_scenario ~seed p))
+                    Scenario.all_protocols
+              in
+              let dirty = ref [] in
+              List.iter
+                (fun (name, scenario) ->
+                  match search_label ~budget ~seed ~name scenario with
+                  | Some ce ->
+                      describe ce;
+                      write_artifact out name ce;
+                      dirty := name :: !dirty
+                  | None -> Printf.printf "  clean over %d attack programs\n%!" budget)
+                scenarios;
+              if !dirty <> [] then begin
+                Printf.printf "%d scenario(s) violated an invariant: %s\n"
+                  (List.length !dirty)
+                  (String.concat ", " (List.rev !dirty));
+                exit 1
+              end
+  in
+  let term =
+    Term.(const go $ budget $ seed $ scenario_ids $ mutate $ mutants_flag $ replay_file $ out)
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Search the Byzantine-strategy space (silence, equivocation, delays, stale shares, \
+          replays, deafness) of simulated deployments under the invariant oracle; shrink any \
+          violation to a 1-minimal replayable attack program.")
+    term
+
 let main =
   Cmd.group
     (Cmd.info "resilientdb-cli" ~version:"1.0.0"
        ~doc:"GeoBFT and the ResilientDB fabric: simulated geo-scale BFT deployments.")
-    [ run_cmd; sweep_cmd; matrix_cmd; check_cmd ]
+    [ run_cmd; sweep_cmd; matrix_cmd; check_cmd; attack_cmd ]
 
 let () = exit (Cmd.eval main)

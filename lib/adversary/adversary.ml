@@ -1,0 +1,513 @@
+(* First-class Byzantine adversaries (DESIGN.md §14).
+
+   An attack is a *value*: a list of rules, each binding one corrupted
+   replica (the actor) to a strategy primitive over a time window.
+   Primitives speak the protocol-neutral vocabulary of
+   [Rdb_types.Interpose] — message classes plus an optional
+   conflicting-payload forgery — so one grammar covers all five
+   protocols.  The pieces:
+
+   - the grammar ([prim], [rule], [Attack.t]) with a compact string id
+     (part of the scenario grammar, so every attack is sweepable) and
+     a versioned JSON round-trip (so every attack is replayable);
+   - the envelope: corrupted replicas stay within the f-per-cluster
+     budget, reusing lib/chaos's accounting;
+   - the seeded sampler: a fixed-shape RNG consumer in the style of
+     the chaos planner, biased toward primaries (the actors whose
+     corruption is reachable by a strategy, not just absorbed);
+   - the runtime: compiles named rule sets into the send/receive
+     interposition hooks of [Rdb_types.Interpose], installing them
+     only while at least one rule set is live — the
+     zero-overhead-when-off contract. *)
+
+module Interpose = Rdb_types.Interpose
+module Time = Rdb_sim.Time
+module Rng = Rdb_prng.Rng
+module Keychain = Rdb_crypto.Keychain
+module Json = Rdb_fabric.Json
+module Chaos = Rdb_chaos.Chaos
+
+(* ------------------------------------------------------------------ *)
+(* Grammar                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Who a send-side rule applies to (the destination) or a receive-side
+   rule listens for (the source). *)
+type target =
+  | Everyone
+  | Remote  (** nodes outside the actor's own cluster *)
+  | Clusters of int list
+  | Peers of int list  (** explicit global replica ids *)
+
+type prim =
+  | Silence of { cls : Interpose.cls option; dst : target }
+      (** targeted silence: matching messages never leave the actor *)
+  | Equivocate
+      (** two-faced sending: destinations with odd global id receive a
+          conflicting payload (via the protocol's [conflict] forgery)
+          — messages without a modelled conflict pass unchanged *)
+  | Delay of { cls : Interpose.cls option; dst : target; ms : int }
+      (** delayed-primary / slow-drip sending: hold matching messages
+          for [ms] before they enter the wire model *)
+  | Stale of { cls : Interpose.cls }
+      (** stale shares: send the *previous* matching message instead
+          of the current one (the current becomes the next stale) *)
+  | Replay of { cls : Interpose.cls; every : int }
+      (** selective replay: every [every]-th matching message is sent
+          twice; receivers must deduplicate *)
+  | Deaf of { cls : Interpose.cls; src : target }
+      (** receive-side: the actor pretends not to hear matching
+          messages from [src] *)
+
+type rule = { actor : int; prim : prim; from_ms : int; until_ms : int }
+
+(* -- compact ids --------------------------------------------------- *)
+
+let target_to_id = function
+  | Everyone -> "all"
+  | Remote -> "rem"
+  | Clusters cs -> "c" ^ String.concat "-" (List.map string_of_int cs)
+  | Peers ps -> "p" ^ String.concat "-" (List.map string_of_int ps)
+
+let target_of_id s =
+  match s with
+  | "all" -> Some Everyone
+  | "rem" -> Some Remote
+  | _ when String.length s >= 2 && (s.[0] = 'c' || s.[0] = 'p') -> (
+      let body = String.sub s 1 (String.length s - 1) in
+      let ints = List.map int_of_string_opt (String.split_on_char '-' body) in
+      if List.exists Option.is_none ints then None
+      else
+        let ints = List.map Option.get ints in
+        Some (if s.[0] = 'c' then Clusters ints else Peers ints))
+  | _ -> None
+
+let opt_cls = function None -> "" | Some c -> "." ^ Interpose.cls_to_string c
+let opt_tgt = function Everyone -> "" | t -> "." ^ target_to_id t
+
+let prim_to_id = function
+  | Silence { cls; dst } -> "mute" ^ opt_cls cls ^ opt_tgt dst
+  | Equivocate -> "equiv"
+  | Delay { cls; dst; ms } -> Printf.sprintf "lag%d%s%s" ms (opt_cls cls) (opt_tgt dst)
+  | Stale { cls } -> "stale." ^ Interpose.cls_to_string cls
+  | Replay { cls; every } ->
+      Printf.sprintf "replay.%s.%d" (Interpose.cls_to_string cls) every
+  | Deaf { cls; src } ->
+      Printf.sprintf "deaf.%s%s" (Interpose.cls_to_string cls) (opt_tgt src)
+
+(* Optional [.cls][.target] suffix tokens: a class name binds first
+   (class names never parse as targets and vice versa), then a target,
+   and nothing may remain. *)
+let parse_suffix tokens =
+  let cls, tokens =
+    match tokens with
+    | t :: rest when Interpose.cls_of_string t <> None ->
+        (Interpose.cls_of_string t, rest)
+    | _ -> (None, tokens)
+  in
+  let tgt, tokens =
+    match tokens with
+    | t :: rest when target_of_id t <> None -> (target_of_id t, rest)
+    | _ -> (None, tokens)
+  in
+  if tokens = [] then Some (cls, Option.value ~default:Everyone tgt) else None
+
+let prim_of_id s =
+  match String.split_on_char '.' s with
+  | [] -> None
+  | op :: rest -> (
+      match op with
+      | "mute" ->
+          Option.map (fun (cls, dst) -> Silence { cls; dst }) (parse_suffix rest)
+      | "equiv" -> if rest = [] then Some Equivocate else None
+      | "stale" -> (
+          match rest with
+          | [ c ] -> Option.map (fun cls -> Stale { cls }) (Interpose.cls_of_string c)
+          | _ -> None)
+      | "replay" -> (
+          match rest with
+          | [ c; n ] -> (
+              match (Interpose.cls_of_string c, int_of_string_opt n) with
+              | Some cls, Some every when every >= 1 -> Some (Replay { cls; every })
+              | _ -> None)
+          | _ -> None)
+      | "deaf" -> (
+          match rest with
+          | c :: rest -> (
+              match (Interpose.cls_of_string c, parse_suffix rest) with
+              | Some cls, Some (None, src) -> Some (Deaf { cls; src })
+              | _ -> None)
+          | [] -> None)
+      | _ when String.length op > 3 && String.sub op 0 3 = "lag" -> (
+          match int_of_string_opt (String.sub op 3 (String.length op - 3)) with
+          | Some ms when ms >= 0 ->
+              Option.map (fun (cls, dst) -> Delay { cls; dst; ms }) (parse_suffix rest)
+          | _ -> None)
+      | _ -> None)
+
+let rule_to_id r =
+  Printf.sprintf "%d@%d:%d!%s" r.actor r.from_ms r.until_ms (prim_to_id r.prim)
+
+let rule_of_id s =
+  match String.index_opt s '@' with
+  | None -> None
+  | Some i -> (
+      match String.index_opt s '!' with
+      | None -> None
+      | Some j when j > i -> (
+          let window = String.sub s (i + 1) (j - i - 1) in
+          match String.split_on_char ':' window with
+          | [ f; u ] -> (
+              match
+                ( int_of_string_opt (String.sub s 0 i),
+                  int_of_string_opt f,
+                  int_of_string_opt u,
+                  prim_of_id (String.sub s (j + 1) (String.length s - j - 1)) )
+              with
+              | Some actor, Some from_ms, Some until_ms, Some prim
+                when actor >= 0 && from_ms <= until_ms ->
+                  Some { actor; prim; from_ms; until_ms }
+              | _ -> None)
+          | _ -> None)
+      | Some _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Attacks                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Attack = struct
+  type t = { rules : rule list }
+
+  let empty = { rules = [] }
+  let equal (a : t) (b : t) = a = b
+
+  let corrupt a =
+    List.sort_uniq compare (List.map (fun r -> r.actor) a.rules)
+
+  (* The corrupted-replica envelope: every rule's actor counted once,
+     at most f per cluster — the same budget lib/chaos enforces for
+     concurrent crash windows. *)
+  let within_envelope ~n ~f a = Chaos.within_cluster_budget ~n ~f (corrupt a)
+
+  let to_id a =
+    if a.rules = [] then "none"
+    else String.concat "+" (List.map rule_to_id a.rules)
+
+  let of_id s =
+    if s = "none" then Some empty
+    else
+      let parts = String.split_on_char '+' s in
+      let rules = List.map rule_of_id parts in
+      if List.exists Option.is_none rules then None
+      else Some { rules = List.map Option.get rules }
+
+  let schema_version = 1
+
+  let to_json a =
+    Json.Obj
+      [
+        ("v", Json.Int schema_version);
+        ( "rules",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("actor", Json.Int r.actor);
+                     ("from_ms", Json.Int r.from_ms);
+                     ("until_ms", Json.Int r.until_ms);
+                     ("prim", Json.String (prim_to_id r.prim));
+                   ])
+               a.rules) );
+      ]
+
+  let of_json j =
+    let ( let* ) r f = Result.bind r f in
+    let field name conv =
+      match Option.bind (Json.member name j) conv with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "attack: missing or malformed %S" name)
+    in
+    let* v = field "v" Json.to_int in
+    if v > schema_version then
+      Error (Printf.sprintf "attack: schema version %d > %d" v schema_version)
+    else
+      let* rules = field "rules" Json.to_list in
+      let rec go acc = function
+        | [] -> Ok { rules = List.rev acc }
+        | rj :: rest -> (
+            let f name conv = Option.bind (Json.member name rj) conv in
+            match
+              ( f "actor" Json.to_int,
+                f "from_ms" Json.to_int,
+                f "until_ms" Json.to_int,
+                Option.bind (f "prim" Json.to_str) prim_of_id )
+            with
+            | Some actor, Some from_ms, Some until_ms, Some prim ->
+                go ({ actor; prim; from_ms; until_ms } :: acc) rest
+            | _ -> Error "attack: malformed rule")
+      in
+      go [] rules
+
+  let to_string a = Json.to_string (to_json a)
+
+  let of_string s =
+    match Json.of_string s with Error e -> Error e | Ok j -> of_json j
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-protocol capabilities                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* What the sampler may draw for one protocol: each primitive's menu
+   of drawable scopes (empty = primitive off), plus who may be
+   corrupted at all.  Mirrors the chaos [caps] philosophy: the search
+   explores strategies the protocol is *required* to absorb, so any
+   violation is a bug. *)
+type caps = {
+  corruptible : int -> bool;
+  silence : Interpose.cls option list;
+  equivocate : bool;
+  delay : Interpose.cls option list;
+  max_delay_ms : int;
+  stale : Interpose.cls list;
+  replay : Interpose.cls list;
+  deaf : Interpose.cls list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Seeded sampler                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type kind = KSilence | KEquivocate | KDelay | KStale | KReplay | KDeaf
+
+(* Draw the destination scope for silence/delay rules.  Fixed-shape:
+   both draws always happen. *)
+let sample_target rng ~z =
+  let k = Rng.int rng 3 in
+  let c = Rng.int rng z in
+  match k with 0 -> Everyone | 1 -> Remote | _ -> Clusters [ c ]
+
+(* Sample one attack: up to [max_rules] rules, each drawn with the
+   fixed RNG shape of the chaos planner (every attempt consumes the
+   same draws before any rejection), windows inside
+   [500ms, horizon - tail], actors within the f-per-cluster envelope.
+   Actor selection is biased toward each cluster's initial primary
+   (index 0): those are the replicas whose corruption a strategy can
+   leverage rather than merely being absorbed. *)
+let sample ~rng ~caps ~z ~n ~f ~horizon_ms ~tail_ms () =
+  let replicas = z * n in
+  let menu =
+    (if caps.silence <> [] then [ KSilence ] else [])
+    @ (if caps.equivocate then [ KEquivocate ] else [])
+    @ (if caps.delay <> [] then [ KDelay ] else [])
+    @ (if caps.stale <> [] then [ KStale ] else [])
+    @ (if caps.replay <> [] then [ KReplay ] else [])
+    @ if caps.deaf <> [] then [ KDeaf ] else []
+  in
+  let min_onset = 500. in
+  let latest = float_of_int (horizon_ms - tail_ms) in
+  if menu = [] || latest <= min_onset then Attack.empty
+  else begin
+    let menu = Array.of_list menu in
+    let opt l = Array.of_list l in
+    let silence = opt caps.silence
+    and delay = opt caps.delay
+    and stale = Array.of_list caps.stale
+    and replay = Array.of_list caps.replay
+    and deaf = Array.of_list caps.deaf in
+    let max_rules = 1 + Rng.int rng 3 in
+    let accepted = ref [] in
+    let n_accepted = ref 0 in
+    for _ = 1 to max_rules * 8 do
+      if !n_accepted < max_rules then begin
+        (* Actor: half the draws aim at a cluster's initial primary. *)
+        let primary_bias = Rng.bool rng in
+        let cluster = Rng.int rng z in
+        let uniform = Rng.int rng replicas in
+        let actor = if primary_bias then cluster * n else uniform in
+        let k = Rng.choose rng menu in
+        let dur = Rng.float_range rng ~lo:800. ~hi:2500. in
+        let span = latest -. min_onset -. dur in
+        let at = min_onset +. (Rng.float rng *. Float.max span 0.) in
+        let prim =
+          match k with
+          | KSilence -> Silence { cls = Rng.choose rng silence; dst = sample_target rng ~z }
+          | KEquivocate -> Equivocate
+          | KDelay ->
+              let ms =
+                int_of_float
+                  (Rng.float_range rng ~lo:100. ~hi:(float_of_int caps.max_delay_ms))
+              in
+              Delay { cls = Rng.choose rng delay; dst = sample_target rng ~z; ms }
+          | KStale -> Stale { cls = Rng.choose rng stale }
+          | KReplay -> Replay { cls = Rng.choose rng replay; every = 1 + Rng.int rng 3 }
+          | KDeaf -> Deaf { cls = Rng.choose rng deaf; src = sample_target rng ~z }
+        in
+        if span > 0. && caps.corruptible actor then begin
+          let cand =
+            { actor; prim; from_ms = int_of_float at; until_ms = int_of_float (at +. dur) }
+          in
+          let attack = Attack.{ rules = cand :: !accepted } in
+          if Attack.within_envelope ~n ~f attack then begin
+            accepted := cand :: !accepted;
+            incr n_accepted
+          end
+        end
+      end
+    done;
+    Attack.{ rules = List.rev !accepted }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Runtime = struct
+  type 'm t = {
+    view : 'm Interpose.view;
+    keychain : Keychain.t;
+    now : unit -> Time.t;
+    n : int;  (* cluster size, for Remote / Clusters targets *)
+    install : 'm Interpose.t option -> unit;
+    mutable sets : (string * rule list) list;  (* insertion order *)
+    mutable installed : bool;
+    (* Equivocation memo: the same original payload maps to the same
+       forgery, so the conflicting half sees one consistent lie. *)
+    forged : ('m, 'm option) Hashtbl.t;
+    mutable nonce : int;
+    (* Stale buffers and replay counters, keyed per (actor, class). *)
+    held : (int * Interpose.cls, 'm) Hashtbl.t;
+    counts : (int * Interpose.cls, int) Hashtbl.t;
+  }
+
+  let cls_matches copt cls =
+    match copt with None -> true | Some c -> c = cls
+
+  let target_matches t ~n ~actor ~other =
+    match t with
+    | Everyone -> true
+    | Remote -> other / n <> actor / n
+    | Clusters cs -> List.mem (other / n) cs
+    | Peers ps -> List.mem other ps
+
+  let active r ~now_ms =
+    float_of_int r.from_ms <= now_ms && now_ms < float_of_int r.until_ms
+
+  (* First active rule of [actor] passing [select]; rule sets are
+     scanned in insertion order, rules in list order. *)
+  let find_rule t ~actor ~select =
+    let now_ms = Time.to_ms_f (t.now ()) in
+    let rec in_rules = function
+      | [] -> None
+      | r :: rest ->
+          if r.actor = actor && active r ~now_ms && select r.prim then Some r.prim
+          else in_rules rest
+    in
+    let rec in_sets = function
+      | [] -> None
+      | (_, rules) :: rest -> (
+          match in_rules rules with Some p -> Some p | None -> in_sets rest)
+    in
+    in_sets t.sets
+
+  let conflict_for t m =
+    match Hashtbl.find_opt t.forged m with
+    | Some f -> f
+    | None ->
+        let nonce = t.nonce in
+        t.nonce <- t.nonce + 1;
+        let f = t.view.Interpose.conflict ~keychain:t.keychain ~nonce m in
+        Hashtbl.replace t.forged m f;
+        f
+
+  let obtrude t ~src ~dst m =
+    let cls = t.view.Interpose.classify m in
+    let select = function
+      | Silence { cls = c; dst = tgt } | Delay { cls = c; dst = tgt; _ } ->
+          cls_matches c cls && target_matches tgt ~n:t.n ~actor:src ~other:dst
+      | Equivocate -> true
+      | Stale { cls = c } | Replay { cls = c; _ } -> c = cls
+      | Deaf _ -> false
+    in
+    match find_rule t ~actor:src ~select with
+    | None -> Interpose.pass m
+    | Some (Silence _) -> []
+    | Some Equivocate -> (
+        if dst mod 2 = 0 then Interpose.pass m
+        else
+          match conflict_for t m with
+          | None -> Interpose.pass m
+          | Some forged -> Interpose.pass forged)
+    | Some (Delay { ms; _ }) ->
+        [ { Interpose.after = Time.ms ms; emit = m } ]
+    | Some (Stale _) -> (
+        let key = (src, cls) in
+        let prev = Hashtbl.find_opt t.held key in
+        Hashtbl.replace t.held key m;
+        match prev with None -> Interpose.pass m | Some old -> Interpose.pass old)
+    | Some (Replay { every; _ }) ->
+        let key = (src, cls) in
+        let c = 1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key) in
+        Hashtbl.replace t.counts key c;
+        if c mod every = 0 then
+          [
+            { Interpose.after = Time.zero; emit = m };
+            { Interpose.after = Time.of_ms_f 0.25; emit = m };
+          ]
+        else Interpose.pass m
+    | Some (Deaf _) -> Interpose.pass m
+
+  let admit t ~src ~dst m =
+    let cls = t.view.Interpose.classify m in
+    let select = function
+      | Deaf { cls = c; src = tgt } ->
+          c = cls && target_matches tgt ~n:t.n ~actor:dst ~other:src
+      | _ -> false
+    in
+    match find_rule t ~actor:dst ~select with Some _ -> false | None -> true
+
+  let create ~view ~keychain ~now ~n ~install =
+    {
+      view;
+      keychain;
+      now;
+      n;
+      install;
+      sets = [];
+      installed = false;
+      forged = Hashtbl.create 32;
+      nonce = 0;
+      held = Hashtbl.create 16;
+      counts = Hashtbl.create 16;
+    }
+
+  let sync t =
+    match (t.sets, t.installed) with
+    | [], true ->
+        t.installed <- false;
+        t.install None
+    | _ :: _, false ->
+        t.installed <- true;
+        t.install
+          (Some
+             {
+               Interpose.obtrude = (fun ~src ~dst m -> obtrude t ~src ~dst m);
+               admit = (fun ~src ~dst m -> admit t ~src ~dst m);
+             })
+    | _ -> ()
+
+  let set t ~name rules =
+    let rest = List.filter (fun (n', _) -> n' <> name) t.sets in
+    t.sets <- (if rules = [] then rest else rest @ [ (name, rules) ]);
+    sync t
+
+  let clear t ~name = set t ~name []
+
+  let set_attack t (a : Attack.t) = set t ~name:"attack" a.Attack.rules
+  let active t = t.sets <> []
+end
+
+(* A window that is never over: chaos-driven rules are installed and
+   removed by scheduled apply/reverse events, not by rule windows. *)
+let always ~actor prim = { actor; prim; from_ms = 0; until_ms = max_int }

@@ -1,0 +1,138 @@
+(** First-class Byzantine adversaries (DESIGN.md §14).
+
+    An attack is a value: corrupted replicas (within the f-per-cluster
+    envelope, reusing lib/chaos's accounting) bound to strategy
+    primitives over time windows.  Attacks carry a compact string id
+    (part of the scenario grammar) and a versioned JSON round-trip, are
+    sampled by a seeded fixed-shape sampler, and are compiled by the
+    runtime into the send/receive interposition hooks of
+    {!Rdb_types.Interpose}. *)
+
+module Interpose = Rdb_types.Interpose
+module Time = Rdb_sim.Time
+module Rng = Rdb_prng.Rng
+module Keychain = Rdb_crypto.Keychain
+module Json = Rdb_fabric.Json
+
+(** {1 Grammar} *)
+
+type target =
+  | Everyone
+  | Remote  (** nodes outside the actor's own cluster *)
+  | Clusters of int list
+  | Peers of int list  (** explicit global replica ids *)
+
+type prim =
+  | Silence of { cls : Interpose.cls option; dst : target }
+      (** targeted silence toward chosen peers or phases *)
+  | Equivocate
+      (** conflicting payloads to disjoint halves (odd global ids get
+          the protocol's [conflict] forgery) *)
+  | Delay of { cls : Interpose.cls option; dst : target; ms : int }
+      (** delayed-primary / slow-drip sending *)
+  | Stale of { cls : Interpose.cls }
+      (** send the previous matching message instead of the current *)
+  | Replay of { cls : Interpose.cls; every : int }
+      (** every [every]-th matching message is sent twice *)
+  | Deaf of { cls : Interpose.cls; src : target }
+      (** receive-side: ignore matching messages from [src] *)
+
+type rule = { actor : int; prim : prim; from_ms : int; until_ms : int }
+
+val prim_to_id : prim -> string
+val prim_of_id : string -> prim option
+val rule_to_id : rule -> string
+val rule_of_id : string -> rule option
+
+val always : actor:int -> prim -> rule
+(** A rule whose window never closes — for rule sets installed and
+    removed by scheduled events (the chaos equivocation action). *)
+
+(** {1 Attacks} *)
+
+module Attack : sig
+  type t = { rules : rule list }
+
+  val empty : t
+  val equal : t -> t -> bool
+
+  val corrupt : t -> int list
+  (** Sorted distinct actors of all rules. *)
+
+  val within_envelope : n:int -> f:int -> t -> bool
+  (** At most [f] corrupted replicas per cluster of [n] — lib/chaos's
+      {!Rdb_chaos.Chaos.within_cluster_budget}. *)
+
+  val to_id : t -> string
+  (** Compact, space-free id: rules [actor@from:until!prim] joined by
+      ["+"]; the empty attack is ["none"].  Inverse of {!of_id}. *)
+
+  val of_id : string -> t option
+
+  val schema_version : int
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> (t, string) result
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+end
+
+(** {1 Per-protocol capabilities} *)
+
+type caps = {
+  corruptible : int -> bool;
+  silence : Interpose.cls option list;  (** drawable silence scopes; [] = off *)
+  equivocate : bool;
+  delay : Interpose.cls option list;
+  max_delay_ms : int;
+  stale : Interpose.cls list;
+  replay : Interpose.cls list;
+  deaf : Interpose.cls list;
+}
+(** The sampler's menu for one protocol: strategies the protocol is
+    required to absorb, so any violation found under them is a bug. *)
+
+(** {1 Seeded sampling} *)
+
+val sample :
+  rng:Rng.t ->
+  caps:caps ->
+  z:int ->
+  n:int ->
+  f:int ->
+  horizon_ms:int ->
+  tail_ms:int ->
+  unit ->
+  Attack.t
+(** Sample one attack (up to 3 rules) with the chaos planner's
+    fixed-shape RNG discipline: windows inside
+    [500ms, horizon - tail], actors biased toward cluster-initial
+    primaries and kept within the envelope. *)
+
+(** {1 Runtime} *)
+
+module Runtime : sig
+  type 'm t
+
+  val create :
+    view:'m Interpose.view ->
+    keychain:Keychain.t ->
+    now:(unit -> Time.t) ->
+    n:int ->
+    install:('m Interpose.t option -> unit) ->
+    'm t
+  (** [install] receives [Some hooks] when the first rule set goes
+      live and [None] when the last is cleared, preserving the
+      zero-overhead-when-off contract of the deployment. *)
+
+  val set : 'm t -> name:string -> rule list -> unit
+  (** Replace the named rule set ([[]] removes it).  Rule sets are
+      consulted in insertion order, rules in list order; the first
+      matching active rule wins. *)
+
+  val clear : 'm t -> name:string -> unit
+  val set_attack : 'm t -> Attack.t -> unit
+  (** [set] under the reserved name ["attack"]. *)
+
+  val active : 'm t -> bool
+end

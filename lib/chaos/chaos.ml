@@ -76,8 +76,14 @@ type surface = {
   restore_link : src:int -> dst:int -> unit;
   set_link_loss : src:int -> dst:int -> p:float -> unit;
   set_link_dup : src:int -> dst:int -> p:float -> unit;
-  equivocate : (cluster:int -> skip:int list -> unit) option;
-  stop_equivocate : (cluster:int -> unit) option;
+  (* Equivocation-by-omission: the cluster withholds its certified
+     shares from the [skip] clusters.  The runner implements this
+     generically for every protocol through the adversary subsystem's
+     silence primitive (lib/adversary), so the planner carries no
+     protocol-specific special case; [caps.equivocation] alone decides
+     whether the action is in the menu. *)
+  equivocate : cluster:int -> skip:int list -> unit;
+  stop_equivocate : cluster:int -> unit;
   ledger : int -> Ledger.t;
   now : unit -> Time.t;
   at : Time.t -> (unit -> unit) -> unit;
@@ -101,6 +107,20 @@ type kind = KCrash | KPartition | KLink_down | KLink_loss | KLink_dup | KEquivoc
 let overlaps (a : event) (b : event) =
   Time.(a.at < b.until) && Time.(b.at < a.until)
 
+(* The shared f-per-cluster corruption budget: at most [f] of any one
+   cluster's [n] members may be faulty/corrupt at a time.  Used below
+   for concurrent crash windows and by the Byzantine-strategy
+   subsystem (lib/adversary) for its corrupted-replica envelope. *)
+let within_cluster_budget ~n ~f ids =
+  let counts = Hashtbl.create 8 in
+  List.for_all
+    (fun v ->
+      let c = v / n in
+      let k = 1 + Option.value ~default:0 (Hashtbl.find_opt counts c) in
+      Hashtbl.replace counts c k;
+      k <= f)
+    ids
+
 (* Budget check: would admitting [cand] let the run exceed what the
    protocols are required to tolerate?  Conservative pairwise-overlap
    counting: any instant where more than f crash windows of one
@@ -120,21 +140,20 @@ let admissible surface accepted cand =
   in
   match cand.action with
   | Crash v ->
-      let cluster = v / surface.n in
       List.for_all
         (fun e ->
           match e.action with
           | Crash v2 -> (not (overlaps cand e)) || v2 <> v
           | _ -> true)
         accepted
-      && List.length
-           (List.filter
-              (fun e ->
-                match e.action with
-                | Crash v2 -> v2 / surface.n = cluster && overlaps cand e
-                | _ -> false)
-              accepted)
-         < surface.f
+      && within_cluster_budget ~n:surface.n ~f:surface.f
+           (v
+           :: List.filter_map
+                (fun e ->
+                  match e.action with
+                  | Crash v2 when overlaps cand e -> Some v2
+                  | _ -> None)
+                accepted)
   | Partition _ | Equivocate _ ->
       List.for_all
         (fun e -> (not (is_global e.action)) || not (overlaps cand e))
@@ -158,10 +177,7 @@ let plan ~rng ~surface (pc : plan_cfg) : timeline =
     @ (if s.caps.link_down && replicas >= 2 then [ KLink_down ] else [])
     @ (if s.caps.link_loss && replicas >= 2 then [ KLink_loss ] else [])
     @ (if s.caps.link_dup && replicas >= 2 then [ KLink_dup ] else [])
-    @
-    if s.caps.equivocation && s.z >= 2 && s.equivocate <> None then
-      [ KEquivocate ]
-    else []
+    @ if s.caps.equivocation && s.z >= 2 then [ KEquivocate ] else []
   in
   let min_onset_ms = 500. in
   let latest_ms = Time.to_ms_f (Time.sub pc.horizon pc.tail) in
@@ -233,8 +249,7 @@ let apply s = function
   | Link_down { src; dst } -> s.sever_link ~src ~dst
   | Link_loss { src; dst; p } -> s.set_link_loss ~src ~dst ~p
   | Link_dup { src; dst; p } -> s.set_link_dup ~src ~dst ~p
-  | Equivocate { cluster; skip } -> (
-      match s.equivocate with Some f -> f ~cluster ~skip | None -> ())
+  | Equivocate { cluster; skip } -> s.equivocate ~cluster ~skip
 
 let reverse s = function
   | Crash v -> s.recover v
@@ -242,8 +257,7 @@ let reverse s = function
   | Link_down { src; dst } -> s.restore_link ~src ~dst
   | Link_loss { src; dst; _ } -> s.set_link_loss ~src ~dst ~p:0.
   | Link_dup { src; dst; _ } -> s.set_link_dup ~src ~dst ~p:0.
-  | Equivocate { cluster; _ } -> (
-      match s.stop_equivocate with Some f -> f ~cluster | None -> ())
+  | Equivocate { cluster; _ } -> s.stop_equivocate ~cluster
 
 let install s tl =
   List.iter

@@ -99,8 +99,13 @@ type surface = {
   restore_link : src:int -> dst:int -> unit;
   set_link_loss : src:int -> dst:int -> p:float -> unit;
   set_link_dup : src:int -> dst:int -> p:float -> unit;
-  equivocate : (cluster:int -> skip:int list -> unit) option;
-  stop_equivocate : (cluster:int -> unit) option;
+  equivocate : cluster:int -> skip:int list -> unit;
+      (** Equivocation-by-omission: the cluster withholds its certified
+          shares from the [skip] clusters for the window.  Implemented
+          generically through the adversary subsystem's silence
+          primitive (lib/adversary); [caps.equivocation] gates whether
+          the planner draws it. *)
+  stop_equivocate : cluster:int -> unit;
   ledger : int -> Ledger.t;  (** per-replica, indices [0 .. z*n-1] *)
   now : unit -> Time.t;
   at : Time.t -> (unit -> unit) -> unit;  (** schedule in the engine *)
@@ -116,6 +121,12 @@ type plan_cfg = {
 }
 
 val default_plan : horizon:Time.t -> tail:Time.t -> plan_cfg
+
+val within_cluster_budget : n:int -> f:int -> int list -> bool
+(** The shared f-per-cluster corruption budget: true iff at most [f]
+    of any one cluster's [n] members appear in the list.  Used by the
+    planner for concurrent crash windows and by the Byzantine-strategy
+    subsystem (lib/adversary) for its corrupted-replica envelope. *)
 
 val plan : rng:Rng.t -> surface:surface -> plan_cfg -> timeline
 (** Sample a fault timeline.  Every window clears before

@@ -26,6 +26,7 @@
 
 module Scenario = Rdb_experiments.Scenario
 module Runner = Rdb_experiments.Runner
+module Adversary = Rdb_adversary.Adversary
 module Chaos = Rdb_chaos.Chaos
 module Ledger = Rdb_ledger.Ledger
 module Block = Rdb_ledger.Block
@@ -59,12 +60,11 @@ let provocations : (string * (Chaos.surface -> unit)) list =
            protocol is required to absorb exactly this (the chaos
            envelope grants GeoBFT equivocation), so the unmutated run
            stays clean. *)
-        match (s.Chaos.equivocate, s.Chaos.stop_equivocate) with
-        | Some eq, Some stop ->
-            let skip = List.init (s.Chaos.z - 1) (fun i -> i + 1) in
-            s.Chaos.at (Time.of_ms_f 1500.) (fun () -> eq ~cluster:0 ~skip);
-            s.Chaos.at (Time.of_ms_f 6500.) (fun () -> stop ~cluster:0)
-        | _ -> () );
+        let skip = List.init (s.Chaos.z - 1) (fun i -> i + 1) in
+        s.Chaos.at (Time.of_ms_f 1500.) (fun () ->
+            s.Chaos.equivocate ~cluster:0 ~skip);
+        s.Chaos.at (Time.of_ms_f 6500.) (fun () ->
+            s.Chaos.stop_equivocate ~cluster:0) );
   ]
 
 let provocation name = List.assoc_opt name provocations
@@ -197,7 +197,8 @@ let run_one (s : Scenario.t) ~(hooks : Perturb.hooks) ~(provoke : string option)
     let half =
       Time.add windows.Scenario.warmup (Int64.div windows.Scenario.measure 2L)
     in
-    if s.Scenario.fault = Scenario.No_fault && provoke = None then
+    if s.Scenario.fault = Scenario.No_fault && provoke = None && s.Scenario.attack = None
+    then
       surface.Chaos.at half (fun () ->
           mid :=
             Some
@@ -506,3 +507,248 @@ let mutants : (string * (Scenario.t * string option)) list =
   ]
 
 let mutant_scenario id = List.assoc_opt id mutants
+
+(* -- attack search (DESIGN.md §14) ---------------------------------------- *)
+
+(* The Byzantine-strategy search: instead of perturbing the schedule,
+   each attempt installs one sampled attack program (lib/adversary)
+   drawn from the protocol's adversary profile and runs it under the
+   same invariant oracle.  Attempt 0 is the empty attack — a violation
+   there means the configuration (usually a mutation) is broken without
+   any adversary, and the artifact honestly records an empty program.
+   On a violation the rule list is ddmin-shrunk to 1-minimality, so the
+   artifact names exactly the rules that matter. *)
+
+type attack_counterexample = {
+  atk_scenario : Scenario.t;  (** base scenario; [attack = None] *)
+  atk_mutation : string option;
+  atk_seed : int;
+  atk_attempt : int;  (** sampler attempt where the violation surfaced *)
+  atk_attack : Adversary.Attack.t;  (** shrunk, 1-minimal rule list *)
+  atk_violation : violation;
+  atk_digest : string option;  (** trace digest of the minimal replay *)
+  atk_runs : int;  (** simulations spent, search + shrinking *)
+}
+
+(* A different multiplier than {!schedule_rng} so attack streams never
+   collide with schedule-perturbation streams for the same seed. *)
+let attack_rng ~seed ~attempt = Rng.create (Int64.of_int ((seed * 1_000_033) + attempt))
+
+(* Attack windows must clear well before the horizon so the oracle
+   observes the protocol *after* it was supposed to heal. *)
+let attack_tail_ms = 1000
+
+let sample_attack ~seed ~attempt (s : Scenario.t) : Adversary.Attack.t =
+  (* Attempt 0: the scenario's own attack if it pins one, else the
+     empty program (the no-adversary baseline). *)
+  if attempt = 0 then Option.value ~default:Adversary.Attack.empty s.Scenario.attack
+  else
+    let cfg = s.Scenario.cfg in
+    let caps = Runner.adversary_profile s.Scenario.proto cfg in
+    let w = s.Scenario.windows in
+    let horizon_ms =
+      int_of_float (Time.to_ms_f (Time.add w.Scenario.warmup w.Scenario.measure))
+    in
+    Adversary.sample
+      ~rng:(attack_rng ~seed ~attempt)
+      ~caps ~z:cfg.Config.z ~n:cfg.Config.n ~f:(Config.f cfg) ~horizon_ms
+      ~tail_ms:attack_tail_ms ()
+
+let run_attack (s : Scenario.t) (a : Adversary.Attack.t) : run_result =
+  let attack = if a = Adversary.Attack.empty then None else Some a in
+  run_one { s with Scenario.attack } ~hooks:Perturb.unperturbed ~provoke:None
+
+let explore_attacks ?(budget = 64) ?(seed = 1) ?mutation ?on_attempt (s : Scenario.t) :
+    attack_counterexample option =
+  Mutation.set mutation;
+  let finish v =
+    Mutation.set None;
+    v
+  in
+  let runs = ref 0 in
+  let attempt k =
+    incr runs;
+    (match on_attempt with Some f -> f ~attempt:k | None -> ());
+    sample_attack ~seed ~attempt:k s
+  in
+  let rec loop k =
+    if k >= budget then finish None
+    else
+      let a = attempt k in
+      let r = run_attack s a in
+      match r.violation with
+      | None -> loop (k + 1)
+      | Some _ ->
+          let test rules =
+            incr runs;
+            (run_attack s Adversary.Attack.{ rules }).violation <> None
+          in
+          let minimal, _ = ddmin ~test a.Adversary.Attack.rules in
+          let minimal = Adversary.Attack.{ rules = minimal } in
+          (* One final replay of the minimal attack: its violation and
+             digest are what the artifact pins. *)
+          incr runs;
+          let final = run_attack s minimal in
+          let violation =
+            match final.violation with Some v -> v | None -> Option.get r.violation
+          in
+          finish
+            (Some
+               {
+                 atk_scenario = { s with Scenario.attack = None };
+                 atk_mutation = mutation;
+                 atk_seed = seed;
+                 atk_attempt = k;
+                 atk_attack = minimal;
+                 atk_violation = violation;
+                 atk_digest = final.digest;
+                 atk_runs = !runs;
+               })
+  in
+  loop 0
+
+(* -- attack artifacts ------------------------------------------------------ *)
+
+let attack_schema_version = 1
+
+let attack_counterexample_to_json (ce : attack_counterexample) : Json.t =
+  let opt_str = function None -> Json.Null | Some s -> Json.String s in
+  Json.Obj
+    [
+      ("schema", Json.Int attack_schema_version);
+      ("kind", Json.String "attack");
+      ("scenario", Json.String (Scenario.to_string ce.atk_scenario));
+      ("mutation", opt_str ce.atk_mutation);
+      ("seed", Json.Int ce.atk_seed);
+      ("attempt", Json.Int ce.atk_attempt);
+      ("attack", Adversary.Attack.to_json ce.atk_attack);
+      ("attack_id", Json.String (Adversary.Attack.to_id ce.atk_attack));
+      ( "violation",
+        Json.Obj
+          [
+            ("invariant", Json.String ce.atk_violation.invariant);
+            ("detail", Json.String ce.atk_violation.detail);
+            ("at_ms", Json.Float (Time.to_ms_f ce.atk_violation.at));
+          ] );
+      ("trace_digest", opt_str ce.atk_digest);
+      ("runs", Json.Int ce.atk_runs);
+    ]
+
+let attack_counterexample_to_string ce = Json.to_string (attack_counterexample_to_json ce)
+
+let attack_counterexample_of_json (j : Json.t) : (attack_counterexample, string) result =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let req name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "attack artifact: missing or malformed %S" name)
+  in
+  let opt_str name =
+    match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+  in
+  let* schema = req "schema" Json.to_int in
+  if schema <> attack_schema_version then
+    Error (Printf.sprintf "attack artifact: unsupported schema %d" schema)
+  else
+    let* kind = req "kind" Json.to_str in
+    if not (String.equal kind "attack") then
+      Error (Printf.sprintf "attack artifact: kind %S is not \"attack\"" kind)
+    else
+      let* sid = req "scenario" Json.to_str in
+      let* scenario =
+        match Scenario.of_string sid with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "attack artifact: unparseable scenario id %S" sid)
+      in
+      let* seed = req "seed" Json.to_int in
+      let* attempt = req "attempt" Json.to_int in
+      let* attack =
+        match Json.member "attack" j with
+        | Some aj -> Adversary.Attack.of_json aj
+        | None -> Error "attack artifact: missing field \"attack\""
+      in
+      let* vj = req "violation" (fun x -> Some x) in
+      let* invariant =
+        match Option.bind (Json.member "invariant" vj) Json.to_str with
+        | Some s -> Ok s
+        | None -> Error "attack artifact: missing violation.invariant"
+      in
+      let* detail =
+        match Option.bind (Json.member "detail" vj) Json.to_str with
+        | Some s -> Ok s
+        | None -> Error "attack artifact: missing violation.detail"
+      in
+      let at_ms =
+        match Option.bind (Json.member "at_ms" vj) Json.to_float with
+        | Some f -> f
+        | None -> 0.
+      in
+      Ok
+        {
+          atk_scenario = { scenario with Scenario.attack = None };
+          atk_mutation = opt_str "mutation";
+          atk_seed = seed;
+          atk_attempt = attempt;
+          atk_attack = attack;
+          atk_violation = { at = Time.of_ms_f at_ms; invariant; detail };
+          atk_digest = opt_str "trace_digest";
+          atk_runs =
+            (match Option.bind (Json.member "runs" j) Json.to_int with
+            | Some r -> r
+            | None -> 0);
+        }
+
+let attack_counterexample_of_string s =
+  match Json.of_string s with
+  | Ok j -> attack_counterexample_of_json j
+  | Error e -> Error e
+
+let replay_attack (ce : attack_counterexample) : replay_outcome =
+  Mutation.set ce.atk_mutation;
+  let r = run_attack ce.atk_scenario ce.atk_attack in
+  Mutation.set None;
+  let reproduced =
+    match r.violation with
+    | Some v -> String.equal v.invariant ce.atk_violation.invariant
+    | None -> false
+  in
+  let digest_match =
+    match (ce.atk_digest, r.digest) with
+    | Some a, Some b -> Some (String.equal a b)
+    | _ -> None
+  in
+  { reproduced; observed = r.violation; digest_match }
+
+(* -- attack default matrices ----------------------------------------------- *)
+
+(* Longer than {!default_scenario}: attack windows (up to 2.5 s) must
+   open after warmup and close {!attack_tail_ms} before the horizon,
+   and the horizon stays below every protocol's liveness window so an
+   in-envelope adversary can never trip the liveness invariant. *)
+let default_attack_scenario ?(seed = 1) (p : Scenario.proto) : Scenario.t =
+  let cfg = Config.make ~z:2 ~n:4 ~batch_size:20 ~client_inflight:8 ~seed () in
+  let windows = { Scenario.warmup = Time.ms 500; measure = Time.ms 4000 } in
+  Scenario.make ~windows ~trace:true p cfg
+
+(* Mutations the attack search must rediscover from generic primitives
+   alone, each with its base scenario.  [geobft-rvc-weak] is the
+   showcase: the mutation weakens the remote view-change honor
+   threshold, and only adversary-generated share starvation (silence,
+   deafness or equivocation from cluster 0) produces the RVC traffic
+   that exposes it — the search rediscovers the scripted equivocation
+   provocation as a found, shrunk attack program.  The quorum mutants
+   fire on any decision path, so their 1-minimal attack is typically
+   empty: the artifact records that the weakness needs no adversary. *)
+let attack_mutants : (string * Scenario.t) list =
+  [
+    ("pbft-prepare-quorum", default_attack_scenario Scenario.Pbft);
+    ("pbft-commit-quorum", default_attack_scenario Scenario.Pbft);
+    ("hotstuff-qc-quorum", default_attack_scenario Scenario.Hotstuff);
+    ("steward-certify-quorum", default_attack_scenario Scenario.Steward);
+    ( "geobft-rvc-weak",
+      let cfg = Config.make ~z:2 ~n:4 ~batch_size:20 ~client_inflight:8 ~seed:1 () in
+      let windows = { Scenario.warmup = Time.ms 1000; measure = Time.ms 8000 } in
+      Scenario.make ~windows ~trace:true Scenario.Geobft cfg );
+  ]
+
+let attack_mutant_scenario id = List.assoc_opt id attack_mutants

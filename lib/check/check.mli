@@ -3,10 +3,16 @@
     oracle — the chaos safety monitor, per-protocol certificate
     invariants, quorum-evidence extraction, and an execution-frontier
     check — then delta-debug any violation down to a 1-minimal
-    perturbation list serialized as a replayable artifact. *)
+    perturbation list serialized as a replayable artifact.
+
+    The same oracle and shrinker also drive the Byzantine-strategy
+    search (DESIGN.md §14): {!explore_attacks} samples attack programs
+    from lib/adversary instead of schedule perturbations, and shrinks a
+    violating program to a 1-minimal rule list. *)
 
 module Scenario = Rdb_experiments.Scenario
 module Chaos = Rdb_chaos.Chaos
+module Adversary = Rdb_adversary.Adversary
 module Time = Rdb_sim.Time
 module Json = Rdb_fabric.Json
 
@@ -99,3 +105,69 @@ val mutants : (string * (Scenario.t * string option)) list
     optional provocation) that exposes it. *)
 
 val mutant_scenario : string -> (Scenario.t * string option) option
+
+(** {1 Attack search}
+
+    The Byzantine-strategy dimension: each attempt installs one seeded
+    attack program (lib/adversary) sampled from
+    {!Rdb_experiments.Runner.adversary_profile} and runs it —
+    unperturbed — under the full invariant oracle.  Attempt 0 is the
+    empty attack, so a violation there honestly records that the
+    configuration is broken without any adversary. *)
+
+type attack_counterexample = {
+  atk_scenario : Scenario.t;  (** base scenario; [attack = None] *)
+  atk_mutation : string option;
+  atk_seed : int;
+  atk_attempt : int;  (** sampler attempt where the violation surfaced *)
+  atk_attack : Adversary.Attack.t;  (** shrunk, 1-minimal rule list *)
+  atk_violation : violation;
+  atk_digest : string option;  (** trace digest of the minimal replay *)
+  atk_runs : int;  (** simulations spent, search + shrinking *)
+}
+
+val sample_attack : seed:int -> attempt:int -> Scenario.t -> Adversary.Attack.t
+(** The attack program attempt [attempt] of [explore_attacks ~seed]
+    would install (empty for attempt 0) — sampling made checkable
+    without running anything. *)
+
+val run_attack : Scenario.t -> Adversary.Attack.t -> run_result
+(** One unperturbed run of the scenario with the attack installed,
+    checked by the full oracle.  Sequential only. *)
+
+val explore_attacks :
+  ?budget:int ->
+  ?seed:int ->
+  ?mutation:string ->
+  ?on_attempt:(attempt:int -> unit) ->
+  Scenario.t ->
+  attack_counterexample option
+(** Run up to [budget] (default 64) attack programs and stop at the
+    first violation, ddmin-shrunk to a 1-minimal rule list and replayed
+    once more to pin its digest.  [mutation] activates a test-only
+    protocol mutation for the whole search. *)
+
+val attack_schema_version : int
+
+val attack_counterexample_to_json : attack_counterexample -> Json.t
+val attack_counterexample_to_string : attack_counterexample -> string
+val attack_counterexample_of_json : Json.t -> (attack_counterexample, string) result
+val attack_counterexample_of_string : string -> (attack_counterexample, string) result
+
+val replay_attack : attack_counterexample -> replay_outcome
+(** Re-run the artifact's scenario with its recorded minimal attack
+    (and mutation, if any). *)
+
+val default_attack_scenario : ?seed:int -> Scenario.proto -> Scenario.t
+(** The attack search's stock deployment: z=2 n=4, small batches,
+    traced, 0.5 s + 4 s windows — long enough for sampled windows to
+    open, act and heal, short enough that an in-envelope adversary can
+    never trip the liveness invariant. *)
+
+val attack_mutants : (string * Scenario.t) list
+(** Mutations the attack search must rediscover from generic
+    primitives, each with its base scenario — [geobft-rvc-weak] being
+    the showcase where only adversary-generated share starvation
+    produces the exposing traffic. *)
+
+val attack_mutant_scenario : string -> Scenario.t option

@@ -99,6 +99,11 @@ module Json = Rdb_fabric.Json
 module Chaos = Rdb_chaos.Chaos
 module Recovery = Rdb_recovery.Recovery
 
+(* Byzantine-strategy subsystem: attack programs + the send/receive
+   interposition vocabulary they compile into *)
+module Adversary = Rdb_adversary.Adversary
+module Interpose = Rdb_types.Interpose
+
 (* Schedule-exploration checker *)
 module Check = Rdb_check.Check
 module Perturb = Rdb_check.Perturb

@@ -3,12 +3,15 @@
    return its report. *)
 
 module Config = Rdb_types.Config
+module Interpose = Rdb_types.Interpose
 module Time = Rdb_sim.Time
 module Engine = Rdb_sim.Engine
 module Rng = Rdb_prng.Rng
+module Keychain = Rdb_crypto.Keychain
 module Report = Rdb_fabric.Report
 module Ledger = Rdb_ledger.Ledger
 module Chaos = Rdb_chaos.Chaos
+module Adversary = Rdb_adversary.Adversary
 
 module GeoDep = Rdb_fabric.Deployment.Make (Rdb_geobft.Replica)
 module PbftDep = Rdb_fabric.Deployment.Make (Rdb_pbft.Replica)
@@ -44,6 +47,7 @@ let full_windows = Scenario.full_windows
    module type so the protocol dispatch can use first-class modules. *)
 module type DEP = sig
   type t
+  type msg
 
   val create :
     ?trace:bool ->
@@ -67,6 +71,9 @@ module type DEP = sig
   val engine : t -> Engine.t
   val at : t -> time:Time.t -> (unit -> unit) -> unit
   val set_delivery_hook : t -> Rdb_sim.Network.delivery_hook option -> unit
+  val keychain : t -> Keychain.t
+  val adversary_view : msg Interpose.view
+  val set_interposer : t -> msg Interpose.t option -> unit
 end
 
 (* -- chaos wiring ------------------------------------------------------ *)
@@ -135,24 +142,107 @@ let chaos_profile (p : proto) (cfg : Config.t) :
         Chaos.Prefix,
         6000. )
 
-(* GeoBFT's Byzantine-equivocation hook: make every replica of the
-   target cluster withhold its global shares from the [skip] clusters
-   (installed cluster-wide so a local view change does not silently
-   cure the fault — recovery must come from the remote view-change
-   machinery of Figure 7, whose re-share path is deliberate and
-   unfiltered). *)
-let geo_equiv (d : GeoDep.t) (cfg : Config.t) =
-  let set_all cluster filter =
-    for i = 0 to cfg.Config.n - 1 do
-      Rdb_geobft.Replica.set_share_filter
-        (GeoDep.replica d ((cluster * cfg.Config.n) + i))
-        filter
-    done
-  in
+(* -- adversary wiring -------------------------------------------------- *)
+
+(* What each protocol's implementation is required to absorb from a
+   Byzantine minority — the attack sampler only draws strategies from
+   this menu, so any violation the search finds is a bug.  Like the
+   chaos envelopes these are empirical statements about *this
+   codebase* (DESIGN.md §14 documents each exclusion):
+   - GeoBFT gets the full menu: silence (shares, votes, or everything),
+     sharing-step equivocation, delayed sending, stale share replays,
+     duplicate replays and share-deafness — the Figure-7 remote
+     view-change machinery plus the lib/recovery fetch path must heal
+     all of them;
+   - Pbft has view changes and checkpoint state transfer, so primaries
+     may equivocate, go silent or drag their feet;
+   - Zyzzyva has no view change: node 0 must stay honest (faithful to
+     the paper), backups may stall or replay — the client
+     commit-certificate slow path absorbs it;
+   - HotStuff replicas run independent instances with hole-filling
+     recovery, but a silent leader legitimately stalls its own
+     instance, so only delay and replay are on the menu;
+   - Steward's site representatives are single points of coordination:
+     only non-representatives may misbehave. *)
+let adversary_profile (p : proto) (cfg : Config.t) : Adversary.caps =
+  let everyone _ = true in
+  let open Interpose in
+  match p with
+  | Geobft ->
+      { Adversary.corruptible = everyone;
+        silence = [ Some Share; Some Vote; None ];
+        equivocate = true;
+        delay = [ None; Some Share ];
+        max_delay_ms = 800;
+        stale = [ Share ];
+        replay = [ Share; Vote ];
+        deaf = [ Share ] }
+  | Pbft ->
+      { Adversary.corruptible = everyone;
+        silence = [ Some Vote; None ];
+        equivocate = true;
+        delay = [ None; Some Vote ];
+        max_delay_ms = 800;
+        stale = [ Vote ];
+        replay = [ Vote; Proposal ];
+        deaf = [ Vote ] }
+  | Zyzzyva ->
+      { Adversary.corruptible = (fun v -> v <> 0);
+        silence = [ Some Vote ];
+        equivocate = false;
+        delay = [ None ];
+        max_delay_ms = 800;
+        stale = [];
+        replay = [ Vote; Sync ];
+        deaf = [] }
+  | Hotstuff ->
+      { Adversary.corruptible = everyone;
+        silence = [];
+        equivocate = false;
+        delay = [ None ];
+        max_delay_ms = 800;
+        stale = [];
+        replay = [ Vote; Share ];
+        deaf = [] }
+  | Steward ->
+      { Adversary.corruptible = (fun v -> v mod cfg.Config.n <> 0);
+        silence = [ Some Share; None ];
+        equivocate = false;
+        delay = [ None ];
+        max_delay_ms = 800;
+        stale = [];
+        replay = [ Share ];
+        deaf = [] }
+
+(* One adversary runtime per deployment, compiled into the network's
+   interposition hook.  Also carries the generic implementation of the
+   chaos equivocation action: every replica of the target cluster is
+   given a silence-of-shares rule toward the [skip] clusters — the
+   cluster-wide install means a local view change cannot silently cure
+   the fault; healing must come through Figure 7's remote view change
+   or the lib/recovery round-fetch path once the window closes. *)
+let adversary_runtime (type a m)
+    (module D : DEP with type t = a and type msg = m) (d : a)
+    (cfg : Config.t) : m Adversary.Runtime.t =
+  Adversary.Runtime.create ~view:D.adversary_view ~keychain:(D.keychain d)
+    ~now:(fun () -> Engine.now (D.engine d))
+    ~n:cfg.Config.n
+    ~install:(fun h -> D.set_interposer d h)
+
+let chaos_equiv rt (cfg : Config.t) =
   ( (fun ~cluster ~skip ->
-      set_all cluster
-        (Some (fun ~round:_ ~cluster:c -> not (List.mem c skip)))),
-    (fun ~cluster -> set_all cluster None) )
+      let rules =
+        List.init cfg.Config.n (fun i ->
+            Adversary.always
+              ~actor:((cluster * cfg.Config.n) + i)
+              (Adversary.Silence
+                 { cls = Some Interpose.Share; dst = Adversary.Clusters skip }))
+      in
+      Adversary.Runtime.set rt ~name:("chaos-equiv-" ^ string_of_int cluster)
+        rules),
+    fun ~cluster ->
+      Adversary.Runtime.clear rt ~name:("chaos-equiv-" ^ string_of_int cluster)
+  )
 
 let chaos_surface (type a) (module D : DEP with type t = a) (d : a)
     (cfg : Config.t) ~caps ~agreement ~equiv : Chaos.surface =
@@ -170,8 +260,8 @@ let chaos_surface (type a) (module D : DEP with type t = a) (d : a)
     restore_link = (fun ~src ~dst -> D.restore_link d ~src ~dst);
     set_link_loss = (fun ~src ~dst ~p -> D.set_link_loss d ~src ~dst ~p);
     set_link_dup = (fun ~src ~dst ~p -> D.set_link_dup d ~src ~dst ~p);
-    equivocate = Option.map fst equiv;
-    stop_equivocate = Option.map snd equiv;
+    equivocate = fst equiv;
+    stop_equivocate = snd equiv;
     ledger = (fun r -> D.ledger d ~replica:r);
     now = (fun () -> Engine.now (D.engine d));
     at = (fun time k -> D.at d ~time k);
@@ -207,22 +297,22 @@ type instrument = {
   inst_liveness_window_ms : float;
 }
 
-let exec ?instrument (p : proto) ~(windows : windows) ~(fault : fault) ~tracer (cfg : Config.t) :
-    Report.t =
-  let go : type a.
-      (module DEP with type t = a) ->
-      equiv:
-        (a ->
-        ((cluster:int -> skip:int list -> unit) * (cluster:int -> unit)) option) ->
-      Report.t =
-   fun (module D) ~equiv ->
+let exec ?instrument ?attack (p : proto) ~(windows : windows) ~(fault : fault) ~tracer
+    (cfg : Config.t) : Report.t =
+  let go : type a m. (module DEP with type t = a and type msg = m) -> Report.t =
+   fun (module D) ->
     (* Experiments sweep many large deployments: keep ledgers compact. *)
     let d = D.create ?tracer ~retain_payloads:false cfg in
+    let rt = adversary_runtime (module D) d cfg in
+    (match attack with
+    | None -> ()
+    | Some a -> Adversary.Runtime.set_attack rt a);
+    let equiv = chaos_equiv rt cfg in
     (match instrument with
     | None -> ()
     | Some install ->
         let caps, agreement, liveness_window_ms = chaos_profile p cfg in
-        let surface = chaos_surface (module D) d cfg ~caps ~agreement ~equiv:(equiv d) in
+        let surface = chaos_surface (module D) d cfg ~caps ~agreement ~equiv in
         install
           {
             inst_surface = surface;
@@ -233,7 +323,7 @@ let exec ?instrument (p : proto) ~(windows : windows) ~(fault : fault) ~tracer (
     match fault with
     | Chaos s ->
         let seed, surface, timeline, liveness_window_ms =
-          chaos_plan (module D) d p ~windows ~seed:s cfg ~equiv:(equiv d)
+          chaos_plan (module D) d p ~windows ~seed:s cfg ~equiv
         in
         Chaos.install surface timeline;
         let mon = Chaos.monitor ~liveness_window_ms surface timeline in
@@ -254,11 +344,11 @@ let exec ?instrument (p : proto) ~(windows : windows) ~(fault : fault) ~tracer (
         D.run ~warmup:windows.warmup ~measure:windows.measure d
   in
   match p with
-  | Geobft -> go (module GeoDep) ~equiv:(fun d -> Some (geo_equiv d cfg))
-  | Pbft -> go (module PbftDep) ~equiv:(fun _ -> None)
-  | Zyzzyva -> go (module ZyzDep) ~equiv:(fun _ -> None)
-  | Hotstuff -> go (module HsDep) ~equiv:(fun _ -> None)
-  | Steward -> go (module StwDep) ~equiv:(fun _ -> None)
+  | Geobft -> go (module GeoDep)
+  | Pbft -> go (module PbftDep)
+  | Zyzzyva -> go (module ZyzDep)
+  | Hotstuff -> go (module HsDep)
+  | Steward -> go (module StwDep)
 
 (* The scenario-first entry point.  [tracer] (an externally owned
    tracer, e.g. the CLI's keep_events one for Chrome JSON output)
@@ -271,8 +361,8 @@ let run ?tracer (s : Scenario.t) : Report.t =
     | Some _ as t -> t
     | None -> if s.Scenario.trace then Some (Rdb_trace.Trace.create ()) else None
   in
-  exec s.Scenario.proto ~windows:s.Scenario.windows ~fault:s.Scenario.fault ~tracer
-    s.Scenario.cfg
+  exec ?attack:s.Scenario.attack s.Scenario.proto ~windows:s.Scenario.windows
+    ~fault:s.Scenario.fault ~tracer s.Scenario.cfg
 
 (* The checker's entry point: like {!run}, but [install] receives the
    deployment's instrument record after construction and before the
@@ -284,8 +374,8 @@ let run_instrumented ?tracer ~install (s : Scenario.t) : Report.t =
     | Some _ as t -> t
     | None -> if s.Scenario.trace then Some (Rdb_trace.Trace.create ()) else None
   in
-  exec ~instrument:install s.Scenario.proto ~windows:s.Scenario.windows ~fault:s.Scenario.fault
-    ~tracer s.Scenario.cfg
+  exec ~instrument:install ?attack:s.Scenario.attack s.Scenario.proto
+    ~windows:s.Scenario.windows ~fault:s.Scenario.fault ~tracer s.Scenario.cfg
 
 let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?tracer
     (cfg : Config.t) : Report.t =
@@ -296,25 +386,22 @@ let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?trac
    reproducibility cheaply. *)
 let chaos_timeline (p : proto) ?(windows = default_windows) ~seed
     (cfg : Config.t) : Chaos.timeline =
-  let go : type a.
-      (module DEP with type t = a) ->
-      equiv:
-        (a ->
-        ((cluster:int -> skip:int list -> unit) * (cluster:int -> unit)) option) ->
-      Chaos.timeline =
-   fun (module D) ~equiv ->
+  let go : type a m.
+      (module DEP with type t = a and type msg = m) -> Chaos.timeline =
+   fun (module D) ->
     (* Planning happens before the first simulated event, and YCSB
        table population never touches the engine RNG, so a tiny table
        yields the identical timeline at a fraction of the setup cost. *)
     let d = D.create ~retain_payloads:false ~n_records:1000 cfg in
+    let rt = adversary_runtime (module D) d cfg in
     let _, _, timeline, _ =
-      chaos_plan (module D) d p ~windows ~seed cfg ~equiv:(equiv d)
+      chaos_plan (module D) d p ~windows ~seed cfg ~equiv:(chaos_equiv rt cfg)
     in
     timeline
   in
   match p with
-  | Geobft -> go (module GeoDep) ~equiv:(fun d -> Some (geo_equiv d cfg))
-  | Pbft -> go (module PbftDep) ~equiv:(fun _ -> None)
-  | Zyzzyva -> go (module ZyzDep) ~equiv:(fun _ -> None)
-  | Hotstuff -> go (module HsDep) ~equiv:(fun _ -> None)
-  | Steward -> go (module StwDep) ~equiv:(fun _ -> None)
+  | Geobft -> go (module GeoDep)
+  | Pbft -> go (module PbftDep)
+  | Zyzzyva -> go (module ZyzDep)
+  | Hotstuff -> go (module HsDep)
+  | Steward -> go (module StwDep)

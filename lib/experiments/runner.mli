@@ -73,6 +73,12 @@ val chaos_profile : proto -> Config.t -> Chaos.caps * Chaos.agreement_mode * flo
     agreement mode, liveness window in ms) — the faults it is
     {e required} to survive, so a violation is always a bug. *)
 
+val adversary_profile : proto -> Config.t -> Rdb_adversary.Adversary.caps
+(** The Byzantine-strategy menu each protocol is required to absorb —
+    what the attack sampler (lib/check's [attack] search) may draw.
+    Mirrors {!chaos_profile}: any violation found inside this envelope
+    is a bug, not an expected failure. *)
+
 val chaos_timeline : proto -> ?windows:windows -> seed:int -> Config.t -> Chaos.timeline
 (** The exact fault timeline a [Chaos seed] scenario would execute,
     without running it: same deployment construction, same RNG split —

@@ -19,6 +19,7 @@
 module Config = Rdb_types.Config
 module Time = Rdb_sim.Time
 module Json = Rdb_fabric.Json
+module Adversary = Rdb_adversary.Adversary
 
 type proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
 
@@ -93,10 +94,13 @@ type t = {
   trace : bool;  (* aggregate a consensus-path trace; Report.trace then
                     carries the per-phase breakdown and the
                     deterministic digest *)
+  attack : Adversary.Attack.t option;
+      (* a Byzantine strategy program (lib/adversary) installed at the
+         deployment's interposition hook; None = no adversary *)
 }
 
-let make ?(windows = default_windows) ?(fault = No_fault) ?(trace = false) proto cfg =
-  { proto; cfg; fault; windows; trace }
+let make ?(windows = default_windows) ?(fault = No_fault) ?(trace = false) ?attack proto cfg =
+  { proto; cfg; fault; windows; trace; attack }
 
 let equal (a : t) (b : t) = a = b
 
@@ -121,6 +125,9 @@ let to_string t =
     c.Config.z c.Config.n c.Config.batch_size c.Config.client_inflight c.Config.seed
     (fmt_ms t.windows.warmup) (fmt_ms t.windows.measure);
   if t.fault <> No_fault then add " fault=%s" (fault_id t.fault);
+  (match t.attack with
+  | None -> ()
+  | Some a -> add " attack=%s" (Adversary.Attack.to_id a));
   if t.trace then add " trace";
   (* Non-default knobs, fixed order so equal scenarios print equally. *)
   if c.Config.checkpoint_interval <> d.Config.checkpoint_interval then
@@ -180,6 +187,10 @@ let of_string s =
               | tok when prefixed "fault=" tok <> None ->
                   let* f = Option.bind (prefixed "fault=" tok) fault_of_id in
                   Some ({ t with fault = f }, cfg, w)
+              | tok when prefixed "attack=" tok <> None ->
+                  let* a = Option.bind (prefixed "attack=" tok) Adversary.Attack.of_id in
+                  let attack = if a = Adversary.Attack.empty then None else Some a in
+                  Some ({ t with attack }, cfg, w)
               | tok when prefixed "w" tok <> None && String.contains tok '+' -> (
                   let* body = prefixed "w" tok in
                   match String.split_on_char '+' body with
@@ -255,13 +266,15 @@ let of_string s =
             | None -> None)
       in
       let seed = { proto; cfg = Config.default; fault = No_fault; windows = default_windows;
-                   trace = false } in
+                   trace = false; attack = None } in
       let* t, cfg, windows = go (seed, Config.default, default_windows) rest in
       Some { t with cfg; windows }
 
 (* -- JSON round-trip ----------------------------------------------------- *)
 
-let schema_version = 1
+(* v2 added the optional "attack" field (absent when None); v1
+   documents without it still load. *)
+let schema_version = 2
 
 let json_of_costs (c : Config.costs) : Json.t =
   Json.Obj
@@ -297,20 +310,25 @@ let json_of_config (c : Config.t) : Json.t =
 
 let to_json t : Json.t =
   Json.Obj
-    [
-      ("schema_version", Json.Int schema_version);
-      ("id", Json.String (to_string t));
-      ("proto", Json.String (String.lowercase_ascii (proto_name t.proto)));
-      ("fault", Json.String (fault_id t.fault));
-      ( "windows",
-        Json.Obj
-          [
-            ("warmup_ms", Json.Float (Time.to_ms_f t.windows.warmup));
-            ("measure_ms", Json.Float (Time.to_ms_f t.windows.measure));
-          ] );
-      ("trace", Json.Bool t.trace);
-      ("config", json_of_config t.cfg);
-    ]
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("id", Json.String (to_string t));
+       ("proto", Json.String (String.lowercase_ascii (proto_name t.proto)));
+       ("fault", Json.String (fault_id t.fault));
+     ]
+    @ (match t.attack with
+      | None -> []
+      | Some a -> [ ("attack", Adversary.Attack.to_json a) ])
+    @ [
+        ( "windows",
+          Json.Obj
+            [
+              ("warmup_ms", Json.Float (Time.to_ms_f t.windows.warmup));
+              ("measure_ms", Json.Float (Time.to_ms_f t.windows.measure));
+            ] );
+        ("trace", Json.Bool t.trace);
+        ("config", json_of_config t.cfg);
+      ])
 
 let to_json_string t = Json.to_string_compact (to_json t)
 
@@ -404,6 +422,14 @@ let of_json j : (t, string) result =
     let* warmup_ms = field "warmup_ms" Json.to_float wj in
     let* measure_ms = field "measure_ms" Json.to_float wj in
     let* trace = field "trace" Json.to_bool j in
+    let* attack =
+      match Json.member "attack" j with
+      | None -> Ok None
+      | Some aj -> (
+          match Adversary.Attack.of_json aj with
+          | Ok a -> Ok (if a = Adversary.Attack.empty then None else Some a)
+          | Error msg -> Error ("Scenario.of_json: " ^ msg))
+    in
     let* cfg =
       match Json.member "config" j with
       | Some cj -> config_of_json cj
@@ -416,6 +442,7 @@ let of_json j : (t, string) result =
         fault;
         windows = { warmup = Time.of_ms_f warmup_ms; measure = Time.of_ms_f measure_ms };
         trace;
+        attack;
       }
 
 let of_json_string s =

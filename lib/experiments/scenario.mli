@@ -10,6 +10,7 @@
 module Config = Rdb_types.Config
 module Time = Rdb_sim.Time
 module Json = Rdb_fabric.Json
+module Adversary = Rdb_adversary.Adversary
 
 type proto = Geobft | Pbft | Zyzzyva | Hotstuff | Steward
 
@@ -55,10 +56,23 @@ type t = {
       (** aggregate a consensus-path trace during the run; the report
           then carries the per-phase breakdown and the deterministic
           digest (the sweep engine's determinism witness) *)
+  attack : Adversary.Attack.t option;
+      (** a Byzantine strategy program (lib/adversary) installed at the
+          deployment's send/receive interposition hook; [None] runs
+          with the hook disabled (zero overhead).  Spelled
+          [attack=<id>] in the scenario id and carried as the versioned
+          ["attack"] object in JSON (absent when [None]). *)
 }
 
-val make : ?windows:windows -> ?fault:fault -> ?trace:bool -> proto -> Config.t -> t
-(** Defaults: {!default_windows}, [No_fault], no tracing. *)
+val make :
+  ?windows:windows ->
+  ?fault:fault ->
+  ?trace:bool ->
+  ?attack:Adversary.Attack.t ->
+  proto ->
+  Config.t ->
+  t
+(** Defaults: {!default_windows}, [No_fault], no tracing, no attack. *)
 
 val equal : t -> t -> bool
 

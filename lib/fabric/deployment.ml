@@ -39,6 +39,7 @@ module Workload = Rdb_ycsb.Workload
 type 'm packet = { payload : 'm; vcost : Time.t }
 
 module Make (P : Protocol.S) = struct
+  type msg = P.msg
   type node_kind = Replica of P.replica | Client of P.client
 
   type client_driver = {
@@ -81,6 +82,27 @@ module Make (P : Protocol.S) = struct
   let table t ~replica = t.tables.(replica)
   let keychain t = t.keychain
   let set_delivery_hook t h = Network.set_delivery_hook t.net h
+
+  (* Adversarial interposition: adapt the protocol-payload hooks of
+     lib/adversary to the packet-level hooks of the network.  Forged or
+     delayed emissions keep the original packet's size and vcost — the
+     adversary rewrites content and timing, not link economics. *)
+  let adversary_view : P.msg Rdb_types.Interpose.view = P.adversary
+
+  let set_interposer t (ip : P.msg Rdb_types.Interpose.t option) =
+    match ip with
+    | None -> Network.set_interposer t.net None
+    | Some ip ->
+        let on_send ~src ~dst (pkt : P.msg packet) =
+          List.map
+            (fun (e : P.msg Rdb_types.Interpose.emission) ->
+              ({ pkt with payload = e.emit }, e.after))
+            (ip.obtrude ~src ~dst pkt.payload)
+        in
+        let on_recv ~src ~dst (pkt : P.msg packet) =
+          ip.admit ~src ~dst pkt.payload
+        in
+        Network.set_interposer t.net (Some { Network.on_send; on_recv })
 
   let replica t i =
     match t.nodes.(i) with Replica r -> r | Client _ -> invalid_arg "Deployment.replica"

@@ -79,10 +79,6 @@ type replica = {
   mutable last_local_vc : Time.t;                (* for the "recent vc" guard *)
   mutable shares_sent : int;                     (* metrics *)
   mutable remote_vcs_triggered : int;
-  (* Chaos hook: when set, the global-sharing step only sends round ρ
-     to remote cluster c if the filter allows it — a Byzantine primary
-     equivocating by omission (Example 2.4 case 1). *)
-  mutable share_filter : (round:int -> cluster:int -> bool) option;
   (* Crash-rejoin catch-up (lib/recovery): ledger appends issued /
      completed, and the state-transfer task pulling the missing ledger
      suffix from local peers. *)
@@ -364,11 +360,8 @@ and share_round r ~round (batch : Batch.t) (cert : Certificate.t) =
          (Time.of_us_f (cfg.Config.costs.Config.mac_us *. float_of_int n_macs)))
     (fun () ->
       r.ctx.Ctx.phase ~key:round ~name:"certify-share";
-      let shares_with c =
-        match r.share_filter with None -> true | Some keep -> keep ~round ~cluster:c
-      in
       for c = 0 to cfg.Config.z - 1 do
-        if c <> r.my_cluster && shares_with c then
+        if c <> r.my_cluster then
           for i = 0 to fanout - 1 do
             let idx = (round + i) mod cfg.Config.n in
             let dst = Config.replica_id cfg ~cluster:c ~index:idx in
@@ -586,7 +579,6 @@ let create_replica (ctx : msg Ctx.t) =
       last_local_vc = Time.sub Time.zero (Time.sec 3600);
       shares_sent = 0;
       remote_vcs_triggered = 0;
-      share_filter = None;
       issued = 0;
       appended = 0;
       recovering = false;
@@ -629,7 +621,41 @@ let create_replica (ctx : msg Ctx.t) =
 let engine r = r.engine
 let exec_round r = r.exec_round
 let remote_vcs_triggered r = r.remote_vcs_triggered
-let set_share_filter r filter = r.share_filter <- filter
+
+(* -- adversarial view (lib/adversary) -------------------------------------- *)
+
+(* [Share] covers the certified inter-cluster traffic of Figure 5 —
+   silencing it from a corrupt primary is equivocation-by-omission
+   (Example 2.4 case 1), which the remote view-change machinery must
+   repair.  Equivocation with conflicting *content* is modelled on the
+   local pre-prepare (a signed no-op in the same slot); forging a
+   conflicting [Global_share] is not modelled because its certificate
+   binds the batch digest, so receivers reject any tampering. *)
+let adversary : msg Rdb_types.Interpose.view =
+  let open Rdb_types.Interpose in
+  let classify = function
+    | Messages.Local em -> (
+        match em with
+        | Rdb_pbft.Messages.Preprepare _ -> Proposal
+        | Rdb_pbft.Messages.Prepare _ | Rdb_pbft.Messages.Commit _ -> Vote
+        | Rdb_pbft.Messages.Checkpoint _ -> Sync
+        | Rdb_pbft.Messages.ViewChange _ | Rdb_pbft.Messages.NewView _ -> View_change
+        | Rdb_pbft.Messages.Forward _ -> Client)
+    | Messages.Request _ | Messages.Reply _ -> Client
+    | Messages.Global_share _ -> Share
+    | Messages.Drvc _ | Messages.Rvc _ -> View_change
+    | Messages.Fetch_rounds _ | Messages.Round_data _ -> Sync
+  in
+  let conflict ~keychain ~nonce = function
+    | Messages.Local (Rdb_pbft.Messages.Preprepare { view; seq; batch }) ->
+        let forged =
+          Batch.noop ~keychain ~cluster:batch.Batch.cluster ~origin:batch.Batch.origin
+            ~created:batch.Batch.created ~nonce
+        in
+        Some (Messages.Local (Rdb_pbft.Messages.Preprepare { view; seq; batch = forged }))
+    | _ -> None
+  in
+  { classify; conflict }
 
 (* -- dispatch ----------------------------------------------------------------- *)
 

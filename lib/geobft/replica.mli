@@ -49,13 +49,11 @@ val remote_vcs_triggered : replica -> int
 (** Remote view-change requests this replica honored as a member of
     the suspected cluster (Figure 7, line 16-17). *)
 
-val set_share_filter : replica -> (round:int -> cluster:int -> bool) option -> unit
-(** Chaos/fault-injection hook: when a filter is installed, the
-    global-sharing step (Figure 5, line 1) only sends round ρ to
-    remote cluster [c] if [keep ~round ~cluster:c] — a Byzantine
-    primary equivocating by omission (Example 2.4 case 1), which the
-    remote view-change protocol must repair.  [None] restores honest
-    sharing. *)
+val adversary : msg Rdb_types.Interpose.view
+(** Adversarial message classification ([Share] = the certified
+    inter-cluster traffic of Figure 5, so silencing it models
+    equivocation-by-omission, Example 2.4 case 1); content
+    equivocation forges a conflicting local pre-prepare. *)
 
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit

@@ -448,3 +448,23 @@ let on_client_message (c : client) ~src (m : msg) =
   match m with
   | Reply { batch_id; result_digest } -> Client_core.on_reply c.core ~src ~batch_id ~result_digest
   | _ -> ()
+
+(* -- adversarial view (lib/adversary) -------------------------------------- *)
+
+(* [Share] covers the leader's phase certificates (QCs).  Content
+   equivocation is not modelled: every replica leads its own parallel
+   instance, so a two-faced leader maps to instance-local speculation
+   that the executed-set monitor attributes with slack rather than as
+   a safety decision — the sound primitives here are delay and
+   replay. *)
+let adversary : msg Rdb_types.Interpose.view =
+  let open Rdb_types.Interpose in
+  let classify = function
+    | Request _ | Reply _ -> Client
+    | Propose _ -> Proposal
+    | Vote _ -> Vote
+    | Qc _ -> Share
+    | Fetch _ | Filled _ -> Sync
+  in
+  let conflict ~keychain:_ ~nonce:_ _ = None in
+  { classify; conflict }

@@ -51,3 +51,8 @@ val disable_recovery : replica -> unit
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit
 val on_client_message : client -> src:int -> msg -> unit
+
+val adversary : msg Rdb_types.Interpose.view
+(** Adversarial message classification ([Share] = the leader's phase
+    certificates); content equivocation is not modelled, so
+    [conflict] is always [None]. *)

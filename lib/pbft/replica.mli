@@ -44,6 +44,10 @@ val disable_recovery : replica -> unit
 val engine : replica -> Engine.t
 (** The underlying Pbft engine (tests and Byzantine hooks). *)
 
+val adversary : msg Rdb_types.Interpose.view
+(** Adversarial message classification; equivocation forges a
+    conflicting pre-prepare (signed no-op in the same slot). *)
+
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit
 val on_client_message : client -> src:int -> msg -> unit

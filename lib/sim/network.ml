@@ -41,6 +41,18 @@ type delivery_hook =
   last:Time.t option ->
   Time.t
 
+(* Adversarial interposition (lib/adversary): [on_send] rewrites one
+   outgoing message into the emissions a corrupted sender actually
+   produces (payload, extra sender-side delay) — [] is targeted
+   silence, tampered payloads are equivocation, extra elements are
+   replays; [on_recv] lets a corrupted receiver pretend not to have
+   heard a peer.  Both sit outside the bandwidth/latency model: an
+   emission re-enters [send] as if the sender had behaved that way. *)
+type 'm interposer = {
+  on_send : src:int -> dst:int -> 'm -> ('m * Time.t) list;
+  on_recv : src:int -> dst:int -> 'm -> bool;
+}
+
 type 'm t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -72,6 +84,9 @@ type 'm t = {
   mutable dhook : delivery_hook option;
   mutable dhook_sends : int;
   dhook_last : (int * int, Time.t) Hashtbl.t;
+  (* Adversarial interposition hooks; [None] costs one match per send
+     and one per delivery. *)
+  mutable interpose : 'm interposer option;
 }
 
 let create ?(wan_egress_mbps = 0.) ?trace ~engine ~topo ~jitter_ms ~deliver () =
@@ -94,10 +109,13 @@ let create ?(wan_egress_mbps = 0.) ?trace ~engine ~topo ~jitter_ms ~deliver () =
     dhook = None;
     dhook_sends = 0;
     dhook_last = Hashtbl.create 64;
+    interpose = None;
   }
 
 let stats t = t.stats
 let topology t = t.topo
+
+let set_interposer t ip = t.interpose <- ip
 
 let set_delivery_hook t h =
   t.dhook <- h;
@@ -166,9 +184,10 @@ let trace_drop t ~src ~dst ~size ~reason =
   | None -> ()
   | Some tr -> Rdb_trace.Trace.net_drop tr ~src ~dst ~size ~at:(Engine.now t.engine) ~reason
 
-let send t ~src ~dst ~size msg =
-  if t.crashed.(src) then ()
-  else if List.exists (fun (_, rule) -> rule ~src ~dst) t.drop_rules then begin
+(* The post-interposition send path: everything the wire does to a
+   message the (possibly corrupted) sender actually emitted. *)
+let send_admitted t ~src ~dst ~size msg =
+  if List.exists (fun (_, rule) -> rule ~src ~dst) t.drop_rules then begin
     Stats.count_dropped t.stats ~size;
     trace_drop t ~src ~dst ~size ~reason:"rule"
   end
@@ -231,12 +250,18 @@ let send t ~src ~dst ~size msg =
     in
     let deliver_traced () =
       if t.crashed.(dst) then trace_drop t ~src ~dst ~size ~reason:"dst-crashed"
-      else begin
-        (match t.trace with
-        | None -> ()
-        | Some tr -> Rdb_trace.Trace.net_deliver tr ~src ~dst ~size ~at:(Engine.now t.engine));
-        t.deliver ~src ~dst msg
-      end
+      else
+        match t.interpose with
+        | Some ip when not (ip.on_recv ~src ~dst msg) ->
+            (* A corrupted receiver ignoring this peer: judged at
+               delivery time, so receive-side rules are windowed by
+               arrival like every other fault. *)
+            trace_drop t ~src ~dst ~size ~reason:"adversary-deaf"
+        | _ ->
+            (match t.trace with
+            | None -> ()
+            | Some tr -> Rdb_trace.Trace.net_deliver tr ~src ~dst ~size ~at:(Engine.now t.engine));
+            t.deliver ~src ~dst msg
     in
     ignore (Engine.schedule_at t.engine ~at:arrive deliver_traced);
     (* Duplication: deliver a second copy shortly after the first (a
@@ -247,5 +272,32 @@ let send t ~src ~dst ~size msg =
         ignore (Engine.schedule_at t.engine ~at:again deliver_traced)
     | _ -> ())
   end
+
+let send t ~src ~dst ~size msg =
+  if t.crashed.(src) then ()
+  else
+    match t.interpose with
+    | None -> send_admitted t ~src ~dst ~size msg
+    | Some ip -> (
+        match ip.on_send ~src ~dst msg with
+        | [] ->
+            (* Targeted silence: the message never touches the wire
+               (no bandwidth charged), but the drop is visible to the
+               tracer and the stats like any other discard. *)
+            Stats.count_dropped t.stats ~size;
+            trace_drop t ~src ~dst ~size ~reason:"adversary"
+        | emissions ->
+            let now = Engine.now t.engine in
+            List.iter
+              (fun (m, after) ->
+                if Time.(after <= Time.zero) then send_admitted t ~src ~dst ~size m
+                else
+                  (* Delayed / slow-drip sending: the emission enters
+                     the normal wire model when the hold expires (and
+                     not at all if the sender crashed meanwhile). *)
+                  ignore
+                    (Engine.schedule_at t.engine ~at:(Time.add now after) (fun () ->
+                         if not t.crashed.(src) then send_admitted t ~src ~dst ~size m)))
+              emissions)
 
 let multicast t ~src ~dsts ~size msg = List.iter (fun dst -> send t ~src ~dst ~size msg) dsts

@@ -88,6 +88,24 @@ val set_link_dup : 'm t -> src:int -> dst:int -> p:float -> unit
 val clear_link_rules : 'm t -> unit
 (** Drop every per-link loss/duplication rate. *)
 
+type 'm interposer = {
+  on_send : src:int -> dst:int -> 'm -> ('m * Time.t) list;
+      (** Rewrites one outgoing message into the emissions the
+          corrupted sender actually produces, each with an extra
+          sender-side delay: [[]] silences, a tampered payload
+          equivocates, extra elements replay.  Emissions re-enter the
+          normal wire model (bandwidth, latency, drop rules) when
+          their hold expires. *)
+  on_recv : src:int -> dst:int -> 'm -> bool;
+      (** [false] = the corrupted receiver ignores this peer; judged
+          at delivery time. *)
+}
+(** Adversarial interposition (lib/adversary).  Installed only while a
+    Byzantine strategy is active; [None] costs one match per send and
+    one per delivery. *)
+
+val set_interposer : 'm t -> 'm interposer option -> unit
+
 val set_delivery_hook : 'm t -> delivery_hook option -> unit
 (** Install (or remove, with [None]) the exploration hook; resets the
     send counter and the per-link last-arrival table.  Off in every

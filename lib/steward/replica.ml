@@ -546,3 +546,23 @@ let on_client_message (c : client) ~src (m : msg) =
   match m with
   | Reply { batch_id; result_digest } -> Client_core.on_reply c.core ~src ~batch_id ~result_digest
   | _ -> ()
+
+(* -- adversarial view (lib/adversary) -------------------------------------- *)
+
+(* [Share] covers the threshold-signature traffic (partial signatures
+   and the local distribution of globally ordered batches).  Content
+   equivocation is not modelled: Steward's threshold certificates bind
+   the batch digest, so any forged payload is rejected at
+   verification — withholding and delaying shares is the attack
+   surface. *)
+let adversary : msg Rdb_types.Interpose.view =
+  let open Rdb_types.Interpose in
+  let classify = function
+    | Request _ | Site_forward _ | Reply _ -> Client
+    | Certify_req _ | Global_proposal _ -> Proposal
+    | Partial_sig _ | Local_bcast _ -> Share
+    | Global_accept _ | Local_commit _ -> Vote
+    | Fetch_globals _ | Globals_data _ -> Sync
+  in
+  let conflict ~keychain:_ ~nonce:_ _ = None in
+  { classify; conflict }

@@ -48,3 +48,8 @@ val recovery : replica -> Rdb_types.Protocol.recovery_stats
 val create_client : msg Ctx.t -> cluster:int -> client
 val submit : client -> Batch.t -> unit
 val on_client_message : client -> src:int -> msg -> unit
+
+val adversary : msg Rdb_types.Interpose.view
+(** Adversarial message classification ([Share] = threshold-signature
+    traffic); certificates bind batch digests, so [conflict] is
+    always [None]. *)

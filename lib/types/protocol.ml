@@ -39,6 +39,11 @@ module type S = sig
   type replica
   type client
 
+  (* The adversarial view of the wire format: a coarse message
+     classification plus (where sound) a conflicting-payload forgery,
+     consumed by the Byzantine-strategy subsystem (lib/adversary). *)
+  val adversary : msg Interpose.view
+
   val create_replica : msg Ctx.t -> replica
   val on_message : replica -> src:int -> msg -> unit
 

@@ -339,3 +339,23 @@ let on_client_message (c : client) ~src (m : msg) =
 
 let fast_completions c = c.fast_completions
 let slow_completions c = c.slow_completions
+
+(* -- adversarial view (lib/adversary) -------------------------------------- *)
+
+(* Content equivocation is deliberately not modelled: Zyzzyva's
+   speculative histories legally diverge until the client-driven
+   commit-certificate path reconciles them, so a conflicting order-req
+   would trip the ledger-agreement monitor without exposing any
+   protocol decision — delay and replay are the sound primitives here
+   (they reorder speculative execution, which the history hashes must
+   absorb). *)
+let adversary : msg Rdb_types.Interpose.view =
+  let open Rdb_types.Interpose in
+  let classify = function
+    | Request _ | Spec_reply _ -> Client
+    | Order_req _ -> Proposal
+    | Commit_cert _ -> Sync
+    | Local_commit _ -> Vote
+  in
+  let conflict ~keychain:_ ~nonce:_ _ = None in
+  { classify; conflict }

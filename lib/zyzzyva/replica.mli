@@ -48,3 +48,8 @@ val fast_completions : client -> int
 
 val slow_completions : client -> int
 (** Batches completed through the commit-certificate path. *)
+
+val adversary : msg Rdb_types.Interpose.view
+(** Adversarial message classification; content equivocation is not
+    modelled (speculative histories legally diverge), so [conflict]
+    is always [None]. *)

@@ -102,8 +102,8 @@ let pbft_surface (d : PbftDep.t) (cfg : Config.t) : Chaos.surface =
     restore_link = (fun ~src ~dst -> PbftDep.restore_link d ~src ~dst);
     set_link_loss = (fun ~src ~dst ~p -> PbftDep.set_link_loss d ~src ~dst ~p);
     set_link_dup = (fun ~src ~dst ~p -> PbftDep.set_link_dup d ~src ~dst ~p);
-    equivocate = None;
-    stop_equivocate = None;
+    equivocate = (fun ~cluster:_ ~skip:_ -> ());
+    stop_equivocate = (fun ~cluster:_ -> ());
     ledger = (fun r -> PbftDep.ledger d ~replica:r);
     now = (fun () -> Rdb_sim.Engine.now (PbftDep.engine d));
     at = (fun time k -> PbftDep.at d ~time k);

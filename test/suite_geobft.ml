@@ -275,9 +275,36 @@ let test_fanout_one_with_crashed_receiver_recovers () =
   let ledgers = Array.of_list (List.map (fun i -> Dep.ledger d ~replica:i) live) in
   Itest.check_ledger_prefixes ~min_len:2 ~ledgers ()
 
+let test_on_behind_arms_catchup () =
+  (* Same behind-the-window hand-off as Pbft, through GeoBFT's embedded
+     local engine: a local Commit past next_emit + 4*window arms the
+     crash-rejoin fetch path (the only retransmitter of dropped
+     local-phase traffic) exactly once. *)
+  let cfg = Itest.small_cfg ~z:2 ~n:4 () in
+  let d = Dep.create ~n_records:Itest.records cfg in
+  let r = Dep.replica d 1 in
+  let window = cfg.Config.pipeline_depth in
+  let stats () = (Geo.recovery r).Rdb_types.Protocol.retransmissions in
+  let commit seq =
+    (* src 2 is a same-cluster peer of replica 1 (cluster 0, n = 4). *)
+    Geo.on_message r ~src:2
+      (Messages.Local
+         (Rdb_pbft.Messages.Commit
+            { view = 0; seq; digest = ""; signature = { Rdb_crypto.Schnorr.e = 0L; s = 0L } }))
+  in
+  Alcotest.(check int) "fresh replica has no retransmissions" 0 (stats ());
+  commit ((4 * window) - 1);
+  Alcotest.(check int) "in-window commit does not arm catch-up" 0 (stats ());
+  commit (4 * window);
+  Alcotest.(check bool) "behind-window commit arms catch-up" true (stats () > 0);
+  let armed = stats () in
+  commit ((4 * window) + 7);
+  Alcotest.(check int) "already recovering: no duplicate arm" armed (stats ())
+
 let suite =
   suite
   @ [
       ("threshold certificates (§2.2 optional)", `Quick, test_threshold_certificates_mode);
       ("fan-out 1 + crashed receiver recovers", `Slow, test_fanout_one_with_crashed_receiver_recovers);
+      ("behind-window commit arms catch-up", `Quick, test_on_behind_arms_catchup);
     ]

@@ -240,10 +240,39 @@ let test_forwarded_request_reaches_primary () =
   Rdb_sim.Engine.run_until (Dep.engine d) ~until:(Time.ms 500);
   Alcotest.(check int) "committed via forwarding" 1 (Engine.next_emit backup)
 
+let test_on_behind_arms_state_transfer () =
+  (* A Commit beyond next_emit + 4*window cannot be buffered (the slot
+     table never opens that far ahead) and nobody retransmits the
+     normal-path traffic the window dropped — the engine must hand the
+     gap to the state-transfer layer instead of silently eating it. *)
+  let cfg = Itest.small_cfg ~z:1 ~n:4 () in
+  let d = Dep.create ~n_records:Itest.records cfg in
+  let r = Dep.replica d 1 in
+  let window = cfg.Config.pipeline_depth in
+  let stats () = (Rdb_pbft.Replica.recovery r).Rdb_types.Protocol.retransmissions in
+  let commit seq =
+    Rdb_pbft.Replica.on_message r ~src:2
+      (Rdb_pbft.Replica.Engine_msg
+         (Messages.Commit
+            { view = 0; seq; digest = ""; signature = { Rdb_crypto.Schnorr.e = 0L; s = 0L } }))
+  in
+  Alcotest.(check int) "fresh replica has no retransmissions" 0 (stats ());
+  (* Just inside the acceptance window: buffered normally, no catch-up. *)
+  commit ((4 * window) - 1);
+  Alcotest.(check int) "in-window commit does not arm catch-up" 0 (stats ());
+  (* First sequence past the window: catch-up fetch fires synchronously. *)
+  commit (4 * window);
+  Alcotest.(check bool) "behind-window commit arms state transfer" true (stats () > 0);
+  (* Re-arming while already recovering must not double-count. *)
+  let armed = stats () in
+  commit ((4 * window) + 7);
+  Alcotest.(check int) "already recovering: no duplicate arm" armed (stats ())
+
 let suite =
   suite
   @ [
       ("window backpressure", `Quick, test_window_backpressure);
       ("engine no-op proposal", `Quick, test_engine_noop_proposal);
       ("forwarded request commits", `Quick, test_forwarded_request_reaches_primary);
+      ("behind-window commit arms state transfer", `Quick, test_on_behind_arms_state_transfer);
     ]

@@ -29,4 +29,5 @@ let () =
       ("byzantine", Suite_byzantine.suite);
       ("chaos", Suite_chaos.suite);
       ("check", Suite_check.suite);
+      ("adversary", Suite_adversary.suite);
     ]
