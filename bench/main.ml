@@ -136,12 +136,30 @@ let run_smoke () =
    bench/baseline.json, checked by --check (the CI regression gate).
    Since schema 2 the runs are keyed by Scenario.to_string ids, so the
    gate re-derives its matrix from the baseline file itself. *)
+(* Per-metric tolerance bands (schema 3).  Simulated throughput moves
+   more than latency when event interleavings shift, so the two
+   metrics get independent bands; schema-2 files (one shared
+   [tolerance_pct]) are still accepted. *)
+let default_thr_tolerance = 10.0
+let default_lat_tolerance = 10.0
+
+type tolerances = { tol_thr : float; tol_lat : float }
+
+let tolerance_of t = function
+  | "throughput_txn_s" -> t.tol_thr
+  | _ -> t.tol_lat
+
 let write_baseline path runs =
   let doc =
     Json.Obj
       [
-        ("schema", Json.Int 2);
-        ("tolerance_pct", Json.Float 10.0);
+        ("schema", Json.Int 3);
+        ( "tolerances",
+          Json.Obj
+            [
+              ("throughput_txn_s", Json.Float default_thr_tolerance);
+              ("avg_latency_ms", Json.Float default_lat_tolerance);
+            ] );
         ( "runs",
           Json.List
             (List.map
@@ -171,17 +189,31 @@ let parse_baseline path =
   | Error msg -> fail "cannot parse %s: %s" path msg
   | Ok doc ->
       (match Option.bind (Json.member "schema" doc) Json.to_int with
-      | Some 2 -> ()
+      | Some (2 | 3) -> ()
       | Some v ->
           fail
-            "%s has schema %d, expected 2 (re-baseline with: dune exec bench/main.exe -- \
+            "%s has schema %d, expected 2 or 3 (re-baseline with: dune exec bench/main.exe -- \
              --write-baseline %s)"
             path v path
       | None -> fail "%s carries no schema field" path);
-      let tolerance =
+      let shared =
         match Option.bind (Json.member "tolerance_pct" doc) Json.to_float with
         | Some t -> t
-        | None -> 10.
+        | None -> default_thr_tolerance
+      in
+      let per_metric name fallback =
+        match
+          Option.bind (Json.member "tolerances" doc) (fun t ->
+              Option.bind (Json.member name t) Json.to_float)
+        with
+        | Some t -> t
+        | None -> fallback
+      in
+      let tolerances =
+        {
+          tol_thr = per_metric "throughput_txn_s" shared;
+          tol_lat = per_metric "avg_latency_ms" shared;
+        }
       in
       let runs =
         match Option.bind (Json.member "runs" doc) Json.to_list with
@@ -198,7 +230,7 @@ let parse_baseline path =
             | None -> fail "unparseable scenario id %S" id)
         | _ -> fail "ill-formed baseline run entry"
       in
-      (tolerance, List.map parse_run runs)
+      (tolerances, List.map parse_run runs)
 
 (* The CI regression gate: rerun every baseline scenario (through the
    sweep engine), compare per-scenario throughput and average latency
@@ -210,13 +242,25 @@ let parse_baseline path =
    reported as IMPROVED — not a failure, but a nudge to refresh the
    baseline so the band stays centred on reality.  Re-baseline with:
      dune exec bench/main.exe -- --write-baseline bench/baseline.json *)
-let run_check path =
-  let tolerance, baseline = parse_baseline path in
+(* Median of an odd (or even) number of repetitions: sort and take the
+   middle, averaging the two central values for even counts. *)
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let run_check ?(reps = 3) path =
+  let tolerances, baseline = parse_baseline path in
   if baseline = [] then begin
     say "bench --check: no runs found in %s\n" path;
     exit 2
   end;
-  say "== bench regression check against %s (tolerance %.0f%%) ==\n%!" path tolerance;
+  say
+    "== bench regression check against %s (median of %d, tolerance thr %.0f%% / lat %.0f%%) ==\n%!"
+    path reps tolerances.tol_thr tolerances.tol_lat;
   let covered = List.map (fun b -> Scenario.to_string b.b_scenario) baseline in
   let missing =
     List.filter
@@ -226,9 +270,44 @@ let run_check path =
   List.iter
     (fun s -> say "  MISSING  %s has no baseline entry\n%!" (Scenario.to_string s))
     missing;
-  let fresh = sweep (List.map (fun b -> b.b_scenario) baseline) in
+  (* Each repetition reruns the full baseline matrix with tracing on:
+     the simulator is deterministic, so the median mainly de-flakes
+     environmental effects (CI machine contention skewing any run that
+     touches wall-clock), and the trace digests come along for free as
+     a cross-PR artifact.  Tracing is observational — it never perturbs
+     the simulated schedule — so the traced rerun reproduces the
+     baseline numbers exactly. *)
+  let traced = List.map (fun b -> { b.b_scenario with Scenario.trace = true }) baseline in
+  let rep_runs =
+    List.init reps (fun i ->
+        let t0 = Unix.gettimeofday () in
+        let runs = sweep traced in
+        say "  [rep %d/%d done in %.1fs]\n%!" (i + 1) reps (Unix.gettimeofday () -. t0);
+        record (Printf.sprintf "check-rep-%d" (i + 1)) (Unix.gettimeofday () -. t0)
+          (List.map (fun ((s : Scenario.t), r) -> (Scenario.to_string s, r)) runs);
+        runs)
+  in
+  (* Trace digests, one line per scenario (deterministic: any rep, any
+     -j, same digest) — uploaded as a CI artifact next to
+     BENCH_results.json so digests are diffable across PRs. *)
+  (match rep_runs with
+  | first :: _ ->
+      let oc = open_out "BENCH_digests.txt" in
+      List.iter
+        (fun ((s : Scenario.t), (r : Report.t)) ->
+          let digest =
+            match r.Report.trace with
+            | Some tr -> tr.Rdb_trace.Trace.digest_hex
+            | None -> "-"
+          in
+          Printf.fprintf oc "%s %s\n" digest (Scenario.to_string s))
+        first;
+      close_out oc;
+      say "wrote BENCH_digests.txt (%d scenarios)\n%!" (List.length first)
+  | [] -> ());
   let failures = ref 0 and improved = ref 0 in
   let check id metric ~base ~got =
+    let tolerance = tolerance_of tolerances metric in
     let drift = (got -. base) /. base *. 100. in
     (* Higher throughput / lower latency than baseline is never a
        regression; only flag drift in the bad direction.  Drift beyond
@@ -244,21 +323,23 @@ let run_check path =
     if bad then incr failures;
     if good then incr improved
   in
-  List.iter2
-    (fun b ((s : Scenario.t), (r : Report.t)) ->
-      let id = Scenario.to_string s in
-      assert (Scenario.equal b.b_scenario s);
-      check id "throughput_txn_s" ~base:b.b_thr ~got:r.Report.throughput_txn_s;
-      check id "avg_latency_ms" ~base:b.b_lat ~got:r.Report.avg_latency_ms)
-    baseline fresh;
+  List.iteri
+    (fun i b ->
+      let id = Scenario.to_string b.b_scenario in
+      let nth_metric f = median (List.map (fun runs -> f (snd (List.nth runs i))) rep_runs) in
+      check id "throughput_txn_s" ~base:b.b_thr
+        ~got:(nth_metric (fun (r : Report.t) -> r.Report.throughput_txn_s));
+      check id "avg_latency_ms" ~base:b.b_lat
+        ~got:(nth_metric (fun (r : Report.t) -> r.Report.avg_latency_ms)))
+    baseline;
+  write_results ~windows:smoke_windows ();
   if !improved > 0 then
     say
-      "bench --check: %d metric(s) improved beyond the %.0f%% band; consider refreshing the \
+      "bench --check: %d metric(s) improved beyond the band; consider refreshing the \
        baseline (dune exec bench/main.exe -- --write-baseline %s)\n"
-      !improved tolerance path;
+      !improved path;
   if !failures > 0 || missing <> [] then begin
-    if !failures > 0 then
-      say "bench --check: %d metric(s) regressed beyond %.0f%%\n" !failures tolerance;
+    if !failures > 0 then say "bench --check: %d metric(s) regressed beyond tolerance\n" !failures;
     if missing <> [] then
       say
         "bench --check: %d run-matrix scenario(s) missing from %s (re-baseline with: dune exec \
@@ -266,8 +347,8 @@ let run_check path =
         (List.length missing) path path;
     exit 1
   end;
-  say "bench --check: all %d scenarios within %.0f%% of baseline\n" (List.length baseline)
-    tolerance
+  say "bench --check: all %d scenarios within tolerance of baseline (median of %d)\n"
+    (List.length baseline) reps
 
 (* -- Bechamel micro-benchmarks ----------------------------------------------- *)
 
@@ -459,14 +540,25 @@ let () =
           exit 2)
   | None, _ -> ());
   let _, args = take_flag "-j" args in
+  let reps_flag, args = take_flag "--reps" args in
+  let reps =
+    match reps_flag with
+    | None -> 3
+    | Some r -> (
+        match int_of_string_opt r with
+        | Some r when r >= 1 -> r
+        | _ ->
+            say "--reps expects a positive integer\n";
+            exit 2)
+  in
   let check_path, args = take_flag "--check" args in
   let baseline_path, args = take_flag "--write-baseline" args in
   (match (check_path, baseline_path) with
   | Some path, _ ->
-      (* CI regression gate: compare a fresh run of the baseline's
-         scenarios against the committed values, exit non-zero on
-         regression. *)
-      run_check path;
+      (* CI regression gate: compare the median of [reps] fresh runs of
+         the baseline's scenarios against the committed values, exit
+         non-zero on regression. *)
+      run_check ~reps path;
       exit 0
   | None, Some path ->
       write_baseline path (smoke_runs ());

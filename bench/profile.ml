@@ -1,0 +1,71 @@
+(* Poor-man's sampling profiler for the simulator: runs one scenario
+   under an ITIMER_PROF at ~1 kHz, records the top OCaml frames at each
+   tick and prints a flat profile.  No external tooling needed — the
+   container this grows in has neither perf nor a -p toolchain.
+
+   Usage: dune exec bench/profile.exe -- [geobft|pbft|...] [measure_ms] *)
+
+module Runner = Rdb_experiments.Runner
+module Scenario = Rdb_experiments.Scenario
+module Config = Rdb_types.Config
+
+let samples : (string, int) Hashtbl.t = Hashtbl.create 1024
+let total = ref 0
+
+let record () =
+  incr total;
+  let bt = Printexc.get_callstack 14 in
+  let slots = Printexc.backtrace_slots bt in
+  match slots with
+  | None -> ()
+  | Some slots ->
+      (* Skip the handler frames; record each distinct location once per
+         sample so callers and callees both accumulate. *)
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun slot ->
+          match Printexc.Slot.location slot with
+          | None -> ()
+          | Some loc ->
+              let key = Printf.sprintf "%s:%d" loc.Printexc.filename loc.Printexc.line_number in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                Hashtbl.replace samples key
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt samples key))
+              end)
+        slots
+
+let () =
+  let proto =
+    if Array.length Sys.argv > 1 then
+      match Runner.proto_of_string Sys.argv.(1) with
+      | Some p -> p
+      | None -> failwith "unknown protocol"
+    else Runner.Geobft
+  in
+  let measure_ms =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 3000
+  in
+  Printexc.record_backtrace true;
+  ignore
+    (Sys.signal Sys.sigprof
+       (Sys.Signal_handle (fun _ -> record ())));
+  ignore
+    (Unix.setitimer Unix.ITIMER_PROF
+       { Unix.it_interval = 0.001; it_value = 0.001 });
+  let windows =
+    { Runner.warmup = Rdb_sim.Time.ms 500; measure = Rdb_sim.Time.ms measure_ms }
+  in
+  let cfg = Config.make ~z:4 ~n:7 ~seed:1 () in
+  let t0 = Unix.gettimeofday () in
+  let r = Runner.run (Scenario.make ~windows proto cfg) in
+  let wall = Unix.gettimeofday () -. t0 in
+  ignore (Unix.setitimer Unix.ITIMER_PROF { Unix.it_interval = 0.; it_value = 0. });
+  Printf.printf "wall %.1fs, %.0f txn/s, %d samples\n%!" wall
+    r.Rdb_fabric.Report.throughput_txn_s !total;
+  let rows = Hashtbl.fold (fun k v acc -> (v, k) :: acc) samples [] in
+  List.iter
+    (fun (v, k) ->
+      if v * 200 > !total then
+        Printf.printf "%6.2f%%  %s\n" (100. *. float_of_int v /. float_of_int !total) k)
+    (List.sort (fun a b -> compare (fst b) (fst a)) rows)

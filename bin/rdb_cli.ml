@@ -87,7 +87,15 @@ let run_cmd =
                 per-phase latency breakdown and the deterministic trace digest: same seed, \
                 same digest.")
   in
-  let go protocol z n batch inflight warmup measure seed fault trace_out =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:
+               "Executor domains for cluster-parallel conservative execution (DESIGN.md \
+                \xc2\xa715).  Results are byte-identical for every value — reports and trace \
+                digests never depend on $(docv) — only wall-clock changes.")
+  in
+  let go protocol z n batch inflight warmup measure seed fault trace_out jobs =
     let cfg = Config.make ~z ~n ~batch_size:batch ~client_inflight:inflight ~seed () in
     let windows = { Scenario.warmup = Time.sec warmup; measure = Time.sec measure } in
     let scenario =
@@ -98,7 +106,7 @@ let run_cmd =
       Option.map (fun _ -> Resilientdb.Trace.create ~keep_events:true ()) trace_out
     in
     let t0 = Unix.gettimeofday () in
-    let report = Runner.run ?tracer scenario in
+    let report = Runner.run ?tracer ~jobs scenario in
     Printf.printf "%s\n" (Report.to_string report);
     Printf.printf "%s\n" (Format.asprintf "%a" Report.pp_recovery report);
     (match (trace_out, tracer) with
@@ -118,7 +126,7 @@ let run_cmd =
   let term =
     Term.(
       const go $ protocol $ clusters $ replicas $ batch $ inflight $ warmup $ measure $ seed
-      $ fault $ trace_out)
+      $ fault $ trace_out $ jobs)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulated geo-scale deployment and report its metrics.") term
 

@@ -49,7 +49,7 @@ let () =
   print_endline "  time   throughput (txn/s over the last second)";
   for sec = 1 to 22 do
     Engine.run_until engine ~until:(Time.sec sec);
-    let total = metrics.Metrics.completed_txns in
+    let total = Metrics.completed_txns metrics in
     Printf.printf "  t=%-2ds  %6d %s\n%!" sec (total - !last)
       (String.make (min 60 ((total - !last) / 60)) '#');
     last := total

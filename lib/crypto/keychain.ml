@@ -19,12 +19,30 @@ type t = {
   publics : Schnorr.public_key array;
   (* Pairwise CMAC keys, one per unordered node pair; lazily built. *)
   channel_keys : Cmac.key option array;
+  (* Signature-verification cache.  Broadcast commit / checkpoint votes
+     are verified once by *every* receiving replica — identical
+     (signer, payload, signature) each time — so the first verdict is
+     cached and replayed.  The key covers every verification input, so
+     a tampered payload or forged signature can never hit a stale
+     entry.  Guarded by [vlock]: domain-parallel runs share one
+     keychain per deployment, and Hashtbl is not safe under concurrent
+     mutation. *)
+  vcache : (int * string * int64 * int64, bool) Hashtbl.t;
+  vlock : Mutex.t;
 }
 
 let create ~seed ~n_nodes =
   let secrets = Array.init n_nodes (fun id -> Schnorr.keygen ~seed ~key_id:id) in
   let publics = Array.map Schnorr.public_key secrets in
-  { seed; n_nodes; secrets; publics; channel_keys = Array.make (n_nodes * n_nodes) None }
+  {
+    seed;
+    n_nodes;
+    secrets;
+    publics;
+    channel_keys = Array.make (n_nodes * n_nodes) None;
+    vcache = Hashtbl.create 4096;
+    vlock = Mutex.create ();
+  }
 
 let n_nodes t = t.n_nodes
 
@@ -52,7 +70,21 @@ let channel_key t ~a ~b =
 let sign t ~signer msg = Schnorr.sign t.secrets.(signer) msg
 
 let verify t ~signer msg sg =
-  signer >= 0 && signer < t.n_nodes && Schnorr.verify t.publics.(signer) msg sg
+  signer >= 0 && signer < t.n_nodes
+  &&
+  let key = (signer, msg, sg.Schnorr.e, sg.Schnorr.s) in
+  Mutex.lock t.vlock;
+  match Hashtbl.find_opt t.vcache key with
+  | Some ok ->
+      Mutex.unlock t.vlock;
+      ok
+  | None ->
+      Mutex.unlock t.vlock;
+      let ok = Schnorr.verify t.publics.(signer) msg sg in
+      Mutex.lock t.vlock;
+      Hashtbl.replace t.vcache key ok;
+      Mutex.unlock t.vlock;
+      ok
 
 let mac t ~src ~dst msg = Cmac.mac (channel_key t ~a:src ~b:dst) msg
 

@@ -1,98 +1,101 @@
-(* SHA-256 (FIPS 180-4), implemented from scratch on int32 words.
+(* SHA-256 (FIPS 180-4), implemented from scratch on native ints.
 
    ResilientDB uses SHA256 for all collision-resistant message digests
    (block hashes, request digests, checkpoint state digests); this module
    is the repo-wide digest primitive.  Verified against the NIST test
-   vectors in the test suite. *)
+   vectors in the test suite.
+
+   All 32-bit words are carried in OCaml native ints (63-bit), masked
+   back to 32 bits after every addition.  An earlier [Int32]-based
+   version allocated a box for every message-schedule store and every
+   round-state update — hundreds of minor allocations per compressed
+   block — which made hashing the single largest line item in simulator
+   profiles.  Native-int words keep the whole compression function
+   allocation-free. *)
 
 type ctx = {
-  h : int32 array;             (* 8-word chaining state *)
+  h : int array;               (* 8-word chaining state (32-bit values) *)
   buf : Bytes.t;               (* 64-byte block buffer *)
   mutable buf_len : int;       (* bytes currently in [buf] *)
-  mutable total : int64;       (* total message length in bytes *)
-  w : int32 array;             (* 64-word message schedule (scratch) *)
+  mutable total : int;         (* total message length in bytes *)
+  w : int array;               (* 64-word message schedule (scratch) *)
 }
 
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
-     0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
-     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
-     0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
-     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
-     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
-     0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
-     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
-     0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
+     0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+     0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786;
+     0x0fc19dc6; 0x240ca1cc; 0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+     0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+     0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+     0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+     0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a;
+     0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 let init () =
   {
-    h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-           0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+    h = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+           0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
     buf = Bytes.create 64;
     buf_len = 0;
-    total = 0L;
-    w = Array.make 64 0l;
+    total = 0;
+    w = Array.make 64 0;
   }
 
-let ( +% ) = Int32.add
-let ( ^% ) = Int32.logxor
-let ( &% ) = Int32.logand
-let lnot32 = Int32.lognot
+let mask = 0xFFFFFFFF
 
-let rotr x n =
-  Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
-
-let shr x n = Int32.shift_right_logical x n
+(* Rotate-right within the 32-bit domain; [x] must already be masked. *)
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
 (* Process one 64-byte block located at [off] in [data]. *)
 let compress ctx (data : Bytes.t) off =
   let w = ctx.w in
   for t = 0 to 15 do
     let base = off + (4 * t) in
-    let b i = Int32.of_int (Char.code (Bytes.get data (base + i))) in
-    w.(t) <-
-      Int32.logor
-        (Int32.shift_left (b 0) 24)
-        (Int32.logor
-           (Int32.shift_left (b 1) 16)
-           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+    let b i = Char.code (Bytes.unsafe_get data (base + i)) in
+    Array.unsafe_set w t ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
   done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 ^% rotr w.(t - 15) 18 ^% shr w.(t - 15) 3 in
-    let s1 = rotr w.(t - 2) 17 ^% rotr w.(t - 2) 19 ^% shr w.(t - 2) 10 in
-    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land mask)
   done;
-  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) and d = ref ctx.h.(3) in
-  let e = ref ctx.h.(4) and f = ref ctx.h.(5) and g = ref ctx.h.(6) and hh = ref ctx.h.(7) in
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for t = 0 to 63 do
-    let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
-    let ch = (!e &% !f) ^% (lnot32 !e &% !g) in
-    let t1 = !hh +% s1 +% ch +% k.(t) +% w.(t) in
-    let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
-    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
-    let t2 = s0 +% maj in
+    let ev = !e in
+    let s1 = rotr ev 6 lxor rotr ev 11 lxor rotr ev 25 in
+    let ch = (ev land !f) lxor (lnot ev land mask land !g) in
+    let t1 = !hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t in
+    let av = !a in
+    let s0 = rotr av 2 lxor rotr av 13 lxor rotr av 22 in
+    let maj = (av land !b) lxor (av land !c) lxor (!b land !c) in
+    let t2 = s0 + maj in
     hh := !g;
     g := !f;
-    f := !e;
-    e := !d +% t1;
+    f := ev;
+    e := (!d + t1) land mask;
     d := !c;
     c := !b;
-    b := !a;
-    a := t1 +% t2
+    b := av;
+    a := (t1 + t2) land mask
   done;
-  ctx.h.(0) <- ctx.h.(0) +% !a;
-  ctx.h.(1) <- ctx.h.(1) +% !b;
-  ctx.h.(2) <- ctx.h.(2) +% !c;
-  ctx.h.(3) <- ctx.h.(3) +% !d;
-  ctx.h.(4) <- ctx.h.(4) +% !e;
-  ctx.h.(5) <- ctx.h.(5) +% !f;
-  ctx.h.(6) <- ctx.h.(6) +% !g;
-  ctx.h.(7) <- ctx.h.(7) +% !hh
+  h.(0) <- (h.(0) + !a) land mask;
+  h.(1) <- (h.(1) + !b) land mask;
+  h.(2) <- (h.(2) + !c) land mask;
+  h.(3) <- (h.(3) + !d) land mask;
+  h.(4) <- (h.(4) + !e) land mask;
+  h.(5) <- (h.(5) + !f) land mask;
+  h.(6) <- (h.(6) + !g) land mask;
+  h.(7) <- (h.(7) + !hh) land mask
 
 let feed_bytes ctx (data : Bytes.t) off len =
-  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  ctx.total <- ctx.total + len;
   let off = ref off and len = ref len in
   (* Fill a partial buffer first. *)
   if ctx.buf_len > 0 then begin
@@ -121,7 +124,7 @@ let feed_bytes ctx (data : Bytes.t) off len =
 let feed_string ctx s = feed_bytes ctx (Bytes.unsafe_of_string s) 0 (String.length s)
 
 let finalize ctx : string =
-  let bit_len = Int64.mul ctx.total 8L in
+  let bit_len = ctx.total * 8 in
   (* Padding: 0x80, zeros, then 64-bit big-endian bit length. *)
   let pad_len =
     let rem = (ctx.buf_len + 1 + 8) mod 64 in
@@ -130,9 +133,7 @@ let finalize ctx : string =
   let pad = Bytes.make pad_len '\x00' in
   Bytes.set pad 0 '\x80';
   for i = 0 to 7 do
-    Bytes.set pad
-      (pad_len - 1 - i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len (8 * i)) 0xFFL)))
+    Bytes.set pad (pad_len - 1 - i) (Char.chr ((bit_len lsr (8 * i)) land 0xFF))
   done;
   (* feed_bytes updates [total], but we've already captured the length. *)
   feed_bytes ctx pad 0 pad_len;
@@ -140,10 +141,10 @@ let finalize ctx : string =
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let v = ctx.h.(i) in
-    Bytes.set out (4 * i) (Char.chr (Int32.to_int (Int32.shift_right_logical v 24) land 0xFF));
-    Bytes.set out ((4 * i) + 1) (Char.chr (Int32.to_int (Int32.shift_right_logical v 16) land 0xFF));
-    Bytes.set out ((4 * i) + 2) (Char.chr (Int32.to_int (Int32.shift_right_logical v 8) land 0xFF));
-    Bytes.set out ((4 * i) + 3) (Char.chr (Int32.to_int v land 0xFF))
+    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xFF))
   done;
   Bytes.unsafe_to_string out
 

@@ -54,9 +54,10 @@ module type DEP = sig
     ?tracer:Rdb_trace.Trace.t ->
     ?n_records:int ->
     ?retain_payloads:bool ->
+    ?sharded:bool ->
     Config.t ->
     t
-  val run : ?warmup:Time.t -> ?measure:Time.t -> t -> Report.t
+  val run : ?warmup:Time.t -> ?measure:Time.t -> ?jobs:int -> t -> Report.t
   val crash_replica : t -> int -> unit
   val recover_replica : t -> int -> unit
   val crash_primary : t -> cluster:int -> unit
@@ -297,12 +298,12 @@ type instrument = {
   inst_liveness_window_ms : float;
 }
 
-let exec ?instrument ?attack (p : proto) ~(windows : windows) ~(fault : fault) ~tracer
-    (cfg : Config.t) : Report.t =
+let exec ?instrument ?attack ?(sharded = true) ?(jobs = 1) (p : proto) ~(windows : windows)
+    ~(fault : fault) ~tracer (cfg : Config.t) : Report.t =
   let go : type a m. (module DEP with type t = a and type msg = m) -> Report.t =
    fun (module D) ->
     (* Experiments sweep many large deployments: keep ledgers compact. *)
-    let d = D.create ?tracer ~retain_payloads:false cfg in
+    let d = D.create ?tracer ~retain_payloads:false ~sharded cfg in
     let rt = adversary_runtime (module D) d cfg in
     (match attack with
     | None -> ()
@@ -327,7 +328,7 @@ let exec ?instrument ?attack (p : proto) ~(windows : windows) ~(fault : fault) ~
         in
         Chaos.install surface timeline;
         let mon = Chaos.monitor ~liveness_window_ms surface timeline in
-        let report = D.run ~warmup:windows.warmup ~measure:windows.measure d in
+        let report = D.run ~warmup:windows.warmup ~measure:windows.measure ~jobs d in
         Chaos.check_now mon;
         (match Chaos.first_violation mon with
         | Some violation ->
@@ -341,7 +342,7 @@ let exec ?instrument ?attack (p : proto) ~(windows : windows) ~(fault : fault) ~
         | Primary_failure ->
             D.at d ~time:(Time.add windows.warmup (Time.ms 2000)) (fun () ->
                 D.crash_primary d ~cluster:0));
-        D.run ~warmup:windows.warmup ~measure:windows.measure d
+        D.run ~warmup:windows.warmup ~measure:windows.measure ~jobs d
   in
   match p with
   | Geobft -> go (module GeoDep)
@@ -355,13 +356,13 @@ let exec ?instrument ?attack (p : proto) ~(windows : windows) ~(fault : fault) ~
    overrides the scenario's [trace] flag; otherwise [trace = true]
    creates a summary-only tracer so the report carries the per-phase
    breakdown and the deterministic digest. *)
-let run ?tracer (s : Scenario.t) : Report.t =
+let run ?tracer ?jobs (s : Scenario.t) : Report.t =
   let tracer =
     match tracer with
     | Some _ as t -> t
     | None -> if s.Scenario.trace then Some (Rdb_trace.Trace.create ()) else None
   in
-  exec ?attack:s.Scenario.attack s.Scenario.proto ~windows:s.Scenario.windows
+  exec ?attack:s.Scenario.attack ?jobs s.Scenario.proto ~windows:s.Scenario.windows
     ~fault:s.Scenario.fault ~tracer s.Scenario.cfg
 
 (* The checker's entry point: like {!run}, but [install] receives the
@@ -374,12 +375,15 @@ let run_instrumented ?tracer ~install (s : Scenario.t) : Report.t =
     | Some _ as t -> t
     | None -> if s.Scenario.trace then Some (Rdb_trace.Trace.create ()) else None
   in
-  exec ~instrument:install ?attack:s.Scenario.attack s.Scenario.proto
+  (* Schedule exploration needs globally sequenced schedule calls and
+     network sends (the defer / delivery hooks), so the checker always
+     gets an unsharded deployment. *)
+  exec ~instrument:install ?attack:s.Scenario.attack ~sharded:false s.Scenario.proto
     ~windows:s.Scenario.windows ~fault:s.Scenario.fault ~tracer s.Scenario.cfg
 
-let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?tracer
+let run_proto (p : proto) ?(windows = default_windows) ?(fault = No_fault) ?tracer ?jobs
     (cfg : Config.t) : Report.t =
-  exec p ~windows ~fault ~tracer cfg
+  exec p ~windows ~fault ~tracer ?jobs cfg
 
 (* The fault timeline a chaos run with this seed would execute, without
    running it — lets tests (and curious users) verify event-for-event

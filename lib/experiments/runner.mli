@@ -33,7 +33,7 @@ type windows = Scenario.windows = { warmup : Time.t; measure : Time.t }
 val default_windows : windows
 val full_windows : windows
 
-val run : ?tracer:Rdb_trace.Trace.t -> Scenario.t -> Report.t
+val run : ?tracer:Rdb_trace.Trace.t -> ?jobs:int -> Scenario.t -> Report.t
 (** Build the deployment (compact-ledger mode), inject the scenario's
     fault, run warm-up + measurement, return the report.
 
@@ -42,6 +42,10 @@ val run : ?tracer:Rdb_trace.Trace.t -> Scenario.t -> Report.t
     plus the deterministic digest.  [tracer] overrides that with an
     externally owned tracer (e.g. one created with [~keep_events:true]
     for Chrome trace-event output).
+
+    [jobs] (default 1) is the domain count for cluster-parallel
+    execution (DESIGN.md §15).  It never changes results — reports and
+    trace digests are byte-identical for every value — only wall-clock.
 
     @raise Chaos.Violation under [Chaos _] if an invariant breaks. *)
 
@@ -64,7 +68,13 @@ val run_instrumented : ?tracer:Rdb_trace.Trace.t -> install:(instrument -> unit)
     @raise Chaos.Violation under [Chaos _] if an invariant breaks. *)
 
 val run_proto :
-  proto -> ?windows:windows -> ?fault:fault -> ?tracer:Rdb_trace.Trace.t -> Config.t -> Report.t
+  proto ->
+  ?windows:windows ->
+  ?fault:fault ->
+  ?tracer:Rdb_trace.Trace.t ->
+  ?jobs:int ->
+  Config.t ->
+  Report.t
   [@@ocaml.deprecated "Build a Scenario.t and call Runner.run instead."]
 (** Positional/optional-argument form, kept for compatibility. *)
 

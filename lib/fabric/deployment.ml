@@ -64,6 +64,13 @@ module Make (P : Protocol.S) = struct
     drivers : client_driver array;
     mutable crashed : bool array;
     mutable stats_before : Stats.snapshot option;
+    (* Engine shard owning each node: cluster c (replicas and its
+       co-located client group) = shard c on a sharded engine,
+       everything on shard 0 otherwise. *)
+    shard_of : int -> int;
+    (* An installed adversary interposer keeps unsynchronized state;
+       [run] forces sequential execution while one is active. *)
+    mutable interposed : bool;
     trace_enabled : bool;
     (* Structured consensus-path tracer (Rdb_trace); None = off, and
        every probe degrades to a no-op closure or a single match. *)
@@ -90,6 +97,11 @@ module Make (P : Protocol.S) = struct
   let adversary_view : P.msg Rdb_types.Interpose.view = P.adversary
 
   let set_interposer t (ip : P.msg Rdb_types.Interpose.t option) =
+    t.interposed <- Option.is_some ip;
+    (* Installed mid-run (a chaos equivocation window opening at a
+       control barrier): drop to one domain from the next epoch on.
+       Worker count never affects results, so this is invisible. *)
+    if t.interposed then Engine.set_jobs t.engine 1;
     match ip with
     | None -> Network.set_interposer t.net None
     | Some ip ->
@@ -123,8 +135,14 @@ module Make (P : Protocol.S) = struct
     let charge ~stage ~cost k =
       if t.crashed.(node) then () else Cpu.charge t.cpu ~node ~stage ~cost k
     in
+    let shard = t.shard_of node in
     let set_timer ~delay k =
-      Engine.schedule_after t.engine ~delay (fun () -> if not t.crashed.(node) then k ())
+      (* Route onto the node's own shard: timers armed from outside the
+         node's execution (construction, control actions) must not land
+         on whichever shard happens to be current. *)
+      Engine.schedule_at_shard t.engine ~shard
+        ~at:(Time.add (Engine.now t.engine) delay)
+        (fun () -> if not t.crashed.(node) then k ())
     in
     let execute (batch : Batch.t) ~cert ~on_done =
       let txns = Array.length batch.Batch.txns in
@@ -134,7 +152,7 @@ module Make (P : Protocol.S) = struct
       Cpu.charge t.cpu ~node ~stage:Cpu.Execute ~cost (fun () ->
           if not t.crashed.(node) then begin
             let ledger = t.ledgers.(node) in
-            ignore (Table.apply_batch t.tables.(node) batch.Batch.txns);
+            Table.execute t.tables.(node) batch.Batch.txns;
             let stored =
               if t.retain_payloads then batch else { batch with Batch.txns = [||] }
             in
@@ -221,18 +239,43 @@ module Make (P : Protocol.S) = struct
   (* -- construction -------------------------------------------------------- *)
 
   let create ?(trace = false) ?tracer ?(n_records = Table.default_records)
-      ?(retain_payloads = true) (cfg : Config.t) =
+      ?(retain_payloads = true) ?(sharded = true) (cfg : Config.t) =
     if cfg.Config.z < 1 || cfg.Config.z > 6 then
       invalid_arg "Deployment.create: z must be within the paper's six regions";
-    let engine = Engine.create ~seed:cfg.Config.seed () in
     let topo = Topology.clustered ~z:cfg.Config.z ~n:cfg.Config.n in
+    (* Conservative sharding (DESIGN.md §15): one shard per cluster —
+       each cluster and its co-located client group live in one region,
+       so all cross-shard traffic is cross-region and the WAN's minimum
+       one-way latency bounds how soon it can land.  The shard count is
+       fixed by the topology (never by the worker count), so results
+       are identical however many domains [run] uses. *)
+    let lookahead_ms = Topology.min_cross_region_one_way_ms topo in
+    let shards = if sharded && cfg.Config.z > 1 && lookahead_ms < infinity then cfg.Config.z else 1 in
+    let engine =
+      if shards > 1 then
+        Engine.create ~seed:cfg.Config.seed ~shards ~lookahead:(Time.of_ms_f lookahead_ms) ()
+      else Engine.create ~seed:cfg.Config.seed ()
+    in
+    let shard_of =
+      if shards > 1 then fun node -> Config.cluster_of_node cfg node else fun _ -> 0
+    in
     let n_nodes = Config.n_nodes cfg in
     let keychain = Keychain.create ~seed:(Printf.sprintf "rdb-%d" cfg.Config.seed) ~n_nodes in
-    let cpu = Cpu.create ?trace:tracer ~engine ~n_nodes () in
+    let cpu = Cpu.create ?trace:tracer ~shard_of ~engine ~n_nodes () in
     let metrics = Metrics.create () in
+    if shards > 1 then begin
+      let shard_of_now () = Engine.current_shard_id engine in
+      Metrics.set_shards metrics ~n:shards ~shard_of_now;
+      match tracer with
+      | None -> ()
+      | Some tr -> Rdb_trace.Trace.set_shards tr ~n:shards ~shard_of_now
+    end;
     let n_repl = Config.n_replicas cfg in
     let ledgers = Array.init n_repl (fun _ -> Ledger.create ()) in
-    let tables = Array.init n_repl (fun _ -> Table.create ~n_records ()) in
+    (* Identical initial state on every replica: derive it once and
+       memcpy, instead of re-mixing 600 k records per node. *)
+    let table0 = Table.create ~n_records () in
+    let tables = Array.init n_repl (fun i -> if i = 0 then table0 else Table.clone table0) in
     let drivers =
       Array.init cfg.Config.z (fun cluster ->
           {
@@ -270,8 +313,8 @@ module Make (P : Protocol.S) = struct
           end
     in
     let net =
-      Network.create ~wan_egress_mbps:cfg.Config.wan_egress_mbps ?trace:tracer ~engine ~topo
-        ~jitter_ms:0.2 ~deliver ()
+      Network.create ~wan_egress_mbps:cfg.Config.wan_egress_mbps ?trace:tracer ~shard_of ~engine
+        ~topo ~jitter_ms:0.2 ~deliver ()
     in
     (* One Chrome/Perfetto track per node, labeled with its role. *)
     (match tracer with
@@ -301,6 +344,8 @@ module Make (P : Protocol.S) = struct
         drivers;
         crashed = Array.make n_nodes false;
         stats_before = None;
+        shard_of;
+        interposed = false;
         trace_enabled = trace;
         tracer;
         retain_payloads;
@@ -390,8 +435,12 @@ module Make (P : Protocol.S) = struct
   let set_link_loss t ~src ~dst ~p = Network.set_link_loss t.net ~src ~dst ~p
   let set_link_dup t ~src ~dst ~p = Network.set_link_dup t.net ~src ~dst ~p
 
-  (* Schedule an action at an absolute simulated time. *)
-  let at t ~time k = ignore (Engine.schedule_at t.engine ~at:time (fun () -> k ()))
+  (* Schedule a global action at an absolute simulated time.  Fault
+     injection, chaos steps and monitors observe and mutate cross-shard
+     state, so they run as engine controls: at an epoch barrier with
+     every shard stopped, at exactly [time], before same-time ordinary
+     events. *)
+  let at t ~time k = Engine.schedule_control t.engine ~at:time (fun () -> k ())
 
   (* -- running ---------------------------------------------------------------- *)
 
@@ -413,7 +462,11 @@ module Make (P : Protocol.S) = struct
         | Client _ -> acc)
       Protocol.no_recovery t.nodes
 
-  let run ?(warmup = Time.sec 15) ?(measure = Time.sec 45) (t : t) : Report.t =
+  let run ?(warmup = Time.sec 15) ?(measure = Time.sec 45) ?(jobs = 1) (t : t) : Report.t =
+    (* The adversary interposer mutates unsynchronized bookkeeping from
+       the send/recv path; with one installed, run the (identical)
+       schedule on a single domain. *)
+    Engine.set_jobs t.engine (if t.interposed then 1 else jobs);
     start_clients t;
     Engine.run_until t.engine ~until:warmup;
     Metrics.open_window t.metrics ~now:(Engine.now t.engine);
@@ -434,9 +487,9 @@ module Make (P : Protocol.S) = struct
       p50_latency_ms = lat.Metrics.p50_ms;
       p95_latency_ms = lat.Metrics.p95_ms;
       p99_latency_ms = lat.Metrics.p99_ms;
-      completed_batches = t.metrics.Metrics.completed_batches;
-      completed_txns = t.metrics.Metrics.completed_txns;
-      decisions = t.metrics.Metrics.decisions;
+      completed_batches = Metrics.completed_batches t.metrics;
+      completed_txns = Metrics.completed_txns t.metrics;
+      decisions = Metrics.decisions t.metrics;
       local_msgs = d.Stats.l_msgs;
       global_msgs = d.Stats.g_msgs;
       local_mb = float_of_int d.Stats.l_bytes /. 1e6;

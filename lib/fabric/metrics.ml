@@ -4,48 +4,76 @@
    warm-up phase and a measurement window; throughput counts the
    transactions whose batches *completed at a client* inside the
    window, and latency is the client-observed request-to-f+1-replies
-   time of those batches. *)
+   time of those batches.
+
+   Sharded runs (DESIGN.md §15): one accumulator per engine shard,
+   routed by the [shard_of_now] callback — each is touched only by its
+   own shard's executing domain, so recording needs no locks.  Totals
+   merge in shard order; latency percentiles sort the merged sample, so
+   every derived number is independent of the domain count.  Window
+   state is global: it only changes at epoch barriers. *)
 
 module Time = Rdb_sim.Time
 
-type t = {
+type sub = {
   mutable completed_batches : int;
   mutable completed_txns : int;
   mutable latencies_ms : float list;      (* within the window only *)
-  mutable window_open : bool;
-  mutable window_start : Time.t;
-  mutable window_end : Time.t;
   mutable decisions : int;                (* consensus decisions (executions at replica 0) *)
 }
 
+type t = {
+  mutable subs : sub array;
+  mutable shard_of_now : unit -> int;
+  mutable window_open : bool;
+  mutable window_start : Time.t;
+  mutable window_end : Time.t;
+}
+
+let mk_sub () = { completed_batches = 0; completed_txns = 0; latencies_ms = []; decisions = 0 }
+
 let create () =
   {
-    completed_batches = 0;
-    completed_txns = 0;
-    latencies_ms = [];
+    subs = [| mk_sub () |];
+    shard_of_now = (fun () -> 0);
     window_open = false;
     window_start = Time.zero;
     window_end = Time.zero;
-    decisions = 0;
   }
+
+let set_shards t ~n ~shard_of_now =
+  if n < 1 then invalid_arg "Metrics.set_shards: n must be >= 1";
+  t.subs <- Array.init n (fun _ -> mk_sub ());
+  t.shard_of_now <- shard_of_now
 
 let open_window t ~now = t.window_open <- true; t.window_start <- now
 let close_window t ~now = t.window_open <- false; t.window_end <- now
 
 let record_completion t ~now:_ ~txns ~latency =
   if t.window_open then begin
-    t.completed_batches <- t.completed_batches + 1;
-    t.completed_txns <- t.completed_txns + txns;
-    t.latencies_ms <- Time.to_ms_f latency :: t.latencies_ms
+    let s = t.subs.(t.shard_of_now ()) in
+    s.completed_batches <- s.completed_batches + 1;
+    s.completed_txns <- s.completed_txns + txns;
+    s.latencies_ms <- Time.to_ms_f latency :: s.latencies_ms
   end
 
-let record_decision t = if t.window_open then t.decisions <- t.decisions + 1
+let record_decision t =
+  if t.window_open then begin
+    let s = t.subs.(t.shard_of_now ()) in
+    s.decisions <- s.decisions + 1
+  end
+
+let sum t f = Array.fold_left (fun acc s -> acc + f s) 0 t.subs
+
+let completed_batches t = sum t (fun s -> s.completed_batches)
+let completed_txns t = sum t (fun s -> s.completed_txns)
+let decisions t = sum t (fun s -> s.decisions)
 
 let window_sec t = Time.to_sec_f (Time.sub t.window_end t.window_start)
 
 let throughput_txn_s t =
   let w = window_sec t in
-  if w <= 0. then 0. else float_of_int t.completed_txns /. w
+  if w <= 0. then 0. else float_of_int (completed_txns t) /. w
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -55,7 +83,9 @@ let percentile sorted p =
 type latency_summary = { avg_ms : float; p50_ms : float; p95_ms : float; p99_ms : float; max_ms : float }
 
 let latency_summary t =
-  let arr = Array.of_list t.latencies_ms in
+  let arr =
+    Array.concat (Array.to_list (Array.map (fun s -> Array.of_list s.latencies_ms) t.subs))
+  in
   Array.sort compare arr;
   let n = Array.length arr in
   if n = 0 then { avg_ms = 0.; p50_ms = 0.; p95_ms = 0.; p99_ms = 0.; max_ms = 0. }

@@ -1,21 +1,22 @@
 (** Run metrics with the paper's measurement methodology (§4): a
     warm-up phase, then a measurement window; throughput counts
     transactions whose batches completed at a client inside the window,
-    latency is client-observed submit-to-quorum-of-replies time. *)
+    latency is client-observed submit-to-quorum-of-replies time.
+
+    Sharded runs keep one accumulator per engine shard (see
+    {!set_shards}); every reported number merges the shards
+    deterministically, so results are independent of the domain
+    count. *)
 
 module Time = Rdb_sim.Time
 
-type t = {
-  mutable completed_batches : int;
-  mutable completed_txns : int;
-  mutable latencies_ms : float list;
-  mutable window_open : bool;
-  mutable window_start : Time.t;
-  mutable window_end : Time.t;
-  mutable decisions : int;
-}
+type t
 
 val create : unit -> t
+
+val set_shards : t -> n:int -> shard_of_now:(unit -> int) -> unit
+(** Split into [n] per-shard accumulators routed by [shard_of_now];
+    each is only touched by the domain executing its shard. *)
 
 val open_window : t -> now:Time.t -> unit
 val close_window : t -> now:Time.t -> unit
@@ -25,6 +26,10 @@ val record_completion : t -> now:Time.t -> txns:int -> latency:Time.t -> unit
 
 val record_decision : t -> unit
 (** One consensus decision observed (counted at replica 0). *)
+
+val completed_batches : t -> int
+val completed_txns : t -> int
+val decisions : t -> int
 
 val window_sec : t -> float
 val throughput_txn_s : t -> float

@@ -53,18 +53,23 @@ type t = {
   busy_ns : float array array;      (* accumulated busy time *)
   sync_threshold : Time.t;          (* run continuations inline below this cost *)
   trace : Rdb_trace.Trace.t option; (* per-charge spans; None = no overhead *)
+  shard_of : int -> int;            (* engine shard owning each node *)
 }
 
-let create ?(sync_threshold = Time.us 5) ?trace ~engine ~n_nodes () =
+let create ?(sync_threshold = Time.us 5) ?trace ?(shard_of = fun _ -> 0) ~engine ~n_nodes () =
   {
     engine;
     busy = Array.init n_nodes (fun _ -> Array.make n_stages Time.zero);
     busy_ns = Array.init n_nodes (fun _ -> Array.make n_stages 0.);
     sync_threshold;
     trace;
+    shard_of;
   }
 
-(* Charge [cost] of CPU work on [stage] of [node]; run [k] on completion. *)
+(* Charge [cost] of CPU work on [stage] of [node]; run [k] on completion.
+   The completion event goes to the node's own shard: charges are almost
+   always made from there already (the fast path), but control-context
+   charges (fault injection poking a node) must not leak onto shard 0. *)
 let charge t ~node ~stage ~cost k =
   let s = stage_index stage in
   let now = Engine.now t.engine in
@@ -76,7 +81,7 @@ let charge t ~node ~stage ~cost k =
   | None -> ()
   | Some tr -> Rdb_trace.Trace.cpu_span tr ~node ~stage:(stage_name stage) ~start ~dur:cost);
   if Time.( <= ) finish (Time.add now t.sync_threshold) && Time.compare start now = 0 then k ()
-  else ignore (Engine.schedule_at t.engine ~at:finish k)
+  else ignore (Engine.schedule_at_shard t.engine ~shard:(t.shard_of node) ~at:finish k)
 
 (* Stage-busy seconds accumulated by [node] on [stage]. *)
 let busy_sec t ~node ~stage = t.busy_ns.(node).(stage_index stage) /. 1e9

@@ -19,12 +19,20 @@ val stage_name : stage -> string
 type t
 
 val create :
-  ?sync_threshold:Time.t -> ?trace:Rdb_trace.Trace.t -> engine:Engine.t -> n_nodes:int -> unit -> t
+  ?sync_threshold:Time.t ->
+  ?trace:Rdb_trace.Trace.t ->
+  ?shard_of:(int -> int) ->
+  engine:Engine.t ->
+  n_nodes:int ->
+  unit ->
+  t
 (** [sync_threshold] (default 5 us): work cheaper than this on an idle
     stage runs its continuation synchronously — an optimization that
     keeps all-to-all message floods tractable without observable
     reordering.  [trace] records one span per [charge] (stage name,
-    start, cost); omitting it keeps tracing free. *)
+    start, cost); omitting it keeps tracing free.  [shard_of] maps a
+    node to its engine shard (default: everything on shard 0) so
+    completion events land on the node's own heap. *)
 
 val charge : t -> node:int -> stage:stage -> cost:Time.t -> (unit -> unit) -> unit
 (** [charge t ~node ~stage ~cost k] runs [k] when the work completes. *)

@@ -1,25 +1,81 @@
 (* The discrete-event engine: a clock and an ordered queue of pending
-   events (closures).  Everything in the fabric — message deliveries,
-   protocol timers, CPU completions, client injections — is an event.
+   events (closures) — now sharded for conservative parallel execution.
 
    Determinism contract: with the same seed and the same sequence of
    [schedule] calls, two runs execute identical event sequences.  This
    is what lets the test suite assert exact cross-run agreement and lets
-   every experiment in EXPERIMENTS.md be replayed bit-for-bit. *)
+   every experiment in EXPERIMENTS.md be replayed bit-for-bit.
 
-type event = { run : unit -> unit; mutable cancelled : bool }
+   Sharding (DESIGN.md §15).  A deployment may partition its nodes into
+   shards (one per cluster): each shard owns a private (clock, heap,
+   seq-counter, RNG) and executes its own events.  Shards interact only
+   through [schedule_at_shard], which stages cross-shard events in the
+   *sender's* outbox; outboxes are drained into the destination heaps at
+   epoch barriers, in canonical (dst, src, FIFO) order with fresh
+   destination sequence numbers.  The conservative-DES invariant the
+   caller must uphold: a cross-shard event scheduled during an epoch
+   starting at T0 must not be earlier than T0 + lookahead.  The fabric
+   guarantees this because clusters only talk over global WAN links
+   whose one-way latency floor is the lookahead.
+
+   Under this protocol the per-shard event sequences — and therefore
+   the per-shard trace streams — are a pure function of the seed and
+   the epoch schedule, *not* of which domain executes which shard or in
+   what order.  Running epochs sequentially or on N domains yields
+   byte-identical traces; the test suite asserts this.
+
+   Control events ([schedule_control]) are global actions — fault
+   injection, chaos timeline steps, monitors — that must observe and
+   mutate cross-shard state.  They run only at epoch barriers, with
+   every shard stopped, at exactly their scheduled time (the epoch
+   schedule is cut at the next control time), before any ordinary event
+   with the same timestamp.
+
+   Event records are pooled: a popped event's record returns to the
+   executing shard's freelist and is reused by later schedules, so the
+   steady-state scheduling path allocates only the caller's closure.  A
+   generation counter guards [cancel] against stale timer handles to
+   recycled records. *)
+
+type event = {
+  mutable run : unit -> unit;
+  mutable cancelled : bool;
+  mutable gen : int; (* bumped when the record returns to the pool *)
+}
+
+type timer = { ev : event; tgen : int }
+
+let noop_run () = ()
+
+type shard = {
+  sid : int;
+  heap : event Heap.t;
+  mutable snow : Time.t;
+  mutable sseq : int;
+  srng : Rdb_prng.Rng.t;
+  mutable sexec : int;
+  (* Cross-shard events staged during an epoch, indexed by destination
+     shard, most-recent first.  Written only by this (sending) shard, so
+     parallel epochs never contend; drained at barriers. *)
+  outboxes : (Time.t * event) list array;
+  mutable pool : event list; (* freelist of recycled event records *)
+}
+
+type control = { ctime : Time.t; cseq : int; crun : unit -> unit }
 
 type t = {
-  mutable now : Time.t;
-  heap : event Heap.t;
-  mutable seq : int;
-  rng : Rdb_prng.Rng.t;
-  mutable executed : int;         (* events executed so far *)
-  mutable horizon : Time.t;       (* events beyond this are not executed *)
+  eid : int; (* engine identity, to validate the domain-local shard *)
+  shards : shard array;
+  root_rng : Rdb_prng.Rng.t;
+  lookahead : Time.t;
+  mutable gnow : Time.t; (* authoritative clock between epochs *)
+  mutable controls : control list; (* sorted by (ctime, cseq) *)
+  mutable cseq : int;
+  mutable jobs : int; (* domains used per epoch (capped by shard count) *)
   (* Schedule-exploration hook (lib/check): when installed, the nth
      schedule call (0-based) may be pushed behind its equal-timestamp
      group — a legal permutation of simultaneous events.  [None] costs
-     one match per schedule. *)
+     one match per schedule.  Single-shard engines only. *)
   mutable defer_hook : (int -> bool) option;
   mutable sched_calls : int;
 }
@@ -29,82 +85,323 @@ type t = {
    timestamp while preserving their own relative order. *)
 let defer_offset = 1_000_000_000
 
-type timer = event
+let next_eid = Atomic.make 0
 
-let create ?(seed = 42) () =
+(* Which shard (of which engine) the current domain is executing.  Set
+   for the duration of one shard-epoch; consulted by [now]/[rng]/
+   [schedule_at] so all engine operations made from inside an event
+   resolve to the executing shard. *)
+let dls_shard : (int * shard) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_shard t =
+  match !(Domain.DLS.get dls_shard) with
+  | Some (eid, s) when eid = t.eid -> Some s
+  | _ -> None
+
+let create ?(seed = 42) ?(shards = 1) ?(lookahead = Int64.max_int) () =
+  if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
+  if shards > 1 && Time.( <= ) lookahead Time.zero then
+    invalid_arg "Engine.create: multi-shard engines need a positive lookahead";
+  let root_rng = Rdb_prng.Rng.create (Int64.of_int seed) in
+  let mk_shard sid =
+    {
+      sid;
+      heap = Heap.create ();
+      snow = Time.zero;
+      sseq = 0;
+      (* Single-shard engines keep the root RNG as the shard RNG — the
+         pre-sharding behavior, relied on by direct Engine users. *)
+      srng =
+        (if shards = 1 then root_rng else Rdb_prng.Rng.split root_rng ~index:sid);
+      sexec = 0;
+      outboxes = Array.make shards [];
+      pool = [];
+    }
+  in
   {
-    now = Time.zero;
-    heap = Heap.create ();
-    seq = 0;
-    rng = Rdb_prng.Rng.create (Int64.of_int seed);
-    executed = 0;
-    horizon = Int64.max_int;
+    eid = Atomic.fetch_and_add next_eid 1;
+    shards = Array.init shards mk_shard;
+    root_rng;
+    lookahead;
+    gnow = Time.zero;
+    controls = [];
+    cseq = 0;
+    jobs = 1;
     defer_hook = None;
     sched_calls = 0;
   }
 
-let now t = t.now
-let rng t = t.rng
-let executed_events t = t.executed
-let pending_events t = Heap.length t.heap
+let n_shards t = Array.length t.shards
+
+let current_shard_id t = match current_shard t with Some s -> s.sid | None -> 0
+let set_jobs t jobs = t.jobs <- max 1 jobs
+let lookahead t = t.lookahead
+
+let now t = match current_shard t with Some s -> s.snow | None -> t.gnow
+let rng t = match current_shard t with Some s -> s.srng | None -> t.root_rng
+let rng_of_shard t ~shard = t.shards.(shard).srng
+
+let executed_events t = Array.fold_left (fun acc s -> acc + s.sexec) 0 t.shards
+
+let pending_events t =
+  Array.fold_left
+    (fun acc s ->
+      Array.fold_left (fun acc l -> acc + List.length l) (acc + Heap.length s.heap) s.outboxes)
+    0 t.shards
 
 let set_defer_hook t h =
+  if Array.length t.shards > 1 && h <> None then
+    invalid_arg "Engine.set_defer_hook: schedule exploration requires a single-shard engine";
   t.defer_hook <- h;
   t.sched_calls <- 0
 
 let schedule_calls t = t.sched_calls
 
-(* Schedule [f] to run at absolute simulated time [at] (clamped to now:
-   scheduling in the past runs "immediately", preserving causality). *)
-let schedule_at t ~at f =
-  let at = Time.max at t.now in
-  let ev = { run = f; cancelled = false } in
-  t.seq <- t.seq + 1;
+(* -- event records ------------------------------------------------------ *)
+
+let alloc_event s f =
+  match s.pool with
+  | e :: rest ->
+      s.pool <- rest;
+      e.run <- f;
+      e.cancelled <- false;
+      e
+  | [] -> { run = f; cancelled = false; gen = 0 }
+
+(* Recycle into the pool of the shard that executed it (records may
+   migrate pools via cross-shard scheduling; harmless).  The generation
+   bump invalidates any timer handle still pointing here. *)
+let release_event s e =
+  e.run <- noop_run;
+  e.cancelled <- false;
+  e.gen <- e.gen + 1;
+  s.pool <- e :: s.pool
+
+let pooled_events t = Array.fold_left (fun acc s -> acc + List.length s.pool) 0 t.shards
+
+(* -- scheduling --------------------------------------------------------- *)
+
+(* Schedule onto [s]'s own heap (clamped to its clock: scheduling in
+   the past runs "immediately", preserving causality). *)
+let schedule_local t s ~at f =
+  let at = Time.max at s.snow in
+  s.sseq <- s.sseq + 1;
   let seq =
     match t.defer_hook with
-    | None -> t.seq
+    | None -> s.sseq
     | Some defer ->
         let n = t.sched_calls in
         t.sched_calls <- n + 1;
-        if defer n then t.seq + defer_offset else t.seq
+        if defer n then s.sseq + defer_offset else s.sseq
   in
-  Heap.push t.heap ~time:at ~seq ev;
-  ev
+  let ev = alloc_event s f in
+  Heap.push s.heap ~time:at ~seq ev;
+  { ev; tgen = ev.gen }
 
-let schedule_after t ~delay f = schedule_at t ~at:(Time.add t.now delay) f
+(* Schedule [f] at absolute simulated time [at] on the current shard
+   (or shard 0 from outside event execution — the single-shard case and
+   pre-run setup). *)
+let schedule_at t ~at f =
+  match current_shard t with
+  | Some s -> schedule_local t s ~at f
+  | None -> schedule_local t t.shards.(0) ~at f
 
-let cancel (ev : timer) = ev.cancelled <- true
+let schedule_after t ~delay f = schedule_at t ~at:(Time.add (now t) delay) f
 
-(* Execute the next pending event; [false] when the queue is exhausted
-   or the next event lies beyond the horizon. *)
-let step t =
-  match Heap.peek t.heap with
-  | None -> false
-  | Some e when Time.( > ) e.Heap.time t.horizon -> false
-  | Some _ -> (
-      match Heap.pop t.heap with
-      | None -> false
-      | Some { Heap.time; payload = ev; _ } ->
-          if not ev.cancelled then begin
-            t.now <- time;
-            t.executed <- t.executed + 1;
-            ev.run ()
-          end;
-          true)
+(* Schedule onto an explicit shard — the cross-shard path used by the
+   network (routing a delivery to the destination's shard) and by
+   control actions re-arming per-node timers. *)
+let schedule_at_shard t ~shard ~at f =
+  match current_shard t with
+  | Some s when s.sid = shard -> schedule_local t s ~at f
+  | Some s ->
+      (* Cross-shard from inside an epoch: stage in the sender's outbox.
+         Conservative lookahead means [at] can only land at or beyond
+         the epoch horizon, so the destination cannot have passed it. *)
+      let ev = alloc_event s f in
+      s.outboxes.(shard) <- (at, ev) :: s.outboxes.(shard);
+      { ev; tgen = ev.gen }
+  | None -> schedule_local t t.shards.(shard) ~at f
 
-(* Run until the queue drains or simulated time would pass [until]. *)
-let run_until t ~until =
-  t.horizon <- until;
-  while step t do
-    ()
-  done;
-  (* Advance the clock to the horizon even if the queue drained early,
-     so back-to-back run_until calls observe monotone time. *)
-  if Time.( < ) t.now until then t.now <- until;
-  t.horizon <- Int64.max_int
+(* Global control action at absolute time [at]: runs at an epoch
+   barrier with all shards stopped, before same-time ordinary events.
+   Controls keep their scheduling order at equal times. *)
+let schedule_control t ~at f =
+  t.cseq <- t.cseq + 1;
+  let c = { ctime = at; cseq = t.cseq; crun = f } in
+  let rec insert = function
+    | [] -> [ c ]
+    | c' :: rest when Time.( <= ) c'.ctime c.ctime -> c' :: insert rest
+    | rest -> c :: rest
+  in
+  t.controls <- insert t.controls
 
-(* Run to quiescence (no pending events). *)
-let run t =
-  while step t do
-    ()
+let cancel (tm : timer) = if tm.ev.gen = tm.tgen then tm.ev.cancelled <- true
+
+(* -- execution ---------------------------------------------------------- *)
+
+(* Drain staged cross-shard events into destination heaps.  Canonical
+   order — destination shards ascending, then source shards ascending,
+   then FIFO per source — with fresh destination sequence numbers, so
+   the merge is independent of how the previous epoch was executed. *)
+let drain_outboxes t =
+  let z = Array.length t.shards in
+  for dst = 0 to z - 1 do
+    let d = t.shards.(dst) in
+    for src = 0 to z - 1 do
+      match t.shards.(src).outboxes.(dst) with
+      | [] -> ()
+      | staged ->
+          t.shards.(src).outboxes.(dst) <- [];
+          List.iter
+            (fun (at, ev) ->
+              d.sseq <- d.sseq + 1;
+              Heap.push d.heap ~time:(Time.max at d.snow) ~seq:d.sseq ev)
+            (List.rev staged)
+    done
   done
+
+(* Execute [s]'s events with time < bound (or <= when [incl]).  Runs
+   with the domain-local current-shard set, so everything the events do
+   resolves to this shard. *)
+let run_shard t s ~bound ~incl =
+  let cur = Domain.DLS.get dls_shard in
+  cur := Some (t.eid, s);
+  let continue = ref true in
+  while !continue do
+    let mt = Heap.min_time s.heap in
+    if
+      mt = Int64.max_int
+      || (if incl then Time.( > ) mt bound else Time.( >= ) mt bound)
+    then continue := false
+    else
+      match Heap.pop s.heap with
+      | None -> continue := false
+      | Some { Heap.time; payload = ev; _ } ->
+          if ev.cancelled then release_event s ev
+          else begin
+            s.snow <- time;
+            s.sexec <- s.sexec + 1;
+            let f = ev.run in
+            release_event s ev;
+            f ()
+          end
+  done;
+  cur := None
+
+(* One epoch over all shards, sequentially or across domains.  Shard
+   event sequences are independent within an epoch (the conservative
+   invariant), so the executor assignment cannot affect outcomes. *)
+let run_epoch t ~bound ~incl =
+  let z = Array.length t.shards in
+  let jobs = min t.jobs z in
+  if jobs <= 1 then
+    for i = 0 to z - 1 do
+      run_shard t t.shards.(i) ~bound ~incl
+    done
+  else begin
+    let workers =
+      Array.init (jobs - 1) (fun w ->
+          Domain.spawn (fun () ->
+              for i = 0 to z - 1 do
+                if i mod jobs = w + 1 then run_shard t t.shards.(i) ~bound ~incl
+              done))
+    in
+    for i = 0 to z - 1 do
+      if i mod jobs = 0 then run_shard t t.shards.(i) ~bound ~incl
+    done;
+    Array.iter Domain.join workers
+  end
+
+let advance_shards t at =
+  Array.iter (fun s -> if Time.( < ) s.snow at then s.snow <- at) t.shards;
+  if Time.( < ) t.gnow at then t.gnow <- at
+
+(* Run due controls: the head group of equal scheduled times. *)
+let run_control_group t =
+  match t.controls with
+  | [] -> ()
+  | c0 :: _ ->
+      advance_shards t c0.ctime;
+      let rec go () =
+        match t.controls with
+        | c :: rest when Time.compare c.ctime c0.ctime = 0 ->
+            t.controls <- rest;
+            c.crun ();
+            go ()
+        | _ -> ()
+      in
+      go ()
+
+let sat_add (a : Time.t) (b : Time.t) =
+  if Time.( > ) b (Int64.sub Int64.max_int a) then Int64.max_int else Int64.add a b
+
+(* The epoch loop shared by [run_until] and [run].  Executes every
+   event and control with time <= [until]; when [advance], the clocks
+   end at [until] even if the queues drained early, so back-to-back
+   calls observe monotone time. *)
+let exec_until t ~until ~advance =
+  let continue = ref true in
+  while !continue do
+    drain_outboxes t;
+    let next_ev =
+      Array.fold_left (fun acc s -> Time.min acc (Heap.min_time s.heap)) Int64.max_int t.shards
+    in
+    let next_c = match t.controls with [] -> Int64.max_int | c :: _ -> c.ctime in
+    if Time.( <= ) next_c until && Time.( <= ) next_c next_ev then
+      (* Control barrier: all shards stopped at the control time. *)
+      run_control_group t
+    else if next_ev = Int64.max_int || Time.( > ) next_ev until then begin
+      if advance then advance_shards t until;
+      continue := false
+    end
+    else begin
+      (* Conservative horizon: everything below min-event + lookahead is
+         safe to run; cut at the next control and at [until]. *)
+      let cap = sat_add next_ev t.lookahead in
+      if Time.( >= ) cap until && Time.( > ) next_c until then begin
+        (* Final epoch: inclusive of [until] (the run_until contract). *)
+        run_epoch t ~bound:until ~incl:true;
+        advance_shards t until
+      end
+      else begin
+        let bound = Time.min cap next_c in
+        run_epoch t ~bound ~incl:false;
+        advance_shards t bound
+      end
+    end
+  done
+
+let run_until t ~until = exec_until t ~until ~advance:true
+
+(* Run to quiescence (no pending events or controls). *)
+let run t =
+  while pending_events t > 0 || t.controls <> [] do
+    let next_ev =
+      Array.fold_left (fun acc s -> Time.min acc (Heap.min_time s.heap)) Int64.max_int t.shards
+    in
+    let next_c = match t.controls with [] -> Int64.max_int | c :: _ -> c.ctime in
+    let next = Time.min next_ev next_c in
+    if next = Int64.max_int then drain_outboxes t
+    else exec_until t ~until:next ~advance:false
+  done
+
+(* Execute the next pending event; [false] when the queue is exhausted.
+   Single-shard engines only (unit tests and interactive stepping). *)
+let step t =
+  if Array.length t.shards > 1 then invalid_arg "Engine.step: single-shard engines only";
+  let s = t.shards.(0) in
+  match Heap.pop s.heap with
+  | None -> false
+  | Some { Heap.time; payload = ev; _ } ->
+      if ev.cancelled then release_event s ev
+      else begin
+        s.snow <- time;
+        t.gnow <- time;
+        s.sexec <- s.sexec + 1;
+        let f = ev.run in
+        release_event s ev;
+        f ()
+      end;
+      true

@@ -87,9 +87,14 @@ type 'm t = {
   (* Adversarial interposition hooks; [None] costs one match per send
      and one per delivery. *)
   mutable interpose : 'm interposer option;
+  (* Engine shard owning each node: deliveries are scheduled onto the
+     destination's shard (cross-shard sends are legal because the WAN
+     one-way latency floor is the engine's lookahead). *)
+  shard_of : int -> int;
 }
 
-let create ?(wan_egress_mbps = 0.) ?trace ~engine ~topo ~jitter_ms ~deliver () =
+let create ?(wan_egress_mbps = 0.) ?trace ?(shard_of = fun _ -> 0) ~engine ~topo ~jitter_ms
+    ~deliver () =
   let n = Topology.n_nodes topo in
   let r = Topology.n_regions topo in
   {
@@ -110,6 +115,7 @@ let create ?(wan_egress_mbps = 0.) ?trace ~engine ~topo ~jitter_ms ~deliver () =
     dhook_sends = 0;
     dhook_last = Hashtbl.create 64;
     interpose = None;
+    shard_of;
   }
 
 let stats t = t.stats
@@ -174,7 +180,12 @@ let transmission_ns ~size_bytes ~bw_mbps =
 
 (* Send one message.  [size] is the wire size in bytes (headers and
    authentication tags included by the caller's sizing function). *)
+(* [Hashtbl.length] guard: the common (healthy) case pays no tuple-key
+   allocation and no hash lookup; the RNG is still only consumed when a
+   rule exists for this exact link, so random streams are unchanged. *)
 let lossy t ~src ~dst =
+  Hashtbl.length t.link_loss > 0
+  &&
   match Hashtbl.find_opt t.link_loss (src, dst) with
   | None -> false
   | Some p -> Rdb_prng.Rng.float (Engine.rng t.engine) < p
@@ -263,14 +274,16 @@ let send_admitted t ~src ~dst ~size msg =
             | Some tr -> Rdb_trace.Trace.net_deliver tr ~src ~dst ~size ~at:(Engine.now t.engine));
             t.deliver ~src ~dst msg
     in
-    ignore (Engine.schedule_at t.engine ~at:arrive deliver_traced);
+    let dshard = t.shard_of dst in
+    ignore (Engine.schedule_at_shard t.engine ~shard:dshard ~at:arrive deliver_traced);
     (* Duplication: deliver a second copy shortly after the first (a
        retransmitted or re-routed frame); receivers must deduplicate. *)
-    (match Hashtbl.find_opt t.link_dup (src, dst) with
-    | Some p when Rdb_prng.Rng.float (Engine.rng t.engine) < p ->
-        let again = Time.add arrive (Time.of_ms_f 0.05) in
-        ignore (Engine.schedule_at t.engine ~at:again deliver_traced)
-    | _ -> ())
+    if Hashtbl.length t.link_dup > 0 then
+      match Hashtbl.find_opt t.link_dup (src, dst) with
+      | Some p when Rdb_prng.Rng.float (Engine.rng t.engine) < p ->
+          let again = Time.add arrive (Time.of_ms_f 0.05) in
+          ignore (Engine.schedule_at_shard t.engine ~shard:dshard ~at:again deliver_traced)
+      | _ -> ()
   end
 
 let send t ~src ~dst ~size msg =

@@ -36,6 +36,7 @@ type delivery_hook =
 val create :
   ?wan_egress_mbps:float ->
   ?trace:Rdb_trace.Trace.t ->
+  ?shard_of:(int -> int) ->
   engine:Engine.t ->
   topo:Topology.t ->
   jitter_ms:float ->
@@ -46,7 +47,11 @@ val create :
     (0 = uncapped); [jitter_ms] adds uniform random delay in
     [0, jitter_ms).  [trace] records the message lifecycle (queue/tx
     spans, deliver/drop instants) of every message; omitting it makes
-    tracing cost a single match per send. *)
+    tracing cost a single match per send.  [shard_of] maps a node to
+    its engine shard (default: everything on shard 0): deliveries are
+    scheduled onto the destination's shard, which is legal under
+    conservative sharding because cross-shard links are cross-region
+    and the WAN one-way latency floor is the engine's lookahead. *)
 
 val send : 'm t -> src:int -> dst:int -> size:int -> 'm -> unit
 val multicast : 'm t -> src:int -> dsts:int list -> size:int -> 'm -> unit

@@ -62,6 +62,21 @@ let rtt_ms t ~a ~b = t.rtt_ms.(t.node_region.(a)).(t.node_region.(b))
 let one_way_ms t ~a ~b = rtt_ms t ~a ~b /. 2.0
 let bw_mbps t ~a ~b = t.bw_mbps.(t.node_region.(a)).(t.node_region.(b))
 
+(* The smallest one-way latency between two distinct regions: the
+   conservative-DES lookahead for cluster-per-region sharding (no
+   cross-region message can arrive sooner than this after its send).
+   [infinity] for single-region topologies (no cross-region traffic to
+   bound). *)
+let min_cross_region_one_way_ms t =
+  let r = n_regions t in
+  let m = ref infinity in
+  for i = 0 to r - 1 do
+    for j = 0 to r - 1 do
+      if i <> j && t.rtt_ms.(i).(j) /. 2.0 < !m then m := t.rtt_ms.(i).(j) /. 2.0
+    done
+  done;
+  !m
+
 (* Build a topology over the first [n_regions] paper regions with a
    caller-supplied node placement. *)
 let of_paper ~n_regions ~node_region =

@@ -26,6 +26,11 @@ val rtt_ms : t -> a:int -> b:int -> float
 val one_way_ms : t -> a:int -> b:int -> float
 val bw_mbps : t -> a:int -> b:int -> float
 
+val min_cross_region_one_way_ms : t -> float
+(** Smallest one-way latency between two distinct regions — the
+    conservative-DES lookahead for cluster-per-region sharding.
+    [infinity] for single-region topologies. *)
+
 val of_paper : n_regions:int -> node_region:int array -> t
 (** Topology over the first [n_regions] paper regions with an explicit
     node placement.

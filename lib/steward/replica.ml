@@ -91,6 +91,7 @@ type replica = {
   proposals : (int, Batch.t) Hashtbl.t; (* g -> batch *)
   committed : (int, unit) Hashtbl.t;
   mutable next_exec : int;
+  mutable exec_busy : bool;             (* an execute is in flight *)
   mutable commit_sent : (int, unit) Hashtbl.t;  (* rep: local commits sent *)
   (* Retransmission / catch-up (lib/recovery).  The representative
      channel is the protocol's spine: a single lost Global_proposal or
@@ -198,20 +199,33 @@ and check_certified r round =
 
 (* -- execution -------------------------------------------------------------- *)
 
+(* Global sequence g must land at ledger height g, and the ledger
+   append happens inside the charged [execute] callback — which the
+   fabric drops if the replica crashes mid-charge.  Advance [next_exec]
+   only once the append has actually happened ([on_done]); otherwise a
+   crash that interrupts an in-flight execute would skip one append
+   while the cursor moves on, and the cursor-walking catch-up would
+   rebuild the whole suffix shifted by one height (a permanent
+   prefix-agreement violation).  [exec_busy] keeps execution strictly
+   sequential across the re-entrant callers (Local_commit,
+   record_accept, install_globals); [on_recover] clears it because a
+   crash drops the in-flight [on_done]. *)
 let rec exec_ready r =
-  if Hashtbl.mem r.committed r.next_exec then
+  if (not r.exec_busy) && Hashtbl.mem r.committed r.next_exec then
     match Hashtbl.find_opt r.proposals r.next_exec with
     | None -> ()
     | Some batch ->
         let g = r.next_exec in
-        r.next_exec <- r.next_exec + 1;
-        let old = r.next_exec - 512 in
-        Hashtbl.remove r.proposals old;
-        Hashtbl.remove r.committed old;
-        Hashtbl.remove r.accepts old;
-        Hashtbl.remove r.accepted_digest old;
-        Hashtbl.remove r.commit_sent old;
+        r.exec_busy <- true;
         r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+            r.exec_busy <- false;
+            r.next_exec <- g + 1;
+            let old = r.next_exec - 512 in
+            Hashtbl.remove r.proposals old;
+            Hashtbl.remove r.committed old;
+            Hashtbl.remove r.accepts old;
+            Hashtbl.remove r.accepted_digest old;
+            Hashtbl.remove r.commit_sent old;
             r.ctx.Ctx.phase ~key:g ~name:"execute";
             (if (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster then
                send r ~dst:batch.Batch.origin
@@ -431,6 +445,7 @@ let create_replica (ctx : msg Ctx.t) =
       proposals = Hashtbl.create 128;
       committed = Hashtbl.create 128;
       next_exec = 0;
+      exec_busy = false;
       commit_sent = Hashtbl.create 64;
       max_g_seen = -1;
       pending_forwards = Hashtbl.create 16;
@@ -451,7 +466,12 @@ let create_replica (ctx : msg Ctx.t) =
          ());
   r
 
-let on_recover (r : replica) = ensure_task r
+(* The crash dropped any in-flight execute's [on_done], so the busy
+   flag must be cleared or execution would wedge forever; catch-up then
+   re-fetches and re-executes the interrupted sequence number. *)
+let on_recover (r : replica) =
+  r.exec_busy <- false;
+  ensure_task r
 let recovery (r : replica) = Recovery.Stats.to_protocol r.stats
 let disable_recovery (_ : replica) = ()
 

@@ -2,7 +2,17 @@
    trace-event JSON, (b) per-phase latency aggregation, (c) a streaming
    SHA-256 digest over the canonical event encoding.  The digest is the
    determinism witness: the DES guarantees same seed => same event
-   sequence, so same seed => same digest, byte for byte. *)
+   sequence, so same seed => same digest, byte for byte.
+
+   Sharded runs (DESIGN.md §15): the tracer keeps one sub-stream per
+   engine shard and routes every event to the sub-stream of the shard
+   that emitted it (via the [shard_of_now] callback installed by
+   [set_shards]).  Each sub-stream is touched only by its own shard's
+   executing domain, so no synchronization is needed, and each
+   sub-stream's content is a pure function of the seed — independent of
+   the domain count.  The summary digest is the SHA-256 over the
+   concatenated per-shard raw digests (in shard order); with one shard
+   this degenerates to exactly the pre-sharding digest. *)
 
 module Sha256 = Rdb_crypto.Sha256
 
@@ -20,37 +30,59 @@ type event = {
 
 type phase_acc = { mutable count : int; mutable total : int64; mutable max : int64 }
 
-type t = {
-  keep_events : bool;
+(* One per engine shard: the stream of events emitted while that shard
+   was executing.  Phase chains live here too — a (node, key) chain is
+   only ever marked from the node's own shard. *)
+type sub = {
   mutable rev_events : event list;  (* only populated when keep_events *)
   mutable n_events : int;
   digest : Sha256.ctx;
-  mutable finalized : string option;
   (* phase chaining: (node, key) -> timestamp of the previous mark *)
   open_chains : (int * int, int64) Hashtbl.t;
   phase_agg : (string, phase_acc) Hashtbl.t;
-  track_names : (int, string) Hashtbl.t;
   mutable net_local : int;
   mutable net_global : int;
   mutable net_dropped : int;
   mutable decisions : int;
 }
 
-let create ?(keep_events = false) () =
+type t = {
+  keep_events : bool;
+  mutable subs : sub array;
+  mutable shard_of_now : unit -> int;
+  mutable finalized : string option;
+  track_names : (int, string) Hashtbl.t;
+}
+
+let mk_sub () =
   {
-    keep_events;
     rev_events = [];
     n_events = 0;
     digest = Sha256.init ();
-    finalized = None;
     open_chains = Hashtbl.create 1024;
     phase_agg = Hashtbl.create 16;
-    track_names = Hashtbl.create 64;
     net_local = 0;
     net_global = 0;
     net_dropped = 0;
     decisions = 0;
   }
+
+let create ?(keep_events = false) () =
+  {
+    keep_events;
+    subs = [| mk_sub () |];
+    shard_of_now = (fun () -> 0);
+    finalized = None;
+    track_names = Hashtbl.create 64;
+  }
+
+let total_events t = Array.fold_left (fun acc s -> acc + s.n_events) 0 t.subs
+
+let set_shards t ~n ~shard_of_now =
+  if n < 1 then invalid_arg "Trace.set_shards: n must be >= 1";
+  if total_events t > 0 then invalid_arg "Trace.set_shards: events already emitted";
+  t.subs <- Array.init n (fun _ -> mk_sub ());
+  t.shard_of_now <- shard_of_now
 
 (* Canonical line fed to the digest.  Everything that identifies the
    event is included; the format never changes silently (the digest is
@@ -60,13 +92,17 @@ let canonical e =
     (match e.kind with Span -> 'S' | Instant -> 'I')
     e.cat e.name e.node e.ts e.dur e.arg
 
-let emit t e =
+let cur t = t.subs.(t.shard_of_now ())
+
+let emit_sub t (s : sub) e =
   (match t.finalized with
   | Some _ -> invalid_arg "Trace: event emitted after summary"
   | None -> ());
-  Sha256.feed_string t.digest (canonical e);
-  t.n_events <- t.n_events + 1;
-  if t.keep_events then t.rev_events <- e :: t.rev_events
+  Sha256.feed_string s.digest (canonical e);
+  s.n_events <- s.n_events + 1;
+  if t.keep_events then s.rev_events <- e :: s.rev_events
+
+let emit t e = emit_sub t (cur t) e
 
 let span t ~cat ~name ~node ~ts ~dur ?(arg = "") () =
   emit t { kind = Span; cat; name; node; ts; dur; arg }
@@ -77,7 +113,8 @@ let instant t ~cat ~name ~node ~ts ?(arg = "") () =
 (* -- network lifecycle ------------------------------------------------ *)
 
 let net_send t ~src ~dst ~size ~local ~now ~start ~depart =
-  if local then t.net_local <- t.net_local + 1 else t.net_global <- t.net_global + 1;
+  let s = cur t in
+  if local then s.net_local <- s.net_local + 1 else s.net_global <- s.net_global + 1;
   let arg = Printf.sprintf "dst=%d,size=%d,%s" dst size (if local then "local" else "global") in
   if Int64.compare start now > 0 then
     span t ~cat:"net" ~name:"queue" ~node:src ~ts:now ~dur:(Int64.sub start now) ~arg ();
@@ -89,7 +126,7 @@ let net_deliver t ~src ~dst ~size ~at =
     ()
 
 let net_drop t ~src ~dst ~size ~at ~reason =
-  t.net_dropped <- t.net_dropped + 1;
+  (cur t).net_dropped <- (cur t).net_dropped + 1;
   instant t ~cat:"net" ~name:"drop" ~node:src ~ts:at
     ~arg:(Printf.sprintf "dst=%d,size=%d,%s" dst size reason)
     ()
@@ -100,13 +137,13 @@ let cpu_span t ~node ~stage ~start ~dur = span t ~cat:"cpu" ~name:stage ~node ~t
 
 (* -- protocol phases -------------------------------------------------- *)
 
-let phase_accum t ~name ~dur =
+let phase_accum (s : sub) ~name ~dur =
   let acc =
-    match Hashtbl.find_opt t.phase_agg name with
+    match Hashtbl.find_opt s.phase_agg name with
     | Some a -> a
     | None ->
         let a = { count = 0; total = 0L; max = 0L } in
-        Hashtbl.add t.phase_agg name a;
+        Hashtbl.add s.phase_agg name a;
         a
   in
   acc.count <- acc.count + 1;
@@ -114,24 +151,25 @@ let phase_accum t ~name ~dur =
   if Int64.compare dur acc.max > 0 then acc.max <- dur
 
 let phase_mark t ~node ~key ~name ~now =
+  let s = cur t in
   let terminal = String.equal name "execute" in
   let k = (node, key) in
-  (match Hashtbl.find_opt t.open_chains k with
+  (match Hashtbl.find_opt s.open_chains k with
   | Some prev ->
       let dur = Int64.sub now prev in
       let dur = if Int64.compare dur 0L < 0 then 0L else dur in
-      phase_accum t ~name ~dur;
+      phase_accum s ~name ~dur;
       span t ~cat:"phase" ~name ~node ~ts:prev ~dur ~arg:(Printf.sprintf "key=%d" key) ();
-      if terminal then Hashtbl.remove t.open_chains k else Hashtbl.replace t.open_chains k now
+      if terminal then Hashtbl.remove s.open_chains k else Hashtbl.replace s.open_chains k now
   | None ->
       (* First mark for this slot: an instant opens the chain.  A
          terminal first mark (e.g. a filled/skipped slot executing with
          no observed earlier phases) leaves nothing open. *)
-      phase_accum t ~name ~dur:0L;
+      phase_accum s ~name ~dur:0L;
       instant t ~cat:"phase" ~name ~node ~ts:now ~arg:(Printf.sprintf "key=%d" key) ();
-      if not terminal then Hashtbl.add t.open_chains k now)
+      if not terminal then Hashtbl.add s.open_chains k now)
 
-let note_decision t = t.decisions <- t.decisions + 1
+let note_decision t = (cur t).decisions <- (cur t).decisions + 1
 let set_track_name t ~node name = Hashtbl.replace t.track_names node name
 
 (* -- results ---------------------------------------------------------- *)
@@ -160,10 +198,34 @@ let summary t =
     match t.finalized with
     | Some d -> d
     | None ->
-        let d = hex (Sha256.finalize t.digest) in
+        let d =
+          if Array.length t.subs = 1 then hex (Sha256.finalize t.subs.(0).digest)
+          else begin
+            (* Digest-of-digests, in shard order: per-shard streams are
+               deterministic, so this is too — and it never depends on
+               the interleaving of shards within an epoch. *)
+            let outer = Sha256.init () in
+            Array.iter (fun s -> Sha256.feed_string outer (Sha256.finalize s.digest)) t.subs;
+            hex (Sha256.finalize outer)
+          end
+        in
         t.finalized <- Some d;
         d
   in
+  (* Merge phase aggregates across shards (sum/max commute). *)
+  let merged : (string, phase_acc) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun phase (a : phase_acc) ->
+          match Hashtbl.find_opt merged phase with
+          | Some m ->
+              m.count <- m.count + a.count;
+              m.total <- Int64.add m.total a.total;
+              if Int64.compare a.max m.max > 0 then m.max <- a.max
+          | None -> Hashtbl.add merged phase { count = a.count; total = a.total; max = a.max })
+        s.phase_agg)
+    t.subs;
   let phases =
     Hashtbl.fold
       (fun phase (a : phase_acc) rows ->
@@ -175,16 +237,17 @@ let summary t =
           max_ms = ms_of_ns a.max;
         }
         :: rows)
-      t.phase_agg []
+      merged []
     |> List.sort (fun a b -> String.compare a.phase b.phase)
   in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 t.subs in
   {
     phases;
-    net_local = t.net_local;
-    net_global = t.net_global;
-    net_dropped = t.net_dropped;
-    decisions = t.decisions;
-    events = t.n_events;
+    net_local = sum (fun s -> s.net_local);
+    net_global = sum (fun s -> s.net_global);
+    net_dropped = sum (fun s -> s.net_dropped);
+    decisions = sum (fun s -> s.decisions);
+    events = total_events t;
     digest_hex;
   }
 
@@ -240,19 +303,24 @@ let write_chrome_json t oc =
          Printf.fprintf oc
            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
            node (json_escape name));
-  List.rev t.rev_events
-  |> List.iter (fun e ->
-         sep ();
-         match e.kind with
-         | Span ->
-             Printf.fprintf oc
-               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"detail\":\"%s\"}}"
-               (json_escape e.name) (json_escape e.cat) e.node (us e.ts) (us e.dur)
-               (json_escape e.arg)
-         | Instant ->
-             Printf.fprintf oc
-               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"args\":{\"detail\":\"%s\"}}"
-               (json_escape e.name) (json_escape e.cat) e.node (us e.ts) (json_escape e.arg));
+  (* Events in shard order; the trace viewer orders by timestamp, so
+     concatenation of per-shard streams is fine (and deterministic). *)
+  Array.iter
+    (fun (s : sub) ->
+      List.rev s.rev_events
+      |> List.iter (fun e ->
+             sep ();
+             match e.kind with
+             | Span ->
+                 Printf.fprintf oc
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"detail\":\"%s\"}}"
+                   (json_escape e.name) (json_escape e.cat) e.node (us e.ts) (us e.dur)
+                   (json_escape e.arg)
+             | Instant ->
+                 Printf.fprintf oc
+                   "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"args\":{\"detail\":\"%s\"}}"
+                   (json_escape e.name) (json_escape e.cat) e.node (us e.ts) (json_escape e.arg)))
+    t.subs;
   output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n"
 
-let events_kept t = List.length t.rev_events
+let events_kept t = Array.fold_left (fun acc s -> acc + List.length s.rev_events) 0 t.subs

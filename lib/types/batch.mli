@@ -5,6 +5,10 @@ open Import
     group; the digest covers id, cluster, origin and every transaction,
     so any tampering is detectable. *)
 
+type memo
+(** Verification memo (see {!verify}).  Keyed on the exact fields it
+    covered, so a record copy with any field changed misses it. *)
+
 type t = {
   id : int;                      (** globally unique batch id (< 0 for no-ops) *)
   cluster : int;                 (** cluster whose clients issued it *)
@@ -13,6 +17,7 @@ type t = {
   created : Time.t;              (** submission time, for latency metrics *)
   signature : Schnorr.signature; (** client signature over the digest *)
   digest : string;               (** SHA-256 of the canonical payload *)
+  mutable vmemo : memo option;   (** cached verification verdict *)
 }
 
 val create :
@@ -43,6 +48,10 @@ val digest_of : id:int -> cluster:int -> origin:int -> txns:Txn.t array -> strin
 
 val verify : keychain:Keychain.t -> t -> bool
 (** Digest integrity plus the client signature; replicas discard
-    batches failing this (§2.1). *)
+    batches failing this (§2.1).  Memoized per record: replicas verify
+    the same immutable batch once per hop, so repeat verifications are
+    O(1).  The memo is keyed on every verified field (physical identity
+    for [txns]/[digest]/[signature]/keychain, value equality for the
+    ids), so tampered copies are always re-verified from scratch. *)
 
 val pp : Format.formatter -> t -> unit

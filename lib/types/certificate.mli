@@ -8,12 +8,17 @@ open Import
 
 type commit_sig = { replica : int; signature : Schnorr.signature }
 
+type memo
+(** Verification memo (see {!verify}); keyed on the exact fields and
+    quorum it covered, so altered copies miss it. *)
+
 type t = {
   cluster : int;
   view : int;
   seq : int;              (** local Pbft sequence = GeoBFT round *)
   digest : string;        (** batch digest the commits endorse *)
   commits : commit_sig list;
+  mutable vmemo : memo option;  (** cached verification verdict *)
 }
 
 val commit_payload : cluster:int -> view:int -> seq:int -> digest:string -> string
@@ -28,6 +33,9 @@ val n_signatures : t -> int
 
 val verify : keychain:Keychain.t -> quorum:int -> t -> bool
 (** At least [quorum] distinct signers, no duplicates, every signature
-    valid over the same payload. *)
+    valid over the same payload.  Memoized per record (certificates are
+    re-verified by every receiving replica); the memo keys on all
+    verified fields plus [quorum], so altered copies or a different
+    quorum requirement trigger full re-verification. *)
 
 val pp : Format.formatter -> t -> unit

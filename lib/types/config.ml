@@ -136,20 +136,58 @@ let share_fanout t = if t.geobft_fanout <= 0 then weak_quorum t else min t.geobf
 
 (* -- Cost helpers ------------------------------------------------------ *)
 
-let sign_cost t = Time.of_us_f t.costs.sign_us
-let verify_cost t = Time.of_us_f t.costs.verify_us
-let mac_cost t = Time.of_us_f t.costs.mac_us
+(* The scalar (config-constant) costs are charged on every message hop,
+   so the float->ns conversions are memoized per config.  The slot is
+   domain-local: one config is in play per running deployment, and each
+   domain (sweep worker or shard executor) fills its own slot once, so
+   there is no cross-domain contention and no synchronization. *)
+type cost_tab = {
+  c_cfg : t; (* physical identity of the config this table was built for *)
+  c_sign : Time.t;
+  c_verify : Time.t;
+  c_mac : Time.t;
+  c_batch_asm : Time.t;
+  c_cert_verify : Time.t;
+  c_thresh_partial : Time.t;
+  c_thresh_combine : Time.t;
+}
+
+let cost_tab_slot : cost_tab option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let cost_tab t =
+  let slot = Domain.DLS.get cost_tab_slot in
+  match !slot with
+  | Some tab when tab.c_cfg == t -> tab
+  | _ ->
+      let tab =
+        {
+          c_cfg = t;
+          c_sign = Time.of_us_f t.costs.sign_us;
+          c_verify = Time.of_us_f t.costs.verify_us;
+          c_mac = Time.of_us_f t.costs.mac_us;
+          c_batch_asm = Time.of_us_f t.costs.batch_asm_us;
+          (* Verification of a commit certificate: one signature check
+             per certificate entry (n − f of them), or a single
+             threshold-signature verification when threshold
+             certificates are enabled (§2.2).  A threshold verify is
+             RSA-class, costed like a combine check. *)
+          c_cert_verify =
+            (if t.threshold_certs then Time.of_us_f (2. *. t.costs.verify_us)
+             else Time.of_us_f (t.costs.verify_us *. float_of_int (quorum t)));
+          c_thresh_partial = Time.of_us_f t.costs.threshold_partial_us;
+          c_thresh_combine = Time.of_us_f t.costs.threshold_combine_us;
+        }
+      in
+      slot := Some tab;
+      tab
+
+let sign_cost t = (cost_tab t).c_sign
+let verify_cost t = (cost_tab t).c_verify
+let mac_cost t = (cost_tab t).c_mac
 let hash_cost t ~bytes = Time.of_us_f (t.costs.hash_us_per_kb *. (float_of_int bytes /. 1024.))
 let exec_cost t ~txns = Time.of_us_f (t.costs.exec_us_per_txn *. float_of_int txns)
-let batch_asm_cost t = Time.of_us_f t.costs.batch_asm_us
-
-(* Verification of a commit certificate: one signature check per
-   certificate entry (n − f of them), or a single threshold-signature
-   verification when threshold certificates are enabled (§2.2).  A
-   threshold verify is RSA-class, costed like a combine check. *)
-let cert_verify_cost t =
-  if t.threshold_certs then Time.of_us_f (2. *. t.costs.verify_us)
-  else Time.of_us_f (t.costs.verify_us *. float_of_int (quorum t))
+let batch_asm_cost t = (cost_tab t).c_batch_asm
+let cert_verify_cost t = (cost_tab t).c_cert_verify
 
 (* Certificate entries carried on the wire: n − f individual commit
    signatures, or one constant-size aggregate. *)
@@ -159,5 +197,5 @@ let cert_wire_sigs t = if t.threshold_certs then 1 else quorum t
    charged to a receiver's worker thread. *)
 let recv_floor_cost t ~bytes = Time.add (mac_cost t) (hash_cost t ~bytes)
 
-let threshold_partial_cost t = Time.of_us_f t.costs.threshold_partial_us
-let threshold_combine_cost t = Time.of_us_f t.costs.threshold_combine_us
+let threshold_partial_cost t = (cost_tab t).c_thresh_partial
+let threshold_combine_cost t = (cost_tab t).c_thresh_combine

@@ -16,4 +16,8 @@ val make : ?op:op -> key:int -> value:int64 -> client_id:int -> unit -> t
 val serialize : t -> string
 (** Compact canonical serialization (digests and signatures). *)
 
+val serialize_into : Buffer.t -> t -> unit
+(** Append the canonical serialization to [b] — same bytes as
+    {!serialize}, no intermediate string (the batch-digest hot path). *)
+
 val pp : Format.formatter -> t -> unit

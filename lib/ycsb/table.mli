@@ -26,6 +26,14 @@ val apply : t -> Txn.t -> int64
 
 val apply_batch : t -> Txn.t array -> int64 array
 
+val execute : t -> Txn.t array -> unit
+(** Same state transition as {!apply_batch} without materializing the
+    result array (the fabric's execution hot path). *)
+
+val clone : t -> t
+(** An identical, independent copy of the record store (one memcpy);
+    read/write counters start fresh, as after {!create}. *)
+
 val writes : t -> int
 val reads : t -> int
 

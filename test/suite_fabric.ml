@@ -21,7 +21,7 @@ let test_metrics_window () =
   Metrics.record_completion m ~now:(Time.sec 2) ~txns:20 ~latency:(Time.ms 15);
   Metrics.close_window m ~now:(Time.sec 11);
   Metrics.record_completion m ~now:(Time.sec 12) ~txns:10 ~latency:(Time.ms 5);
-  Alcotest.(check int) "completed txns in window" 30 m.Metrics.completed_txns;
+  Alcotest.(check int) "completed txns in window" 30 (Metrics.completed_txns m);
   Alcotest.(check (float 0.001)) "throughput" 3.0 (Metrics.throughput_txn_s m);
   let lat = Metrics.latency_summary m in
   Alcotest.(check (float 0.001)) "avg latency" 10.0 lat.Metrics.avg_ms

@@ -1,0 +1,187 @@
+(* DESIGN.md §15: the sharded engine's moving parts — pooled event
+   records, tie-breaking at the defer offset, control barriers — and
+   the headline contract: a domain-parallel run is byte-identical to
+   the sequential run of the same scenario (report JSON and trace
+   digest), across every protocol, under chaos and under attack. *)
+
+module Engine = Rdb_sim.Engine
+module Heap = Rdb_sim.Heap
+module Time = Rdb_sim.Time
+module Config = Rdb_types.Config
+module Report = Rdb_fabric.Report
+module Runner = Rdb_experiments.Runner
+module Scenario = Rdb_experiments.Scenario
+module Adversary = Rdb_adversary.Adversary
+module Rng = Rdb_prng.Rng
+module Trace = Rdb_trace.Trace
+
+(* -- event pooling ------------------------------------------------------ *)
+
+(* Executed records return to the freelist and are reused by later
+   schedules: the steady-state scheduling path allocates no records. *)
+let test_pool_reuse () =
+  let e = Engine.create ~seed:1 () in
+  for i = 1 to 3 do
+    ignore (Engine.schedule_at e ~at:(Time.ms i) (fun () -> ()))
+  done;
+  Alcotest.(check int) "empty pool before first run" 0 (Engine.pooled_events e);
+  Engine.run e;
+  Alcotest.(check int) "all three records recycled" 3 (Engine.pooled_events e);
+  ignore (Engine.schedule_at e ~at:(Time.ms 10) (fun () -> ()));
+  ignore (Engine.schedule_at e ~at:(Time.ms 11) (fun () -> ()));
+  Alcotest.(check int) "schedules draw from the pool" 1 (Engine.pooled_events e);
+  Engine.run e;
+  Alcotest.(check int) "records return again" 3 (Engine.pooled_events e)
+
+(* Cancelling a timer whose record already fired — and was recycled
+   into a *different* pending event — must not cancel the new event:
+   the generation counter makes the stale handle a no-op. *)
+let test_stale_cancel_is_noop () =
+  let e = Engine.create ~seed:1 () in
+  let fired_b = ref false in
+  let ta = Engine.schedule_at e ~at:(Time.ms 1) (fun () -> ()) in
+  Engine.run_until e ~until:(Time.ms 2);
+  Alcotest.(check int) "record back in pool" 1 (Engine.pooled_events e);
+  ignore (Engine.schedule_at e ~at:(Time.ms 3) (fun () -> fired_b := true));
+  Alcotest.(check int) "reused the recycled record" 0 (Engine.pooled_events e);
+  Engine.cancel ta;
+  (* also: double-cancel of the stale handle stays harmless *)
+  Engine.cancel ta;
+  Engine.run_until e ~until:(Time.ms 4);
+  Alcotest.(check bool) "stale cancel did not kill the new event" true !fired_b
+
+(* Cancelling a pending event prevents execution and still recycles
+   the record. *)
+let test_cancel_recycles () =
+  let e = Engine.create ~seed:1 () in
+  let fired = ref false in
+  let t1 = Engine.schedule_at e ~at:(Time.ms 1) (fun () -> fired := true) in
+  Engine.cancel t1;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled event never ran" false !fired;
+  Alcotest.(check int) "cancelled record recycled" 1 (Engine.pooled_events e);
+  Alcotest.(check int) "cancelled events do not count as executed" 0 (Engine.executed_events e)
+
+(* The defer hook permutes equal-timestamp ties, and keeps doing so
+   when the records involved are recycled pool records. *)
+let test_defer_hook_under_pooling () =
+  let e = Engine.create ~seed:1 () in
+  (* Warm the pool so the deferred schedules reuse records. *)
+  for i = 1 to 4 do
+    ignore (Engine.schedule_at e ~at:(Time.ms i) (fun () -> ()))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "pool warmed" 4 (Engine.pooled_events e);
+  let order = ref [] in
+  let log tag () = order := tag :: !order in
+  (* Defer the 0th schedule call behind its equal-timestamp group. *)
+  Engine.set_defer_hook e (Some (fun n -> n = 0));
+  ignore (Engine.schedule_at e ~at:(Time.ms 10) (log "a"));
+  ignore (Engine.schedule_at e ~at:(Time.ms 10) (log "b"));
+  ignore (Engine.schedule_at e ~at:(Time.ms 10) (log "c"));
+  Alcotest.(check int) "hook observed all schedule calls" 3 (Engine.schedule_calls e);
+  Engine.set_defer_hook e None;
+  Engine.run e;
+  Alcotest.(check (list string)) "deferred event runs behind its tie group" [ "b"; "c"; "a" ]
+    (List.rev !order)
+
+(* -- heap ordering ------------------------------------------------------ *)
+
+(* FIFO stability at equal timestamps, including across the defer
+   offset (deferred events sort behind every normally-sequenced event
+   of the same timestamp while preserving their own relative order). *)
+let test_heap_fifo_at_defer_offset () =
+  let defer_offset = 1_000_000_000 in
+  let h : string Heap.t = Heap.create () in
+  Alcotest.(check int64) "empty min_time" Int64.max_int (Heap.min_time h);
+  Alcotest.(check int) "empty min_key" max_int (Heap.min_key h);
+  Heap.push h ~time:5L ~seq:(defer_offset + 1) "d1";
+  Heap.push h ~time:5L ~seq:1 "a";
+  Heap.push h ~time:5L ~seq:(defer_offset + 2) "d2";
+  Heap.push h ~time:5L ~seq:2 "b";
+  Heap.push h ~time:4L ~seq:9 "early";
+  Heap.push h ~time:5L ~seq:3 "c";
+  Alcotest.(check int64) "min_time sees the root" 4L (Heap.min_time h);
+  let pop () =
+    match Heap.pop h with Some { Heap.payload; _ } -> payload | None -> "<empty>"
+  in
+  Alcotest.(check (list string)) "time, then seq, with deferred behind"
+    [ "early"; "a"; "b"; "c"; "d1"; "d2" ]
+    (List.init 6 (fun _ -> pop ()))
+
+(* -- control barriers --------------------------------------------------- *)
+
+(* Controls run at exactly their scheduled time, before same-time
+   ordinary events, with equal-time controls in scheduling order. *)
+let test_control_ordering () =
+  let e = Engine.create ~seed:1 ~shards:2 ~lookahead:(Time.ms 5) () in
+  let order = ref [] in
+  let log tag () = order := tag :: !order in
+  ignore (Engine.schedule_at_shard e ~shard:0 ~at:(Time.ms 10) (log "ev0"));
+  ignore (Engine.schedule_at_shard e ~shard:1 ~at:(Time.ms 10) (log "ev1"));
+  Engine.schedule_control e ~at:(Time.ms 10) (log "ctl-a");
+  Engine.schedule_control e ~at:(Time.ms 10) (log "ctl-b");
+  Engine.schedule_control e ~at:(Time.ms 1) (log "ctl-early");
+  Engine.run_until e ~until:(Time.ms 20);
+  Alcotest.(check (list string)) "controls at barriers, before same-time events"
+    [ "ctl-early"; "ctl-a"; "ctl-b"; "ev0"; "ev1" ]
+    (List.rev !order);
+  Alcotest.(check (float 0.0001)) "clock advanced to until" 20.0
+    (Time.to_ms_f (Engine.now e))
+
+(* -- sequential vs parallel byte-equality ------------------------------- *)
+
+let small_cfg seed =
+  Config.make ~z:3 ~n:4 ~batch_size:50 ~client_inflight:8 ~seed ()
+
+let windows = { Scenario.warmup = Time.ms 500; measure = Time.ms 1500 }
+
+let run_to_bytes ~jobs s =
+  let tracer = Trace.create () in
+  let r = Runner.run ~tracer ~jobs s in
+  let digest =
+    match r.Report.trace with
+    | Some tr -> tr.Trace.digest_hex
+    | None -> Alcotest.fail "run produced no trace summary"
+  in
+  (Report.to_json_string r, digest)
+
+let check_equal name s =
+  let json1, dig1 = run_to_bytes ~jobs:1 s in
+  let json4, dig4 = run_to_bytes ~jobs:4 s in
+  Alcotest.(check string) (name ^ ": trace digest") dig1 dig4;
+  Alcotest.(check string) (name ^ ": report JSON") json1 json4
+
+let sampled_attack proto cfg =
+  let caps = Runner.adversary_profile proto cfg in
+  let rng = Rng.create 77L in
+  Adversary.sample ~rng ~caps ~z:cfg.Config.z ~n:cfg.Config.n ~f:(Config.f cfg)
+    ~horizon_ms:2000 ~tail_ms:400 ()
+
+let test_digest_equality proto () =
+  let name = Runner.proto_name proto in
+  (* Healthy run. *)
+  check_equal (name ^ " healthy") (Scenario.make ~windows proto (small_cfg 1));
+  (* Seeded chaos timeline (faults + liveness monitor). *)
+  check_equal (name ^ " chaos")
+    (Scenario.make ~windows ~fault:(Runner.Chaos 1) proto (small_cfg 2));
+  (* Sampled Byzantine attack (interposer installed: the run drops to
+     one domain internally — the jobs knob must still be a no-op). *)
+  let cfg = small_cfg 3 in
+  check_equal (name ^ " attack")
+    (Scenario.make ~windows ~attack:(sampled_attack proto cfg) proto cfg)
+
+let suite =
+  [
+    ("event pool reuse", `Quick, test_pool_reuse);
+    ("stale cancel is no-op", `Quick, test_stale_cancel_is_noop);
+    ("cancel recycles record", `Quick, test_cancel_recycles);
+    ("defer hook under pooling", `Quick, test_defer_hook_under_pooling);
+    ("heap FIFO at defer offset", `Quick, test_heap_fifo_at_defer_offset);
+    ("control barrier ordering", `Quick, test_control_ordering);
+    ("seq=par: GeoBFT", `Slow, test_digest_equality Runner.Geobft);
+    ("seq=par: Pbft", `Slow, test_digest_equality Runner.Pbft);
+    ("seq=par: Zyzzyva", `Slow, test_digest_equality Runner.Zyzzyva);
+    ("seq=par: HotStuff", `Slow, test_digest_equality Runner.Hotstuff);
+    ("seq=par: Steward", `Slow, test_digest_equality Runner.Steward);
+  ]

@@ -22,6 +22,7 @@ let () =
       ("hotstuff", Suite_hotstuff.suite);
       ("steward", Suite_steward.suite);
       ("fabric", Suite_fabric.suite);
+      ("parallel", Suite_parallel.suite);
       ("trace", Suite_trace.suite);
       ("integration", Itest.suite);
       ("experiments", Suite_experiments.suite);
