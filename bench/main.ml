@@ -116,7 +116,14 @@ let smoke_attack () =
 
 let smoke_scenarios () =
   List.map (fun p -> Scenario.make ~windows:smoke_windows p (smoke_cfg ())) Runner.all_protocols
-  @ [ Scenario.make ~windows:smoke_windows ~attack:(smoke_attack ()) Scenario.Geobft (smoke_cfg ()) ]
+  @ [ Scenario.make ~windows:smoke_windows ~attack:(smoke_attack ()) Scenario.Geobft (smoke_cfg ());
+      (* The read-heavy entry pins the read-path consensus bypass: 50%
+         of batches are point reads and 10% scans, served from replica
+         state at f+1 matching result digests, so its throughput and
+         latency move whenever the bypass (or the storage seam under
+         it) changes cost. *)
+      Scenario.make ~windows:smoke_windows Scenario.Geobft
+        { (smoke_cfg ()) with Config.read_fraction = 0.5; scan_fraction = 0.1 } ]
 
 let smoke_runs () =
   List.map

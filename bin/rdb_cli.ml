@@ -43,6 +43,15 @@ let fault_arg =
   let print fmt f = Format.pp_print_string fmt (Runner.fault_name f) in
   Arg.conv (parse, print)
 
+let storage_arg =
+  let parse s =
+    match Config.storage_of_string (String.lowercase_ascii s) with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown storage backend %S (mem|disk)" s))
+  in
+  let print fmt st = Format.pp_print_string fmt (Config.storage_name st) in
+  Arg.conv (parse, print)
+
 let run_cmd =
   let protocol =
     Arg.(value & opt protocol_arg Runner.Geobft
@@ -70,6 +79,26 @@ let run_cmd =
     Arg.(value & opt int 9 & info [ "measure" ] ~docv:"SEC" ~doc:"Measurement seconds (simulated).")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
+  let reads =
+    Arg.(value & opt float 0.0
+         & info [ "reads" ] ~docv:"FRAC"
+             ~doc:
+               "Fraction of batches that are read-only point reads, served from replica state \
+                without consensus (clients wait for f+1 matching result digests).")
+  in
+  let scans =
+    Arg.(value & opt float 0.0
+         & info [ "scans" ] ~docv:"FRAC"
+             ~doc:"Fraction of batches that are read-only range scans (also bypass consensus).")
+  in
+  let storage =
+    Arg.(value & opt storage_arg Config.Memory
+         & info [ "storage" ] ~docv:"BACKEND"
+             ~doc:
+               "Storage backend under every replica's state machine: mem (in-memory records) \
+                or disk (append-only persistent block store with snapshot compaction and \
+                crash recovery).  Consensus results are byte-identical either way.")
+  in
   let fault =
     Arg.(value & opt fault_arg Runner.No_fault
          & info [ "fault" ] ~docv:"FAULT"
@@ -95,8 +124,11 @@ let run_cmd =
                 \xc2\xa715).  Results are byte-identical for every value — reports and trace \
                 digests never depend on $(docv) — only wall-clock changes.")
   in
-  let go protocol z n batch inflight warmup measure seed fault trace_out jobs =
-    let cfg = Config.make ~z ~n ~batch_size:batch ~client_inflight:inflight ~seed () in
+  let go protocol z n batch inflight warmup measure seed reads scans storage fault trace_out jobs =
+    let cfg =
+      Config.make ~z ~n ~batch_size:batch ~client_inflight:inflight ~seed
+        ~read_fraction:reads ~scan_fraction:scans ~storage ()
+    in
     let windows = { Scenario.warmup = Time.sec warmup; measure = Time.sec measure } in
     let scenario =
       Scenario.make ~windows ~fault ~trace:(Option.is_some trace_out) protocol cfg
@@ -126,7 +158,7 @@ let run_cmd =
   let term =
     Term.(
       const go $ protocol $ clusters $ replicas $ batch $ inflight $ warmup $ measure $ seed
-      $ fault $ trace_out $ jobs)
+      $ reads $ scans $ storage $ fault $ trace_out $ jobs)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one simulated geo-scale deployment and report its metrics.") term
 

@@ -55,8 +55,11 @@ module type DEP = sig
     ?n_records:int ->
     ?retain_payloads:bool ->
     ?sharded:bool ->
+    ?store_dir:string ->
     Config.t ->
     t
+
+  val close : t -> unit
   val run : ?warmup:Time.t -> ?measure:Time.t -> ?jobs:int -> t -> Report.t
   val crash_replica : t -> int -> unit
   val recover_replica : t -> int -> unit
@@ -329,6 +332,7 @@ let exec ?instrument ?attack ?(sharded = true) ?(jobs = 1) (p : proto) ~(windows
         Chaos.install surface timeline;
         let mon = Chaos.monitor ~liveness_window_ms surface timeline in
         let report = D.run ~warmup:windows.warmup ~measure:windows.measure ~jobs d in
+        D.close d;
         Chaos.check_now mon;
         (match Chaos.first_violation mon with
         | Some violation ->
@@ -342,7 +346,9 @@ let exec ?instrument ?attack ?(sharded = true) ?(jobs = 1) (p : proto) ~(windows
         | Primary_failure ->
             D.at d ~time:(Time.add windows.warmup (Time.ms 2000)) (fun () ->
                 D.crash_primary d ~cluster:0));
-        D.run ~warmup:windows.warmup ~measure:windows.measure ~jobs d
+        let report = D.run ~warmup:windows.warmup ~measure:windows.measure ~jobs d in
+        D.close d;
+        report
   in
   match p with
   | Geobft -> go (module GeoDep)
@@ -401,6 +407,7 @@ let chaos_timeline (p : proto) ?(windows = default_windows) ~seed
     let _, _, timeline, _ =
       chaos_plan (module D) d p ~windows ~seed cfg ~equiv:(chaos_equiv rt cfg)
     in
+    D.close d;
     timeline
   in
   match p with

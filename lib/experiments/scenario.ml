@@ -143,6 +143,12 @@ let to_string t =
     add " wan=%s" (fmt_f c.Config.wan_egress_mbps);
   if c.Config.geobft_fanout <> d.Config.geobft_fanout then add " fanout=%d" c.Config.geobft_fanout;
   if c.Config.threshold_certs then add " tcerts";
+  if c.Config.read_fraction <> d.Config.read_fraction then
+    add " reads=%s" (fmt_f c.Config.read_fraction);
+  if c.Config.scan_fraction <> d.Config.scan_fraction then
+    add " scans=%s" (fmt_f c.Config.scan_fraction);
+  if c.Config.storage <> d.Config.storage then
+    add " storage=%s" (Config.storage_name c.Config.storage);
   if cc.Config.sign_us <> dc.Config.sign_us then add " cost.sign=%s" (fmt_f cc.Config.sign_us);
   if cc.Config.verify_us <> dc.Config.verify_us then
     add " cost.verify=%s" (fmt_f cc.Config.verify_us);
@@ -223,6 +229,15 @@ let of_string s =
               | tok when float_field "wan=" tok <> None ->
                   let* v = float_field "wan=" tok in
                   c { cfg with Config.wan_egress_mbps = v }
+              | tok when float_field "reads=" tok <> None ->
+                  let* v = float_field "reads=" tok in
+                  c { cfg with Config.read_fraction = v }
+              | tok when float_field "scans=" tok <> None ->
+                  let* v = float_field "scans=" tok in
+                  c { cfg with Config.scan_fraction = v }
+              | tok when prefixed "storage=" tok <> None ->
+                  let* v = Option.bind (prefixed "storage=" tok) Config.storage_of_string in
+                  c { cfg with Config.storage = v }
               | tok when float_field "cost.sign=" tok <> None ->
                   let* v = float_field "cost.sign=" tok in
                   costs { cfg.Config.costs with Config.sign_us = v }
@@ -272,9 +287,11 @@ let of_string s =
 
 (* -- JSON round-trip ----------------------------------------------------- *)
 
-(* v2 added the optional "attack" field (absent when None); v1
-   documents without it still load. *)
-let schema_version = 2
+(* v2 added the optional "attack" field (absent when None); v3 added
+   the workload-mix and storage config fields (read_fraction,
+   scan_fraction, storage) — absent fields default, so v1/v2 documents
+   still load. *)
+let schema_version = 3
 
 let json_of_costs (c : Config.costs) : Json.t =
   Json.Obj
@@ -304,6 +321,9 @@ let json_of_config (c : Config.t) : Json.t =
       ("wan_egress_mbps", Json.Float c.Config.wan_egress_mbps);
       ("geobft_fanout", Json.Int c.Config.geobft_fanout);
       ("threshold_certs", Json.Bool c.Config.threshold_certs);
+      ("read_fraction", Json.Float c.Config.read_fraction);
+      ("scan_fraction", Json.Float c.Config.scan_fraction);
+      ("storage", Json.String (Config.storage_name c.Config.storage));
       ("costs", json_of_costs c.Config.costs);
       ("seed", Json.Int c.Config.seed);
     ]
@@ -373,6 +393,21 @@ let config_of_json j : (Config.t, string) result =
   let* wan_egress_mbps = field "wan_egress_mbps" Json.to_float j in
   let* geobft_fanout = field "geobft_fanout" Json.to_int j in
   let* threshold_certs = field "threshold_certs" Json.to_bool j in
+  (* v3 fields, defaulted so v1/v2 documents load unchanged. *)
+  let read_fraction =
+    Option.value ~default:0.0 (Option.bind (Json.member "read_fraction" j) Json.to_float)
+  in
+  let scan_fraction =
+    Option.value ~default:0.0 (Option.bind (Json.member "scan_fraction" j) Json.to_float)
+  in
+  let* storage =
+    match Json.member "storage" j with
+    | None -> Ok Config.Memory
+    | Some sj -> (
+        match Option.bind (Json.to_str sj) Config.storage_of_string with
+        | Some s -> Ok s
+        | None -> Error "Scenario.of_json: ill-typed field \"storage\"")
+  in
   let* costs =
     match Json.member "costs" j with
     | Some cj -> costs_of_json cj
@@ -393,6 +428,9 @@ let config_of_json j : (Config.t, string) result =
       wan_egress_mbps;
       geobft_fanout;
       threshold_certs;
+      read_fraction;
+      scan_fraction;
+      storage;
       costs;
       seed;
     }

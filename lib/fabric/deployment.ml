@@ -33,6 +33,9 @@ module Wire = Rdb_types.Wire
 module Ledger = Rdb_ledger.Ledger
 module Table = Rdb_ycsb.Table
 module Workload = Rdb_ycsb.Workload
+module App = Rdb_types.App
+module Kv = Rdb_storage.Kv
+module Backend = Rdb_storage.Backend
 
 (* What travels on the simulated wire: the protocol payload plus the
    receiver-side verification cost declared by the sender. *)
@@ -59,7 +62,8 @@ module Make (P : Protocol.S) = struct
     keychain : Keychain.t;
     metrics : Metrics.t;
     ledgers : Ledger.t array;            (* per replica *)
-    tables : Table.t array;
+    apps : Kv.t array;                   (* App state machine per replica *)
+    tables : Table.t array;              (* zero-copy views over the apps' records *)
     mutable nodes : node_kind array;
     drivers : client_driver array;
     mutable crashed : bool array;
@@ -87,8 +91,13 @@ module Make (P : Protocol.S) = struct
   let metrics t = t.metrics
   let ledger t ~replica = t.ledgers.(replica)
   let table t ~replica = t.tables.(replica)
+  let app t ~replica = Kv.app t.apps.(replica)
   let keychain t = t.keychain
   let set_delivery_hook t h = Network.set_delivery_hook t.net h
+
+  (* Release backend resources (the persistent backend holds an open
+     log channel per replica).  Idempotent; a no-op for Memory. *)
+  let close t = Array.iter Kv.close t.apps
 
   (* Adversarial interposition: adapt the protocol-payload hooks of
      lib/adversary to the packet-level hooks of the network.  Forged or
@@ -152,21 +161,53 @@ module Make (P : Protocol.S) = struct
       Cpu.charge t.cpu ~node ~stage:Cpu.Execute ~cost (fun () ->
           if not t.crashed.(node) then begin
             let ledger = t.ledgers.(node) in
-            Table.execute t.tables.(node) batch.Batch.txns;
+            let height = Ledger.length ledger in
+            let apply =
+              (* Apply to the App iff it sits exactly at the append
+                 height with an intact payload.  A stripped batch (its
+                 payload was dropped for ledger compactness) cannot
+                 reproduce state, and an App already past this height
+                 (a state snapshot was installed while this execute was
+                 in flight) must not re-apply — either way the block is
+                 appended ledger-only and the protocol skips its reply. *)
+              Kv.height t.apps.(node) = height && not (Batch.stripped batch)
+            in
+            let result = if apply then Some (Kv.apply t.apps.(node) batch) else None in
             let stored =
               if t.retain_payloads then batch else { batch with Batch.txns = [||] }
             in
             ignore
-              (Ledger.append ledger ~round:(Ledger.length ledger) ~cluster:batch.Batch.cluster
-                 ~batch:stored ~cert);
+              (Ledger.append ledger ~round:height ~cluster:batch.Batch.cluster ~batch:stored
+                 ~cert);
             if node = 0 then begin
               Metrics.record_decision t.metrics;
               match t.tracer with
               | None -> ()
               | Some tr -> Rdb_trace.Trace.note_decision tr
             end;
-            on_done ()
+            on_done result
           end)
+    in
+    (* The consensus-bypass read path: serve a read-only batch from
+       current state, charged at the execute stage like any execution,
+       but without consensus, without the ledger, and without moving
+       the App height. *)
+    let read_execute (batch : Batch.t) ~on_done =
+      let txns = Array.length batch.Batch.txns in
+      let cost =
+        Time.add (Config.exec_cost cfg ~txns) (Config.hash_cost cfg ~bytes:Wire.small)
+      in
+      Cpu.charge t.cpu ~node ~stage:Cpu.Execute ~cost (fun () ->
+          if not t.crashed.(node) then on_done (Kv.read t.apps.(node) batch))
+    in
+    let state_snapshot () =
+      (* With payloads retained, ledger replay rebuilds state for free;
+         only the stripped configuration needs the state piggyback. *)
+      if (not is_replica) || t.retain_payloads then None
+      else Some (Kv.snapshot t.apps.(node))
+    in
+    let app_restore snap =
+      if is_replica then Kv.restore t.apps.(node) snap
     in
     let ledger_read ~height =
       if is_replica then begin
@@ -182,8 +223,19 @@ module Make (P : Protocol.S) = struct
     in
     let complete (batch : Batch.t) =
       let now = Engine.now t.engine in
+      (* Per-op-class counts, taken client-side from the submitted
+         payload (the client always holds the full batch). *)
+      let reads = ref 0 and scans = ref 0 and writes = ref 0 in
+      Array.iter
+        (fun (x : Txn.t) ->
+          match x.Txn.op with
+          | Txn.Read -> incr reads
+          | Txn.Scan -> incr scans
+          | Txn.Write -> incr writes)
+        batch.Batch.txns;
       Metrics.record_completion t.metrics ~now ~txns:(Array.length batch.Batch.txns)
-        ~latency:(Time.sub now batch.Batch.created);
+        ~reads:!reads ~scans:!scans ~writes:!writes
+        ~latency:(Time.sub now batch.Batch.created) ();
       let d = t.drivers.(batch.Batch.cluster) in
       d.outstanding <- d.outstanding - 1;
       refill t d
@@ -211,6 +263,9 @@ module Make (P : Protocol.S) = struct
       set_timer;
       cancel_timer = Engine.cancel;
       execute;
+      read_execute;
+      state_snapshot;
+      app_restore;
       ledger_read;
       complete = (if is_replica then fun _ -> () else complete);
       trace;
@@ -239,7 +294,7 @@ module Make (P : Protocol.S) = struct
   (* -- construction -------------------------------------------------------- *)
 
   let create ?(trace = false) ?tracer ?(n_records = Table.default_records)
-      ?(retain_payloads = true) ?(sharded = true) (cfg : Config.t) =
+      ?(retain_payloads = true) ?(sharded = true) ?store_dir (cfg : Config.t) =
     if cfg.Config.z < 1 || cfg.Config.z > 6 then
       invalid_arg "Deployment.create: z must be within the paper's six regions";
     let topo = Topology.clustered ~z:cfg.Config.z ~n:cfg.Config.n in
@@ -272,16 +327,41 @@ module Make (P : Protocol.S) = struct
     end;
     let n_repl = Config.n_replicas cfg in
     let ledgers = Array.init n_repl (fun _ -> Ledger.create ()) in
-    (* Identical initial state on every replica: derive it once and
-       memcpy, instead of re-mixing 600 k records per node. *)
-    let table0 = Table.create ~n_records () in
-    let tables = Array.init n_repl (fun i -> if i = 0 then table0 else Table.clone table0) in
+    (* Identical initial state on every replica: derive the master
+       image once and memcpy, instead of re-mixing 600 k records per
+       node.  Each replica's App is a Kv state machine over the
+       configured backend; replica 0 of the Memory configuration
+       adopts the master directly (no extra copy). *)
+    let master = Backend.init_records ~n_records in
+    let store_root =
+      match (cfg.Config.storage, store_dir) with
+      | Config.Memory, _ -> None
+      | Config.Disk, Some d -> Some d
+      | Config.Disk, None ->
+          (* A unique scratch directory per deployment: claim a unique
+             temp-file name and use it as the directory root. *)
+          let stamp = Filename.temp_file "rdb-store-" "" in
+          Sys.remove stamp;
+          Some stamp
+    in
+    let apps =
+      Array.init n_repl (fun i ->
+          match store_root with
+          | None -> if i = 0 then Kv.of_records master else Kv.of_master master
+          | Some root ->
+              Kv.disk ~init:master
+                ~dir:(Filename.concat root (Printf.sprintf "r%d" i))
+                ~n_records ())
+    in
+    let tables = Array.map (fun kv -> Table.of_records (Kv.records kv)) apps in
     let drivers =
       Array.init cfg.Config.z (fun cluster ->
           {
             cluster;
             workload =
-              Workload.create ~n_records ~seed:(cfg.Config.seed + (7919 * (cluster + 1)))
+              Workload.create ~n_records ~read_fraction:cfg.Config.read_fraction
+                ~scan_fraction:cfg.Config.scan_fraction
+                ~seed:(cfg.Config.seed + (7919 * (cluster + 1)))
                 ~client_base:(cluster * 10_000) ();
             outstanding = 0;
             next_id = 0;
@@ -339,6 +419,7 @@ module Make (P : Protocol.S) = struct
         keychain;
         metrics;
         ledgers;
+        apps;
         tables;
         nodes = [||];
         drivers;
@@ -477,6 +558,7 @@ module Make (P : Protocol.S) = struct
     let after = Stats.snapshot (Network.stats t.net) in
     let d = Stats.diff ~after ~before in
     let lat = Metrics.latency_summary t.metrics in
+    let rlat = Metrics.read_latency_summary t.metrics in
     {
       Report.protocol = P.name;
       z = t.cfg.Config.z;
@@ -498,6 +580,13 @@ module Make (P : Protocol.S) = struct
       state_transfers = (recovery_totals t).Protocol.state_transfers;
       holes_filled = (recovery_totals t).Protocol.holes_filled;
       retransmissions = (recovery_totals t).Protocol.retransmissions;
+      storage = Config.storage_name t.cfg.Config.storage;
+      read_txns = Metrics.read_txns t.metrics;
+      scan_txns = Metrics.scan_txns t.metrics;
+      write_txns = Metrics.write_txns t.metrics;
+      read_p50_latency_ms = rlat.Metrics.p50_ms;
+      read_p95_latency_ms = rlat.Metrics.p95_ms;
+      read_p99_latency_ms = rlat.Metrics.p99_ms;
       window_sec = Metrics.window_sec t.metrics;
       (* Finalizes the digest: [run] is the end of the traced stream. *)
       trace = Option.map Rdb_trace.Trace.summary t.tracer;

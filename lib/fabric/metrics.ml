@@ -20,6 +20,14 @@ type sub = {
   mutable completed_txns : int;
   mutable latencies_ms : float list;      (* within the window only *)
   mutable decisions : int;                (* consensus decisions (executions at replica 0) *)
+  (* Per-op-class completion counts and the read-path latency split:
+     read-only batches (reads and scans, including those served by the
+     consensus bypass) have a very different latency profile from
+     write batches, so their percentiles are reported separately. *)
+  mutable read_txns : int;
+  mutable scan_txns : int;
+  mutable write_txns : int;
+  mutable read_latencies_ms : float list;
 }
 
 type t = {
@@ -30,7 +38,17 @@ type t = {
   mutable window_end : Time.t;
 }
 
-let mk_sub () = { completed_batches = 0; completed_txns = 0; latencies_ms = []; decisions = 0 }
+let mk_sub () =
+  {
+    completed_batches = 0;
+    completed_txns = 0;
+    latencies_ms = [];
+    decisions = 0;
+    read_txns = 0;
+    scan_txns = 0;
+    write_txns = 0;
+    read_latencies_ms = [];
+  }
 
 let create () =
   {
@@ -49,12 +67,18 @@ let set_shards t ~n ~shard_of_now =
 let open_window t ~now = t.window_open <- true; t.window_start <- now
 let close_window t ~now = t.window_open <- false; t.window_end <- now
 
-let record_completion t ~now:_ ~txns ~latency =
+let record_completion t ~now:_ ~txns ?(reads = 0) ?(scans = 0) ?(writes = 0) ~latency () =
   if t.window_open then begin
     let s = t.subs.(t.shard_of_now ()) in
     s.completed_batches <- s.completed_batches + 1;
     s.completed_txns <- s.completed_txns + txns;
-    s.latencies_ms <- Time.to_ms_f latency :: s.latencies_ms
+    let ms = Time.to_ms_f latency in
+    s.latencies_ms <- ms :: s.latencies_ms;
+    s.read_txns <- s.read_txns + reads;
+    s.scan_txns <- s.scan_txns + scans;
+    s.write_txns <- s.write_txns + writes;
+    if writes = 0 && reads + scans > 0 then
+      s.read_latencies_ms <- ms :: s.read_latencies_ms
   end
 
 let record_decision t =
@@ -68,6 +92,9 @@ let sum t f = Array.fold_left (fun acc s -> acc + f s) 0 t.subs
 let completed_batches t = sum t (fun s -> s.completed_batches)
 let completed_txns t = sum t (fun s -> s.completed_txns)
 let decisions t = sum t (fun s -> s.decisions)
+let read_txns t = sum t (fun s -> s.read_txns)
+let scan_txns t = sum t (fun s -> s.scan_txns)
+let write_txns t = sum t (fun s -> s.write_txns)
 
 let window_sec t = Time.to_sec_f (Time.sub t.window_end t.window_start)
 
@@ -82,10 +109,7 @@ let percentile sorted p =
 
 type latency_summary = { avg_ms : float; p50_ms : float; p95_ms : float; p99_ms : float; max_ms : float }
 
-let latency_summary t =
-  let arr =
-    Array.concat (Array.to_list (Array.map (fun s -> Array.of_list s.latencies_ms) t.subs))
-  in
+let summarize arr =
   Array.sort compare arr;
   let n = Array.length arr in
   if n = 0 then { avg_ms = 0.; p50_ms = 0.; p95_ms = 0.; p99_ms = 0.; max_ms = 0. }
@@ -97,3 +121,13 @@ let latency_summary t =
       p99_ms = percentile arr 0.99;
       max_ms = arr.(n - 1);
     }
+
+let latency_summary t =
+  summarize
+    (Array.concat (Array.to_list (Array.map (fun s -> Array.of_list s.latencies_ms) t.subs)))
+
+(* Latencies of read-only batches alone (point-read and scan batches). *)
+let read_latency_summary t =
+  summarize
+    (Array.concat
+       (Array.to_list (Array.map (fun s -> Array.of_list s.read_latencies_ms) t.subs)))

@@ -21,8 +21,19 @@ val set_shards : t -> n:int -> shard_of_now:(unit -> int) -> unit
 val open_window : t -> now:Time.t -> unit
 val close_window : t -> now:Time.t -> unit
 
-val record_completion : t -> now:Time.t -> txns:int -> latency:Time.t -> unit
-(** Ignored while the window is closed. *)
+val record_completion :
+  t ->
+  now:Time.t ->
+  txns:int ->
+  ?reads:int ->
+  ?scans:int ->
+  ?writes:int ->
+  latency:Time.t ->
+  unit ->
+  unit
+(** Ignored while the window is closed.  [reads]/[scans]/[writes] are
+    the batch's per-op-class counts; a completion with no writes and at
+    least one read or scan also lands in the read-latency split. *)
 
 val record_decision : t -> unit
 (** One consensus decision observed (counted at replica 0). *)
@@ -30,6 +41,11 @@ val record_decision : t -> unit
 val completed_batches : t -> int
 val completed_txns : t -> int
 val decisions : t -> int
+
+val read_txns : t -> int
+val scan_txns : t -> int
+val write_txns : t -> int
+(** Completed transactions by op class, inside the window. *)
 
 val window_sec : t -> float
 val throughput_txn_s : t -> float
@@ -43,3 +59,6 @@ type latency_summary = {
 }
 
 val latency_summary : t -> latency_summary
+
+val read_latency_summary : t -> latency_summary
+(** Latency summary over read-only batch completions alone. *)

@@ -24,6 +24,18 @@ type t = {
   state_transfers : int;
   holes_filled : int;
   retransmissions : int;
+  (* Storage backend under the App state machine ("mem" / "disk") and
+     the per-op-class view of the completed work: transaction counts by
+     class, plus latency percentiles over read-only batches alone
+     (reads commonly bypass consensus, so their profile differs from
+     writes by an order of magnitude). *)
+  storage : string;
+  read_txns : int;
+  scan_txns : int;
+  write_txns : int;
+  read_p50_latency_ms : float;
+  read_p95_latency_ms : float;
+  read_p99_latency_ms : float;
   window_sec : float;
   (* Whole-run trace summary (per-phase latency breakdown, traced
      message counts, deterministic digest); None when tracing was off. *)
@@ -41,7 +53,14 @@ let pp fmt t =
   Format.fprintf fmt
     "%-9s z=%d n=%-2d batch=%-3d | %10.0f txn/s | lat avg %7.1f ms p50 %7.1f p99 %7.1f | msgs/dec local %7.1f global %6.1f | vc %d"
     t.protocol t.z t.n t.batch_size t.throughput_txn_s t.avg_latency_ms t.p50_latency_ms
-    t.p99_latency_ms (local_msgs_per_decision t) (global_msgs_per_decision t) t.view_changes
+    t.p99_latency_ms (local_msgs_per_decision t) (global_msgs_per_decision t) t.view_changes;
+  (* The op-class split only appears on mixed workloads: write-only
+     runs keep the historical one-line shape. *)
+  if t.read_txns > 0 || t.scan_txns > 0 then
+    Format.fprintf fmt
+      "@\nops: reads %d (p50 %.1f ms p95 %.1f p99 %.1f) | scans %d | writes %d | storage %s"
+      t.read_txns t.read_p50_latency_ms t.read_p95_latency_ms t.read_p99_latency_ms
+      t.scan_txns t.write_txns t.storage
 
 let pp_recovery fmt t =
   Format.fprintf fmt
@@ -61,8 +80,11 @@ let to_string t = Format.asprintf "%a" pp t
 
 (* Bump on any shape change; of_json refuses documents from the
    future.  Version 1 was the ad-hoc, write-only shape the bench
-   harness used to emit (no trace block, no inverse). *)
-let schema_version = 2
+   harness used to emit (no trace block, no inverse).  Version 2
+   predates the storage redesign: no per-op-class counts, no read
+   latency split, no storage field — [of_json] still accepts it,
+   defaulting those fields to a write-only in-memory run. *)
+let schema_version = 3
 
 let json_of_trace (s : Rdb_trace.Trace.summary) : Json.t =
   Json.Obj
@@ -112,6 +134,13 @@ let to_json t : Json.t =
       ("state_transfers", Json.Int t.state_transfers);
       ("holes_filled", Json.Int t.holes_filled);
       ("retransmissions", Json.Int t.retransmissions);
+      ("storage", Json.String t.storage);
+      ("read_txns", Json.Int t.read_txns);
+      ("scan_txns", Json.Int t.scan_txns);
+      ("write_txns", Json.Int t.write_txns);
+      ("read_p50_latency_ms", Json.Float t.read_p50_latency_ms);
+      ("read_p95_latency_ms", Json.Float t.read_p95_latency_ms);
+      ("read_p99_latency_ms", Json.Float t.read_p99_latency_ms);
       ("window_sec", Json.Float t.window_sec);
       ("trace", match t.trace with None -> Json.Null | Some s -> json_of_trace s);
     ]
@@ -124,6 +153,13 @@ let field name conv j =
   match Option.bind (Json.member name j) conv with
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "Report.of_json: missing or ill-typed field %S" name)
+
+(* A field introduced by a later schema version: absent in old
+   documents, in which case [default] applies. *)
+let field_or name conv ~default j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some _ -> field name conv j
 
 let trace_of_json j =
   match j with
@@ -186,6 +222,14 @@ let of_json j : (t, string) result =
     let* state_transfers = field "state_transfers" Json.to_int j in
     let* holes_filled = field "holes_filled" Json.to_int j in
     let* retransmissions = field "retransmissions" Json.to_int j in
+    (* Schema-3 fields; a schema-2 document is a write-only in-memory run. *)
+    let* storage = field_or "storage" Json.to_str ~default:"mem" j in
+    let* read_txns = field_or "read_txns" Json.to_int ~default:0 j in
+    let* scan_txns = field_or "scan_txns" Json.to_int ~default:0 j in
+    let* write_txns = field_or "write_txns" Json.to_int ~default:0 j in
+    let* read_p50_latency_ms = field_or "read_p50_latency_ms" Json.to_float ~default:0.0 j in
+    let* read_p95_latency_ms = field_or "read_p95_latency_ms" Json.to_float ~default:0.0 j in
+    let* read_p99_latency_ms = field_or "read_p99_latency_ms" Json.to_float ~default:0.0 j in
     let* window_sec = field "window_sec" Json.to_float j in
     let* trace = trace_of_json (Json.member "trace" j) in
     Ok
@@ -210,6 +254,13 @@ let of_json j : (t, string) result =
         state_transfers;
         holes_filled;
         retransmissions;
+        storage;
+        read_txns;
+        scan_txns;
+        write_txns;
+        read_p50_latency_ms;
+        read_p95_latency_ms;
+        read_p99_latency_ms;
         window_sec;
         trace;
       }

@@ -23,6 +23,15 @@ type t = {
   state_transfers : int;   (** checkpoint state transfers installed *)
   holes_filled : int;      (** execution holes filled by catch-up *)
   retransmissions : int;   (** timeout-driven protocol retransmissions *)
+  storage : string;        (** backend under the App ("mem" / "disk") *)
+  read_txns : int;         (** completed transactions by op class *)
+  scan_txns : int;
+  write_txns : int;
+  read_p50_latency_ms : float;
+      (** latency percentiles over read-only batches alone (0 when the
+          workload had none) *)
+  read_p95_latency_ms : float;
+  read_p99_latency_ms : float;
   window_sec : float;
   trace : Rdb_trace.Trace.summary option;
       (** whole-run trace summary (phase breakdown, traced message

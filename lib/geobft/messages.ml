@@ -21,6 +21,7 @@
 module Batch = Rdb_types.Batch
 module Certificate = Rdb_types.Certificate
 module Schnorr = Rdb_crypto.Schnorr
+module App = Rdb_types.App
 
 type rvc = {
   failed_cluster : int;     (* C1: the cluster asked to view-change *)
@@ -33,6 +34,7 @@ type rvc = {
 type msg =
   | Local of Rdb_pbft.Messages.msg
   | Request of Batch.t
+  | Read_request of Batch.t
   | Global_share of { round : int; batch : Batch.t; cert : Certificate.t }
   | Drvc of { failed_cluster : int; round : int; vc_count : int }
   | Rvc of rvc                 (* sent cross-cluster, or forwarded within C1 *)
@@ -48,6 +50,7 @@ type msg =
       from : int;
       eng_view : int;
       blocks : (Batch.t * Certificate.t option) list;
+      state : App.snapshot option;
     }
 
 let rvc_payload ~failed_cluster ~round ~vc_count ~requester =
@@ -56,6 +59,7 @@ let rvc_payload ~failed_cluster ~round ~vc_count ~requester =
 let kind = function
   | Local m -> "local-" ^ Rdb_pbft.Messages.kind m
   | Request _ -> "request"
+  | Read_request _ -> "read-request"
   | Global_share _ -> "global-share"
   | Drvc _ -> "drvc"
   | Rvc _ -> "rvc"

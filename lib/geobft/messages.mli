@@ -6,6 +6,7 @@
 module Batch = Rdb_types.Batch
 module Certificate = Rdb_types.Certificate
 module Schnorr = Rdb_crypto.Schnorr
+module App = Rdb_types.App
 
 type rvc = {
   failed_cluster : int;  (** C1: the cluster asked to view-change *)
@@ -18,6 +19,9 @@ type rvc = {
 type msg =
   | Local of Rdb_pbft.Messages.msg
   | Request of Batch.t
+  | Read_request of Batch.t
+      (** Consensus-bypass read-only batch, served from local-cluster
+          replica state (client waits for f+1 matching digests). *)
   | Global_share of { round : int; batch : Batch.t; cert : Certificate.t }
   | Drvc of { failed_cluster : int; round : int; vc_count : int }
   | Rvc of rvc
@@ -28,6 +32,10 @@ type msg =
       from : int;
       eng_view : int;
       blocks : (Batch.t * Certificate.t option) list;
+      state : App.snapshot option;
+          (** App state snapshot, attached to the final chunk when
+              ledger payloads are stripped and replay cannot rebuild
+              state. *)
     }
 
 val rvc_payload : failed_cluster:int -> round:int -> vc_count:int -> requester:int -> string

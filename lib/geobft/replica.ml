@@ -99,14 +99,15 @@ let share_size cfg =
 
 let size_of cfg = function
   | Local _ -> assert false (* the engine sizes its own messages *)
-  | Request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
+  | Request _ | Read_request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
   | Global_share _ -> share_size cfg
   | Drvc _ | Rvc _ -> Wire.small
   | Reply _ -> Wire.response_bytes ~batch_size:cfg.Config.batch_size
   | Fetch_rounds _ -> Wire.fetch_bytes
-  | Round_data { blocks; _ } ->
+  | Round_data { blocks; state; _ } ->
       Wire.snapshot_bytes ~batch_size:cfg.Config.batch_size
         ~sigs:(Config.cert_wire_sigs cfg) ~blocks:(List.length blocks)
+      + (match state with Some s -> String.length s.Rdb_types.App.state | None -> 0)
 
 (* Receiver floor only: certificate signatures are verified once per
    *new* certificate on the certify thread (deduplication is a cheap
@@ -186,21 +187,26 @@ and exec_batches r round = function
       try_execute r
   | (batch, cert) :: rest ->
       r.issued <- r.issued + 1;
-      r.ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
+      r.ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun result ->
           r.ctx.Ctx.phase
             ~key:(phase_key r ~cluster:cert.Certificate.cluster ~round)
             ~name:"execute";
           r.appended <- r.appended + 1;
-          (* Inform only local clients (§2.4). *)
-          (if (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster then
-             let result_digest = Rdb_crypto.Sha256.digest_list [ "result"; batch.Batch.digest ] in
-             send r ~dst:batch.Batch.origin
-               (Reply
-                  {
-                    batch_id = batch.Batch.id;
-                    result_digest;
-                    primary = Engine.primary r.engine;
-                  }));
+          (* Inform only local clients (§2.4), and only with a real
+             execution result — [None] means this replica's state was
+             already ahead (snapshot install) and up-to-date peers
+             answer instead. *)
+          (match result with
+          | Some res
+            when (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster ->
+              send r ~dst:batch.Batch.origin
+                (Reply
+                   {
+                     batch_id = batch.Batch.id;
+                     result_digest = res.Rdb_types.App.digest;
+                     primary = Engine.primary r.engine;
+                   })
+          | _ -> ());
           exec_batches r round rest)
 
 (* -- remote failure detection (initiation role, Figure 7) ---------------- *)
@@ -444,12 +450,23 @@ let send_catchup_fetch r ~attempt =
 let serve_rounds r ~src ~from =
   let blocks = r.ctx.Ctx.ledger_read ~height:from in
   let blocks = List.filteri (fun i _ -> i < catchup_chunk) blocks in
+  (* The final chunk (less than a full chunk) carries the App state
+     snapshot when ledger payloads are stripped: the served blocks
+     cannot be replayed, so state must ship alongside the suffix. *)
+  let state =
+    if List.length blocks < catchup_chunk then r.ctx.Ctx.state_snapshot () else None
+  in
   (* Always answer, even when empty: an empty reply tells the requester
      it has reached our executed frontier. *)
-  send r ~dst:src (Round_data { from; eng_view = Engine.view r.engine; blocks })
+  send r ~dst:src (Round_data { from; eng_view = Engine.view r.engine; blocks; state })
 
-let install_rounds r ~from ~eng_view blocks =
+let install_rounds r ~from ~eng_view ~state blocks =
   if r.recovering && (not r.exec_busy) && from = r.issued then begin
+    (* Ratchet the App forward before replaying the suffix: with
+       stripped payloads the replayed blocks cannot rebuild state, so
+       the snapshot is the state and the appends just fill the ledger
+       (their [on_done] sees [None]). *)
+    Option.iter r.ctx.Ctx.app_restore state;
     let z = r.cfg.Config.z in
     let len = List.length blocks in
     (* Install only complete rounds: a partial round would collide with
@@ -468,7 +485,7 @@ let install_rounds r ~from ~eng_view blocks =
           incr filled;
           if h mod z = r.my_cluster then
             ignore (Engine.note_external_commit r.engine ~seq:(h / z) batch);
-          r.ctx.Ctx.execute batch ~cert ~on_done:(fun () -> r.appended <- r.appended + 1)
+          r.ctx.Ctx.execute batch ~cert ~on_done:(fun _ -> r.appended <- r.appended + 1)
         end)
       blocks;
     r.exec_busy <- false;
@@ -641,7 +658,7 @@ let adversary : msg Rdb_types.Interpose.view =
         | Rdb_pbft.Messages.Checkpoint _ -> Sync
         | Rdb_pbft.Messages.ViewChange _ | Rdb_pbft.Messages.NewView _ -> View_change
         | Rdb_pbft.Messages.Forward _ -> Client)
-    | Messages.Request _ | Messages.Reply _ -> Client
+    | Messages.Request _ | Messages.Read_request _ | Messages.Reply _ -> Client
     | Messages.Global_share _ -> Share
     | Messages.Drvc _ | Messages.Rvc _ -> View_change
     | Messages.Fetch_rounds _ | Messages.Round_data _ -> Sync
@@ -665,6 +682,23 @@ let on_message (r : replica) ~src (m : msg) =
   | Request batch ->
       if batch.Batch.cluster = r.my_cluster && Batch.verify ~keychain:r.ctx.Ctx.keychain batch
       then Engine.submit_batch r.engine batch
+  | Read_request batch ->
+      (* Consensus-bypass read, served by the client's local cluster
+         from current replica state (f+1 matching digests at the
+         client prove a committed prefix). *)
+      if
+        batch.Batch.cluster = r.my_cluster
+        && Batch.verify ~keychain:r.ctx.Ctx.keychain batch
+        && Batch.read_only batch
+      then
+        r.ctx.Ctx.read_execute batch ~on_done:(fun res ->
+            send r ~dst:batch.Batch.origin
+              (Reply
+                 {
+                   batch_id = batch.Batch.id;
+                   result_digest = res.Rdb_types.App.digest;
+                   primary = Engine.primary r.engine;
+                 }))
   | Global_share { round; batch; cert } -> accept_share r ~src ~round batch cert
   | Drvc { failed_cluster; round; vc_count } ->
       if failed_cluster <> r.my_cluster
@@ -679,7 +713,8 @@ let on_message (r : replica) ~src (m : msg) =
   | Rvc rvc -> handle_rvc r rvc ~src
   | Fetch_rounds { from } ->
       if Config.cluster_of_replica r.cfg src = r.my_cluster then serve_rounds r ~src ~from
-  | Round_data { from; eng_view; blocks } -> install_rounds r ~from ~eng_view blocks
+  | Round_data { from; eng_view; blocks; state } ->
+      install_rounds r ~from ~eng_view ~state blocks
   | Reply _ -> ()
 
 (* -- client agent --------------------------------------------------------------- *)
@@ -703,7 +738,18 @@ let create_client (ctx : msg Ctx.t) ~cluster =
         (Config.replicas_of_cluster cfg cluster)
     else ctx.Ctx.send ~dst:!primary_guess ~size ~vcost (Request batch)
   in
-  { core = Client_core.create ~ctx ~threshold:(Config.weak_quorum cfg) ~transmit; primary_guess }
+  (* Read-only batches bypass consensus: every local replica answers
+     from its state, f+1 matching digests suffice. *)
+  let transmit_read (batch : Batch.t) =
+    List.iter
+      (fun dst -> ctx.Ctx.send ~dst ~size ~vcost (Read_request batch))
+      (Config.replicas_of_cluster cfg cluster)
+  in
+  {
+    core =
+      Client_core.create ~ctx ~threshold:(Config.weak_quorum cfg) ~transmit_read ~transmit ();
+    primary_guess;
+  }
 
 let submit (c : client) batch = Client_core.submit c.core batch
 

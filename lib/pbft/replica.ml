@@ -28,6 +28,7 @@ module Ctx = Rdb_types.Ctx
 module Wire = Rdb_types.Wire
 module Client_core = Rdb_types.Client_core
 module Protocol = Rdb_types.Protocol
+module App = Rdb_types.App
 module Time = Rdb_sim.Time
 module Recovery = Rdb_recovery.Recovery
 
@@ -36,6 +37,9 @@ let name = "Pbft"
 type msg =
   | Engine_msg of Messages.msg
   | Request of Batch.t
+  | Read_request of Batch.t
+      (* read-only batch served from replica state without consensus;
+         the client needs f+1 matching result digests *)
   | Reply of { batch_id : int; result_digest : string; primary : int }
   | Fetch_state of { from : int }
   | Snapshot of {
@@ -44,6 +48,10 @@ type msg =
       anchor_digest : string;
       view : int;
       blocks : (Batch.t * Certificate.t option) list;
+      (* Full App state at the server: present only when ledger
+         payloads are stripped (replaying [blocks] cannot rebuild
+         state then). *)
+      state : App.snapshot option;
     }
 
 type replica = {
@@ -57,15 +65,19 @@ type replica = {
   mutable issued : int;
   mutable appended : int;
   mutable recovering : bool;
-  (* src -> (from, anchor_seq, anchor_digest, view, blocks) *)
-  snap_replies : (int, int * int * string * int * (Batch.t * Certificate.t option) list) Hashtbl.t;
+  (* src -> (from, anchor_seq, anchor_digest, view, blocks, state) *)
+  snap_replies :
+    ( int,
+      int * int * string * int * (Batch.t * Certificate.t option) list * App.snapshot option )
+    Hashtbl.t;
   stats : Recovery.Stats.t;
   mutable task : Recovery.Task.t option;
-  (* digest -> batch id of an executed batch: a retransmitted request
-     for a batch we already executed (its reply was lost on the wire)
-     is answered from this cache instead of being silently dropped by
-     the engine's duplicate-proposal guard. *)
-  reply_cache : (string, int) Hashtbl.t;
+  (* digest -> (batch id, result digest) of an executed batch: a
+     retransmitted request for a batch we already executed (its reply
+     was lost on the wire) is answered from this cache instead of
+     being silently dropped by the engine's duplicate-proposal
+     guard. *)
+  reply_cache : (string, int * string) Hashtbl.t;
 }
 
 type client = { core : msg Client_core.t; primary_guess : int ref }
@@ -74,9 +86,6 @@ type client = { core : msg Client_core.t; primary_guess : int ref }
 let members_of cfg = Array.init (Config.n_replicas cfg) (fun i -> i)
 
 let reply_size cfg = Wire.response_bytes ~batch_size:cfg.Config.batch_size
-
-(* Deterministic result digest so clients can match replies. *)
-let result_digest (b : Batch.t) = Rdb_crypto.Sha256.digest_list [ "result"; b.Batch.digest ]
 
 (* -- state transfer ------------------------------------------------------ *)
 
@@ -92,9 +101,14 @@ let serve_fetch (r : replica) ~src ~from =
   let cfg = r.ctx.Ctx.config in
   let blocks = r.ctx.Ctx.ledger_read ~height:from in
   let nb = List.length blocks in
+  (* With stripped ledger payloads the served blocks cannot be
+     replayed; piggyback the full App state (None when payloads are
+     retained — replay is then cheaper than shipping state). *)
+  let state = r.ctx.Ctx.state_snapshot () in
   let size =
     Wire.snapshot_bytes ~batch_size:cfg.Config.batch_size ~sigs:(Config.cert_wire_sigs cfg)
       ~blocks:nb
+    + (match state with Some s -> String.length s.App.state | None -> 0)
   in
   (* The requester verifies the anchor digest and one certificate per
      block before installing. *)
@@ -111,9 +125,14 @@ let serve_fetch (r : replica) ~src ~from =
          anchor_digest = Engine.stable_digest r.engine;
          view = Engine.view r.engine;
          blocks;
+         state;
        })
 
-let install (r : replica) ~from ~anchor_seq ~anchor_digest ~view ~blocks =
+let install (r : replica) ~from ~anchor_seq ~anchor_digest ~view ~blocks ~state =
+  (* Install the App snapshot first (forward-ratchet: a stale one is
+     ignored): served blocks may be payload-stripped, in which case the
+     state transfer — not replay — is what rebuilds the store. *)
+  Option.iter r.ctx.Ctx.app_restore state;
   let filled = ref 0 in
   List.iteri
     (fun i (batch, cert) ->
@@ -124,11 +143,14 @@ let install (r : replica) ~from ~anchor_seq ~anchor_digest ~view ~blocks =
       if h = r.issued then begin
         r.issued <- r.issued + 1;
         incr filled;
-        r.ctx.Ctx.execute batch ~cert ~on_done:(fun () ->
+        r.ctx.Ctx.execute batch ~cert ~on_done:(fun result ->
             r.ctx.Ctx.phase ~key:h ~name:"execute";
             r.appended <- r.appended + 1;
-            if not (Batch.is_noop batch) then
-              Hashtbl.replace r.reply_cache batch.Batch.digest batch.Batch.id);
+            match result with
+            | Some res when not (Batch.is_noop batch) ->
+                Hashtbl.replace r.reply_cache batch.Batch.digest
+                  (batch.Batch.id, res.App.digest)
+            | _ -> ());
         ignore (Engine.note_external_commit r.engine ~seq:h batch)
       end)
     blocks;
@@ -144,10 +166,10 @@ let install (r : replica) ~from ~anchor_seq ~anchor_digest ~view ~blocks =
 let try_install (r : replica) =
   let groups = Hashtbl.create 4 in
   Hashtbl.iter
-    (fun _ (from, aseq, adig, view, blocks) ->
+    (fun _ (from, aseq, adig, view, blocks, state) ->
       let k = (aseq, adig) in
       Hashtbl.replace groups k
-        ((from, view, blocks) :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+        ((from, view, blocks, state) :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
     r.snap_replies;
   let chosen =
     Hashtbl.fold
@@ -160,14 +182,15 @@ let try_install (r : replica) =
   match chosen with
   | None -> ()
   | Some (aseq, adig, rs) ->
-      let from, view, blocks =
+      let from, view, blocks, state =
         List.fold_left
-          (fun (bf, bv, bb) (f', v', b') ->
-            if f' + List.length b' > bf + List.length bb then (f', v', b') else (bf, bv, bb))
+          (fun (bf, bv, bb, bs) (f', v', b', s') ->
+            if f' + List.length b' > bf + List.length bb then (f', v', b', s')
+            else (bf, bv, bb, bs))
           (List.hd rs) (List.tl rs)
       in
       Hashtbl.reset r.snap_replies;
-      install r ~from ~anchor_seq:aseq ~anchor_digest:adig ~view ~blocks
+      install r ~from ~anchor_seq:aseq ~anchor_digest:adig ~view ~blocks ~state
 
 (* -- replica ------------------------------------------------------------- *)
 
@@ -197,17 +220,25 @@ let create_replica (ctx : msg Ctx.t) =
         (* A normal-path commit means this replica is back at the live
            frontier: catch-up is done. *)
         r.recovering <- false;
-        ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun () ->
+        ctx.Ctx.execute batch ~cert:(Some cert) ~on_done:(fun result ->
             ctx.Ctx.phase ~key:seq ~name:"execute";
             r.appended <- r.appended + 1;
-            if not (Batch.is_noop batch) then begin
-              Hashtbl.replace r.reply_cache batch.Batch.digest batch.Batch.id;
-              let primary = Engine.primary r.engine in
-              ctx.Ctx.send ~dst:batch.Batch.origin ~size:(reply_size cfg)
-                ~vcost:(Config.recv_floor_cost cfg ~bytes:(reply_size cfg))
-                (Reply
-                   { batch_id = batch.Batch.id; result_digest = result_digest batch; primary })
-            end)
+            match result with
+            | Some res when not (Batch.is_noop batch) ->
+                (* Reply with the real execution-result digest; the
+                   client accepts at f+1 matching digests, i.e. f+1
+                   replicas agreeing on what was executed. *)
+                Hashtbl.replace r.reply_cache batch.Batch.digest
+                  (batch.Batch.id, res.App.digest);
+                let primary = Engine.primary r.engine in
+                ctx.Ctx.send ~dst:batch.Batch.origin ~size:(reply_size cfg)
+                  ~vcost:(Config.recv_floor_cost cfg ~bytes:(reply_size cfg))
+                  (Reply { batch_id = batch.Batch.id; result_digest = res.App.digest; primary })
+            | _ ->
+                (* Appended but not applied (App ahead after a state
+                   install, or stripped payload): no result to report —
+                   up-to-date replicas answer the client. *)
+                ())
   in
   let engine =
     Engine.create ~ctx:engine_ctx ~members:(members_of cfg) ~cluster:0 ~on_committed
@@ -252,23 +283,35 @@ let on_message (r : replica) ~src (m : msg) =
   | Request batch -> (
       if Batch.verify ~keychain:r.ctx.Ctx.keychain batch then
         match Hashtbl.find_opt r.reply_cache batch.Batch.digest with
-        | Some batch_id ->
+        | Some (batch_id, result_digest) ->
             (* Already executed: the client's retransmission means the
                original reply was lost — answer from the cache. *)
             let cfg = r.ctx.Ctx.config in
             r.ctx.Ctx.send ~dst:batch.Batch.origin ~size:(reply_size cfg)
               ~vcost:(Config.recv_floor_cost cfg ~bytes:(reply_size cfg))
+              (Reply { batch_id; result_digest; primary = Engine.primary r.engine })
+        | None -> Engine.submit_batch r.engine batch)
+  | Read_request batch ->
+      (* Consensus-bypass read: serve the read-only batch from current
+         state.  Safe at f+1 matching digests because a non-faulty
+         reply reflects a prefix of the agreed order; a client that
+         cannot gather f+1 (replica states at different heights) times
+         out and re-orders the batch through consensus. *)
+      if Batch.verify ~keychain:r.ctx.Ctx.keychain batch && Batch.read_only batch then
+        r.ctx.Ctx.read_execute batch ~on_done:(fun res ->
+            let cfg = r.ctx.Ctx.config in
+            r.ctx.Ctx.send ~dst:batch.Batch.origin ~size:(reply_size cfg)
+              ~vcost:(Config.recv_floor_cost cfg ~bytes:(reply_size cfg))
               (Reply
                  {
-                   batch_id;
-                   result_digest = result_digest batch;
+                   batch_id = batch.Batch.id;
+                   result_digest = res.App.digest;
                    primary = Engine.primary r.engine;
-                 })
-        | None -> Engine.submit_batch r.engine batch)
+                 }))
   | Fetch_state { from } -> serve_fetch r ~src ~from
-  | Snapshot { from; anchor_seq; anchor_digest; view; blocks } ->
+  | Snapshot { from; anchor_seq; anchor_digest; view; blocks; state } ->
       if r.recovering then begin
-        Hashtbl.replace r.snap_replies src (from, anchor_seq, anchor_digest, view, blocks);
+        Hashtbl.replace r.snap_replies src (from, anchor_seq, anchor_digest, view, blocks, state);
         try_install r
       end
   | Reply _ -> ()
@@ -291,7 +334,7 @@ let adversary : msg Rdb_types.Interpose.view =
         | Messages.Checkpoint _ -> Sync
         | Messages.ViewChange _ | Messages.NewView _ -> View_change
         | Messages.Forward _ -> Client)
-    | Request _ | Reply _ -> Client
+    | Request _ | Read_request _ | Reply _ -> Client
     | Fetch_state _ | Snapshot _ -> Sync
   in
   let conflict ~keychain ~nonce = function
@@ -336,9 +379,19 @@ let create_client (ctx : msg Ctx.t) ~cluster:_ =
         (List.init (Config.n_replicas cfg) Fun.id)
     else ctx.Ctx.send ~dst:!primary_guess ~size ~vcost (Request batch)
   in
+  (* Read-only batches go straight to every replica; f+1 matching
+     result digests prove the read reflects a committed prefix. *)
+  let transmit_read (batch : Batch.t) =
+    List.iter
+      (fun dst -> ctx.Ctx.send ~dst ~size ~vcost (Read_request batch))
+      (List.init (Config.n_replicas cfg) Fun.id)
+  in
   (* Global f for the flat group. *)
   let f_global = (Config.n_replicas cfg - 1) / 3 in
-  { core = Client_core.create ~ctx ~threshold:(f_global + 1) ~transmit; primary_guess }
+  {
+    core = Client_core.create ~ctx ~threshold:(f_global + 1) ~transmit_read ~transmit ();
+    primary_guess;
+  }
 
 let submit (c : client) batch = Client_core.submit c.core batch
 

@@ -6,12 +6,16 @@
 module Batch = Rdb_types.Batch
 module Certificate = Rdb_types.Certificate
 module Ctx = Rdb_types.Ctx
+module App = Rdb_types.App
 
 val name : string
 
 type msg =
   | Engine_msg of Messages.msg
   | Request of Batch.t
+  | Read_request of Batch.t
+      (** Consensus-bypass read-only batch, answered from replica state
+          with a real result digest (client needs f+1 matches). *)
   | Reply of { batch_id : int; result_digest : string; primary : int }
   | Fetch_state of { from : int }
       (** Recovering replica asking for the ledger suffix from height
@@ -22,6 +26,9 @@ type msg =
       anchor_digest : string;
       view : int;
       blocks : (Batch.t * Certificate.t option) list;
+      state : App.snapshot option;
+          (** App state snapshot, attached when ledger blocks are
+              payload-stripped and cannot be replayed. *)
     }  (** State-transfer reply; installed after f+1 anchors match. *)
 
 type replica

@@ -56,6 +56,9 @@ let global_window = 8
 
 type msg =
   | Request of Batch.t
+  | Read_request of Batch.t
+      (* Consensus-bypass read-only batch, answered from site-member
+         state (client waits for f+1 matching result digests). *)
   | Certify_req of { tag : string; digest : string; batch : Batch.t option }
   | Partial_sig of { tag : string; digest : string }
   | Site_forward of { batch : Batch.t }             (* origin rep -> leader rep *)
@@ -106,12 +109,10 @@ type replica = {
 (* Batches per catch-up reply. *)
 let catchup_chunk = 64
 
-let result_digest (b : Batch.t) = Sha256.digest_list [ "result"; b.Batch.digest ]
-
 let cert_size cfg = Wire.certificate_bytes ~batch_size:cfg.Config.batch_size ~sigs:1
 
 let size_of cfg = function
-  | Request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
+  | Request _ | Read_request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
   | Certify_req { batch = Some _; _ } -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
   | Certify_req _ | Partial_sig _ | Local_commit _ | Global_accept _ | Fetch_globals _ ->
       Wire.small
@@ -217,7 +218,7 @@ let rec exec_ready r =
     | Some batch ->
         let g = r.next_exec in
         r.exec_busy <- true;
-        r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+        r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun result ->
             r.exec_busy <- false;
             r.next_exec <- g + 1;
             let old = r.next_exec - 512 in
@@ -227,9 +228,13 @@ let rec exec_ready r =
             Hashtbl.remove r.accepted_digest old;
             Hashtbl.remove r.commit_sent old;
             r.ctx.Ctx.phase ~key:g ~name:"execute";
-            (if (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster then
-               send r ~dst:batch.Batch.origin
-                 (Reply { batch_id = batch.Batch.id; result_digest = result_digest batch }));
+            (match result with
+            | Some res
+              when (not (Batch.is_noop batch)) && batch.Batch.cluster = r.my_cluster ->
+                send r ~dst:batch.Batch.origin
+                  (Reply
+                     { batch_id = batch.Batch.id; result_digest = res.Rdb_types.App.digest })
+            | _ -> ());
             exec_ready r)
 
 (* -- leader-site global ordering --------------------------------------------- *)
@@ -542,6 +547,17 @@ let on_message r ~src (m : msg) =
         Hashtbl.replace r.committed g ();
         exec_ready r
       end
+  | Read_request batch ->
+      (* Any site member serves a read-only batch from current state;
+         f+1 matching digests at the client prove a committed prefix. *)
+      if
+        batch.Batch.cluster = r.my_cluster
+        && Batch.verify ~keychain:r.ctx.Ctx.keychain batch
+        && Batch.read_only batch
+      then
+        r.ctx.Ctx.read_execute batch ~on_done:(fun res ->
+            send r ~dst:batch.Batch.origin
+              (Reply { batch_id = batch.Batch.id; result_digest = res.Rdb_types.App.digest }))
   | Fetch_globals { from } -> serve_globals r ~src ~from
   | Globals_data { from; batches } -> install_globals r ~from batches
   | Reply _ -> ()
@@ -558,7 +574,17 @@ let create_client (ctx : msg Ctx.t) ~cluster =
     (* Clients talk to their site's representative. *)
     ctx.Ctx.send ~dst:(rep_of cfg ~cluster) ~size ~vcost (Request batch)
   in
-  { core = Client_core.create ~ctx ~threshold:(Config.weak_quorum cfg) ~transmit }
+  (* Read-only batches skip global ordering entirely: every site
+     member answers from its state. *)
+  let transmit_read (batch : Batch.t) =
+    List.iter
+      (fun dst -> ctx.Ctx.send ~dst ~size ~vcost (Read_request batch))
+      (Config.replicas_of_cluster cfg cluster)
+  in
+  {
+    core =
+      Client_core.create ~ctx ~threshold:(Config.weak_quorum cfg) ~transmit_read ~transmit ();
+  }
 
 let submit (c : client) batch = Client_core.submit c.core batch
 
@@ -578,7 +604,7 @@ let on_client_message (c : client) ~src (m : msg) =
 let adversary : msg Rdb_types.Interpose.view =
   let open Rdb_types.Interpose in
   let classify = function
-    | Request _ | Site_forward _ | Reply _ -> Client
+    | Request _ | Read_request _ | Site_forward _ | Reply _ -> Client
     | Certify_req _ | Global_proposal _ -> Proposal
     | Partial_sig _ | Local_bcast _ -> Share
     | Global_accept _ | Local_commit _ -> Vote

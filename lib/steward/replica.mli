@@ -17,6 +17,9 @@ val global_window : int
 
 type msg =
   | Request of Batch.t
+  | Read_request of Batch.t
+      (** Consensus-bypass read-only batch, answered from site-member
+          state (client waits for f+1 matching result digests). *)
   | Certify_req of { tag : string; digest : string; batch : Batch.t option }
   | Partial_sig of { tag : string; digest : string }
   | Site_forward of { batch : Batch.t }

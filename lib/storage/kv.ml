@@ -1,0 +1,181 @@
+(* The deterministic KV state machine over a pluggable backend.
+
+   This is the App implementation the fabric installs under every
+   replica: it executes ordered batches against the backend's record
+   mirror, produces per-batch execution results (digest + op counts)
+   for client replies, serves read-only batches without advancing the
+   height, and snapshots/restores full state for checkpoint-based
+   state transfer.
+
+   Determinism: execution touches only the records array, the batch
+   contents, and fixed mixing constants — no time, no randomness, no
+   host state — so every non-faulty replica applying the same batch
+   sequence produces byte-identical results, state digests, and
+   snapshots, regardless of backend. *)
+
+module Txn = Rdb_types.Txn
+module Batch = Rdb_types.Batch
+module App = Rdb_types.App
+module Sha256 = Rdb_crypto.Sha256
+module Splitmix64 = Rdb_prng.Splitmix64
+
+type t = {
+  records : Backend.records;
+  n : int;
+  collect_writes : bool; (* backend wants per-block write sets *)
+  log_block : height:int -> keys:int array -> values:int64 array -> count:int -> unit;
+  note_restore : height:int -> unit;
+  backend_close : unit -> unit;
+  mutable height : int; (* batches applied; equals the ledger height it mirrors *)
+  mutable reads : int; (* cumulative op counters (apply + read path) *)
+  mutable writes : int;
+  mutable scans : int;
+  mutable scanned_rows : int;
+  scratch : Buffer.t; (* per-batch result serialization, reused *)
+  mutable wkeys : int array; (* write-set collection, reused *)
+  mutable wvals : int64 array;
+}
+
+let create (Backend.Packed ((module B), b)) =
+  let records = B.records b in
+  {
+    records;
+    n = Bigarray.Array1.dim records;
+    collect_writes = B.wants_writes b;
+    log_block = (fun ~height ~keys ~values ~count -> B.log_block b ~height ~keys ~values ~count);
+    note_restore = (fun ~height -> B.note_restore b ~height);
+    backend_close = (fun () -> B.close b);
+    height = B.height b;
+    reads = 0;
+    writes = 0;
+    scans = 0;
+    scanned_rows = 0;
+    scratch = Buffer.create 1024;
+    wkeys = [||];
+    wvals = [||];
+  }
+
+(* Convenience constructors for the two in-tree backends. *)
+let memory ?(n_records = 600_000) () = create (Memory.packed (Memory.create ~n_records))
+let of_master master = create (Memory.packed (Memory.of_copy master))
+let of_records records = create (Memory.packed (Memory.of_records records))
+
+let disk ?snapshot_every ?init ~dir ~n_records () =
+  create (Blockstore.packed (Blockstore.open_or_create ?snapshot_every ?init ~dir ~n_records ()))
+
+let records t = t.records
+let height t = t.height
+
+(* Execute every transaction of [b] against current state, appending
+   each result value to the scratch buffer (8 bytes LE per txn, after
+   the batch digest).  With [mutate] writes land in [records] (and in
+   the write-set arrays when the backend wants them); without it the
+   batch is served read-only against a frozen state.  Returns the
+   write-set size.  The write path keeps the historical table
+   semantics — new = splitmix64_mix(old) + txn.value, mixer
+   hand-inlined so the load-mix-store chain stays in unboxed int64
+   registers (see lib/prng/splitmix64.ml). *)
+let exec_into t (b : Batch.t) ~mutate ~reads ~writes ~scans ~rows : int =
+  let txns = b.Batch.txns in
+  let records = t.records in
+  let n = t.n in
+  Buffer.clear t.scratch;
+  Buffer.add_string t.scratch b.Batch.digest;
+  let collect = mutate && t.collect_writes in
+  if collect && Array.length t.wkeys < Array.length txns then begin
+    t.wkeys <- Array.make (Array.length txns) 0;
+    t.wvals <- Array.make (Array.length txns) 0L
+  end;
+  let wc = ref 0 in
+  for i = 0 to Array.length txns - 1 do
+    let txn = Array.unsafe_get txns i in
+    let key = txn.Txn.key mod n in
+    let key = if key < 0 then key + n else key in
+    match txn.Txn.op with
+    | Txn.Read ->
+        incr reads;
+        Buffer.add_int64_le t.scratch (Bigarray.Array1.unsafe_get records key)
+    | Txn.Scan ->
+        incr scans;
+        let len = Txn.scan_len txn in
+        rows := !rows + len;
+        (* Fold the scanned rows through the mixer so the scan result
+           witnesses every row it touched. *)
+        let acc = ref 0L in
+        for j = 0 to len - 1 do
+          let k = key + j in
+          let k = if k >= n then k - n else k in
+          acc := Splitmix64.mix (Int64.logxor !acc (Bigarray.Array1.unsafe_get records k))
+        done;
+        Buffer.add_int64_le t.scratch !acc
+    | Txn.Write ->
+        incr writes;
+        let z = Int64.add (Bigarray.Array1.unsafe_get records key) 0x9E3779B97F4A7C15L in
+        let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+        let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+        let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+        let nv = Int64.add z txn.Txn.value in
+        if mutate then begin
+          Bigarray.Array1.unsafe_set records key nv;
+          if collect then begin
+            t.wkeys.(!wc) <- key;
+            t.wvals.(!wc) <- nv;
+            incr wc
+          end
+        end;
+        Buffer.add_int64_le t.scratch nv
+  done;
+  !wc
+
+let run t (b : Batch.t) ~mutate : App.result =
+  let reads = ref 0 and writes = ref 0 and scans = ref 0 and rows = ref 0 in
+  let wc = exec_into t b ~mutate ~reads ~writes ~scans ~rows in
+  if mutate then begin
+    if t.collect_writes then
+      t.log_block ~height:t.height ~keys:t.wkeys ~values:t.wvals ~count:wc;
+    t.height <- t.height + 1
+  end;
+  t.reads <- t.reads + !reads;
+  t.writes <- t.writes + !writes;
+  t.scans <- t.scans + !scans;
+  t.scanned_rows <- t.scanned_rows + !rows;
+  {
+    App.digest = Sha256.digest (Buffer.contents t.scratch);
+    reads = !reads;
+    writes = !writes;
+    scans = !scans;
+    scanned_rows = !rows;
+  }
+
+let apply t b = run t b ~mutate:true
+let read t b = run t b ~mutate:false
+
+let state_digest t = Backend.digest_records t.records
+
+let snapshot t : App.snapshot =
+  { App.height = t.height; state = Backend.serialize_records t.records }
+
+(* Forward-ratchet only: a snapshot at or below the current height is
+   ignored (a late state transfer must never rewind progress). *)
+let restore t (s : App.snapshot) =
+  if s.App.height > t.height then begin
+    Backend.restore_records t.records s.App.state;
+    t.height <- s.App.height;
+    t.note_restore ~height:s.App.height
+  end
+
+let close t = t.backend_close ()
+
+let app (t : t) : App.t =
+  {
+    App.apply = apply t;
+    read = read t;
+    height = (fun () -> t.height);
+    state_digest = (fun () -> state_digest t);
+    snapshot = (fun () -> snapshot t);
+    restore = restore t;
+    reads = (fun () -> t.reads);
+    writes = (fun () -> t.writes);
+    scans = (fun () -> t.scans);
+    close = (fun () -> close t);
+  }

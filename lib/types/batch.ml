@@ -73,6 +73,19 @@ let noop ~keychain ~cluster ~origin ~created ~nonce =
 let is_noop t = t.id < 0
 let size t = Array.length t.txns
 
+(* A batch whose transactions touch no state: eligible for the
+   read-path consensus bypass (served from replica state at f+1
+   matching result digests).  No-ops and payload-stripped ledger
+   copies have empty [txns] and are excluded. *)
+let read_only t =
+  Array.length t.txns > 0
+  && Array.for_all (fun (x : Txn.t) -> x.Txn.op <> Txn.Write) t.txns
+
+(* A non-noop batch whose payload was stripped for ledger compactness
+   ([retain_payloads:false]): its transactions are gone, so replaying
+   it cannot reproduce state transitions. *)
+let stripped t = t.id >= 0 && Array.length t.txns = 0
+
 (* Verify the client signature and digest integrity.  Replicas discard
    batches that fail this check (§2.1: "Replicas will discard any
    messages that are not well-formed ... or have invalid signatures"). *)

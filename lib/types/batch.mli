@@ -43,6 +43,15 @@ val noop_id_of_nonce : int -> int
 val size : t -> int
 (** Number of transactions. *)
 
+val read_only : t -> bool
+(** True iff the batch carries at least one transaction and none of
+    them writes — eligible for the read-path consensus bypass.
+    No-ops and payload-stripped ledger copies are excluded. *)
+
+val stripped : t -> bool
+(** True iff this is a non-noop batch whose payload was dropped for
+    ledger compactness: replaying it cannot reproduce state. *)
+
 val digest_of : id:int -> cluster:int -> origin:int -> txns:Txn.t array -> string
 (** The canonical digest (what {!create} signs). *)
 

@@ -26,19 +26,39 @@ type 'm t = {
   (* [transmit ~retry batch] actually sends the request; retry = true
      on retransmission (protocols typically broadcast then). *)
   transmit : retry:bool -> Batch.t -> unit;
+  (* Consensus-bypass path for read-only batches, when the protocol
+     offers one: the first transmission goes here; a timeout falls back
+     to [transmit ~retry:true] (ordered through consensus), so a read
+     whose result digests disagree across replicas still completes. *)
+  transmit_read : (Batch.t -> unit) option;
   inflight : (int, pending) Hashtbl.t;
   mutable submitted : int;
   mutable completed : int;
   mutable retransmits : int;
+  mutable read_fallbacks : int;  (* reads pushed back onto consensus *)
 }
 
-let create ~(ctx : 'm Ctx.t) ~threshold ~transmit =
-  { ctx; threshold; transmit; inflight = Hashtbl.create 64; submitted = 0; completed = 0; retransmits = 0 }
+let create ~(ctx : 'm Ctx.t) ~threshold ?transmit_read ~transmit () =
+  {
+    ctx;
+    threshold;
+    transmit;
+    transmit_read;
+    inflight = Hashtbl.create 64;
+    submitted = 0;
+    completed = 0;
+    retransmits = 0;
+    read_fallbacks = 0;
+  }
 
 let inflight_count t = Hashtbl.length t.inflight
 let submitted t = t.submitted
 let completed t = t.completed
 let retransmits t = t.retransmits
+let read_fallbacks t = t.read_fallbacks
+
+let takes_read_path t (batch : Batch.t) =
+  t.transmit_read <> None && Batch.read_only batch
 
 (* Exponential backoff, capped at 8x the base timeout: a wedged system
    is probed persistently but not flooded. *)
@@ -51,6 +71,14 @@ let rec arm_timer t (p : pending) =
       (t.ctx.Ctx.set_timer ~delay (fun () ->
            if not p.resolved then begin
              t.retransmits <- t.retransmits + 1;
+             (* A timed-out bypass read falls back onto consensus: the
+                replicas' states disagreed at f+1 (or replies were
+                lost), so pay for ordering and get a definitive result.
+                Accumulated bypass replies stay in [p.replies] — result
+                digests are state-deterministic, so a bypass reply that
+                matches the post-consensus digest still counts. *)
+             if p.attempts = 0 && takes_read_path t p.batch then
+               t.read_fallbacks <- t.read_fallbacks + 1;
              p.attempts <- p.attempts + 1;
              t.transmit ~retry:true p.batch;
              arm_timer t p
@@ -63,7 +91,9 @@ let submit t (batch : Batch.t) =
     in
     Hashtbl.replace t.inflight batch.Batch.id p;
     t.submitted <- t.submitted + 1;
-    t.transmit ~retry:false batch;
+    (match t.transmit_read with
+    | Some transmit_read when Batch.read_only batch -> transmit_read batch
+    | _ -> t.transmit ~retry:false batch);
     arm_timer t p
   end
 

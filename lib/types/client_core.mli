@@ -9,10 +9,16 @@ type 'm t
 val create :
   ctx:'m Ctx.t ->
   threshold:int ->
+  ?transmit_read:(Batch.t -> unit) ->
   transmit:(retry:bool -> Batch.t -> unit) ->
+  unit ->
   'm t
 (** [transmit ~retry batch] performs the actual send; [retry] is true
-    on retransmissions (protocols typically broadcast then). *)
+    on retransmissions (protocols typically broadcast then).
+    [transmit_read], when given, carries the first transmission of a
+    read-only batch (the consensus-bypass read path); a timeout falls
+    back onto [transmit ~retry:true], so reads stay live even when
+    replica states disagree at the threshold. *)
 
 val submit : 'm t -> Batch.t -> unit
 (** Register and transmit; duplicate ids are ignored. *)
@@ -25,3 +31,6 @@ val inflight_count : 'm t -> int
 val submitted : 'm t -> int
 val completed : 'm t -> int
 val retransmits : 'm t -> int
+
+val read_fallbacks : 'm t -> int
+(** Bypass reads that timed out and were re-ordered through consensus. *)

@@ -36,6 +36,12 @@ let default_costs =
     threshold_combine_us = 9_000.0;
   }
 
+(* Storage backend under each replica's App state machine: the
+   in-memory Bigarray table, or the append-only persistent block store
+   (file-backed log + periodic state snapshots, recovery-on-restart).
+   Both are deterministic: same batch sequence, same state digest. *)
+type storage = Memory | Disk
+
 type t = {
   z : int;                    (* number of clusters (regions) *)
   n : int;                    (* replicas per cluster *)
@@ -64,6 +70,15 @@ type t = {
      aggregate signature: constant wire size and a single verification
      (at threshold-crypto cost) instead of n − f of each. *)
   threshold_certs : bool;
+  (* YCSB workload mix: fraction of client batches that are read-only
+     (point reads) and range scans.  The remainder are write batches.
+     Classes are drawn per batch, not per transaction, so read-only
+     batches exist as units the read-path bypass can serve.  Both 0 by
+     default — the paper's evaluation is write-only — and the RNG draw
+     stream is unchanged when both are 0. *)
+  read_fraction : float;
+  scan_fraction : float;
+  storage : storage;
   costs : costs;
   seed : int;
 }
@@ -86,11 +101,15 @@ let default =
     wan_egress_mbps = 350.0;
     geobft_fanout = 0;
     threshold_certs = false;
+    read_fraction = 0.0;
+    scan_fraction = 0.0;
+    storage = Memory;
     costs = default_costs;
     seed = 1;
   }
 
-let make ?(base = default) ?z ?n ?batch_size ?client_inflight ?seed () =
+let make ?(base = default) ?z ?n ?batch_size ?client_inflight ?read_fraction ?scan_fraction
+    ?storage ?seed () =
   let get o d = Option.value o ~default:d in
   {
     base with
@@ -98,8 +117,17 @@ let make ?(base = default) ?z ?n ?batch_size ?client_inflight ?seed () =
     n = get n base.n;
     batch_size = get batch_size base.batch_size;
     client_inflight = get client_inflight base.client_inflight;
+    read_fraction = get read_fraction base.read_fraction;
+    scan_fraction = get scan_fraction base.scan_fraction;
+    storage = get storage base.storage;
     seed = get seed base.seed;
   }
+
+let storage_name = function Memory -> "mem" | Disk -> "disk"
+let storage_of_string = function
+  | "mem" | "memory" -> Some Memory
+  | "disk" -> Some Disk
+  | _ -> None
 
 (* Maximum Byzantine replicas per cluster: n > 3f. *)
 let f t = (t.n - 1) / 3

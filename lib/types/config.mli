@@ -22,6 +22,12 @@ type costs = {
 
 val default_costs : costs
 
+type storage = Memory | Disk
+(** Storage backend under each replica's App state machine: in-memory
+    Bigarray table, or the append-only persistent block store
+    (file-backed block log + periodic snapshots, recovery-on-restart).
+    Deterministic either way: same batch sequence, same state digest. *)
+
 type t = {
   z : int;                    (** clusters (regions) *)
   n : int;                    (** replicas per cluster *)
@@ -35,6 +41,9 @@ type t = {
   wan_egress_mbps : float;    (** per-node aggregate WAN egress cap *)
   geobft_fanout : int;        (** GeoBFT sharing fan-out; 0 = f+1 (paper) *)
   threshold_certs : bool;     (** §2.2 optional threshold-signature certificates *)
+  read_fraction : float;      (** fraction of client batches that are point reads *)
+  scan_fraction : float;      (** fraction of client batches that are range scans *)
+  storage : storage;          (** backend under the App state machine *)
   costs : costs;
   seed : int;
 }
@@ -47,9 +56,15 @@ val make :
   ?n:int ->
   ?batch_size:int ->
   ?client_inflight:int ->
+  ?read_fraction:float ->
+  ?scan_fraction:float ->
+  ?storage:storage ->
   ?seed:int ->
   unit ->
   t
+
+val storage_name : storage -> string
+val storage_of_string : string -> storage option
 
 (** {1 Fault tolerance and quorums} *)
 

@@ -18,8 +18,21 @@ open Import
      when the stage completes.
    - [execute] is the single entry point for "this batch is ordered":
      the fabric charges the execute thread, applies the transactions to
-     the node's store, appends a ledger block, and then calls [on_done]
-     so the protocol can reply to clients. *)
+     the node's App state machine, appends a ledger block, and then
+     calls [on_done] with the execution result so the protocol can put
+     the result digest in its client reply.  [on_done None] means the
+     batch was appended to the ledger but not applied to state — the
+     App was already past this height (a state snapshot was installed)
+     or the payload was stripped; the protocol then skips its reply and
+     lets up-to-date replicas answer.
+   - [read_execute] serves a read-only batch from current replica state
+     without consensus and without touching the ledger.
+   - [state_snapshot]/[app_restore] are the recovery seam: a serving
+     replica attaches its App snapshot to state-transfer messages when
+     ledger payloads are stripped (replay alone cannot rebuild state),
+     and the recovering replica installs it.  Restores only ratchet
+     forward (App.restore), so any interleaving with in-flight
+     executes is safe. *)
 
 type timer = Engine.timer
 
@@ -33,7 +46,13 @@ type 'm t = {
   charge : stage:Cpu.stage -> cost:Time.t -> (unit -> unit) -> unit;
   set_timer : delay:Time.t -> (unit -> unit) -> timer;
   cancel_timer : timer -> unit;
-  execute : Batch.t -> cert:Certificate.t option -> on_done:(unit -> unit) -> unit;
+  execute :
+    Batch.t -> cert:Certificate.t option -> on_done:(App.result option -> unit) -> unit;
+  read_execute : Batch.t -> on_done:(App.result -> unit) -> unit;
+  state_snapshot : unit -> App.snapshot option;
+  (* [Some] only when ledger payloads are stripped (replay cannot
+     rebuild state); [None] when the ledger suffix alone suffices. *)
+  app_restore : App.snapshot -> unit;
   (* Read this node's own ledger suffix from [height] upward: the
      source material a peer serves during checkpoint state transfer.
      Client agents have no ledger and always read []. *)
@@ -65,6 +84,9 @@ let map_send (inject : 'a -> 'b) (t : 'b t) : 'a t =
     set_timer = t.set_timer;
     cancel_timer = t.cancel_timer;
     execute = t.execute;
+    read_execute = t.read_execute;
+    state_snapshot = t.state_snapshot;
+    app_restore = t.app_restore;
     ledger_read = t.ledger_read;
     complete = t.complete;
     trace = t.trace;

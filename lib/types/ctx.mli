@@ -14,9 +14,16 @@ open Import
     - sender-side CPU (signing, certificate construction, batch
       assembly) is charged explicitly with [charge];
     - [execute] is the single "this batch is ordered" entry point: the
-      fabric charges the execute thread, applies the transactions,
-      appends a ledger block, then calls [on_done] so the protocol can
-      reply to clients;
+      fabric charges the execute thread, applies the transactions to
+      the node's {!App} state machine, appends a ledger block, then
+      calls [on_done] with the execution result so the protocol can put
+      the result digest in its client reply ([None]: appended but not
+      applied — snapshot already past this height, or payload
+      stripped; skip the reply);
+    - [read_execute] serves a read-only batch from current replica
+      state, bypassing consensus and the ledger;
+    - [state_snapshot]/[app_restore] move real state during recovery
+      when ledger payloads are stripped; restores only ratchet forward;
     - [complete] is used by client agents to signal a finished batch. *)
 
 type timer = Engine.timer
@@ -31,7 +38,13 @@ type 'm t = {
   charge : stage:Cpu.stage -> cost:Time.t -> (unit -> unit) -> unit;
   set_timer : delay:Time.t -> (unit -> unit) -> timer;
   cancel_timer : timer -> unit;
-  execute : Batch.t -> cert:Certificate.t option -> on_done:(unit -> unit) -> unit;
+  execute :
+    Batch.t -> cert:Certificate.t option -> on_done:(App.result option -> unit) -> unit;
+  read_execute : Batch.t -> on_done:(App.result -> unit) -> unit;
+  state_snapshot : unit -> App.snapshot option;
+      (** [Some] only when ledger payloads are stripped; [None] when
+          the served ledger suffix alone can rebuild state. *)
+  app_restore : App.snapshot -> unit;
   ledger_read : height:int -> (Batch.t * Certificate.t option) list;
       (** This node's own ledger suffix from [height] upward — what a
           peer serves during checkpoint state transfer.  [] at client

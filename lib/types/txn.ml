@@ -3,7 +3,7 @@
    typically more costly than read-only queries"); reads are supported
    for completeness and for the example applications. *)
 
-type op = Read | Write
+type op = Read | Write | Scan
 
 type t = {
   op : op;
@@ -19,10 +19,14 @@ let make ?(op = Write) ~key ~value ~client_id () = { op; key; value; client_id }
    string — batches serialize ~100 transactions per digest, so the
    per-txn string was pure allocation overhead. *)
 let serialize_into (b : Buffer.t) (t : t) : unit =
-  Buffer.add_char b (match t.op with Read -> 'R' | Write -> 'W');
+  Buffer.add_char b (match t.op with Read -> 'R' | Write -> 'W' | Scan -> 'S');
   Buffer.add_int64_le b (Int64.of_int t.key);
   Buffer.add_int64_le b t.value;
   Buffer.add_int32_le b (Int32.of_int t.client_id)
+
+(* Scan length is carried in the low bits of [value] (the field is
+   otherwise unused by reads): 1..64 rows starting at [key]. *)
+let scan_len (t : t) = 1 + (Int64.to_int t.value land 63)
 
 let serialize (t : t) : string =
   let b = Buffer.create 24 in
@@ -31,5 +35,5 @@ let serialize (t : t) : string =
 
 let pp fmt t =
   Format.fprintf fmt "%s(key=%d,val=%Ld,client=%d)"
-    (match t.op with Read -> "read" | Write -> "write")
+    (match t.op with Read -> "read" | Write -> "write" | Scan -> "scan")
     t.key t.value t.client_id

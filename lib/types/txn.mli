@@ -2,7 +2,7 @@
     table.  The evaluation uses write queries (§4); reads exist for
     completeness and the examples. *)
 
-type op = Read | Write
+type op = Read | Write | Scan
 
 type t = {
   op : op;
@@ -19,5 +19,9 @@ val serialize : t -> string
 val serialize_into : Buffer.t -> t -> unit
 (** Append the canonical serialization to [b] — same bytes as
     {!serialize}, no intermediate string (the batch-digest hot path). *)
+
+val scan_len : t -> int
+(** Rows covered by a [Scan], 1..64, derived from the low bits of
+    [value] (unused otherwise by non-write operations). *)
 
 val pp : Format.formatter -> t -> unit

@@ -3,51 +3,74 @@
    The paper's evaluation: "Each client transaction queries a YCSB
    table with an active set of 600 k records. ... Prior to the
    experiments, each replica is initialized with an identical copy of
-   the YCSB table."  Every replica in the fabric holds one [Table.t];
-   deterministic execution of the same batch sequence must produce the
-   same state digest on all non-faulty replicas (checked by tests and
-   by the Pbft checkpoint protocol). *)
+   the YCSB table."
+
+   Since the storage redesign the authoritative execution path is
+   {!Rdb_storage.Kv} (the App state machine over a pluggable backend);
+   a [Table.t] is now a lightweight *view* over the same record
+   storage — tests and examples read fingerprints and digests through
+   it, and [of_records] wraps a live backend's record mirror without
+   copying.  The transaction semantics here are kept bit-identical to
+   the Kv so either path yields the same state. *)
 
 module Txn = Rdb_types.Txn
 module Sha256 = Rdb_crypto.Sha256
 module Splitmix64 = Rdb_prng.Splitmix64
+module Backend = Rdb_storage.Backend
 
 (* Records live in a Bigarray: unboxed int64 storage that the OCaml GC
    does not scan.  A deployment holds one 600k-record table per replica
    (dozens of tables, hundreds of MB); with boxed int64 arrays the GC
    would re-mark millions of boxes on every major cycle and dominate
    the simulator's wall-clock time. *)
-type records = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type records = Backend.records
 
 type t = {
   records : records;
   mutable writes : int;           (* applied write operations *)
   mutable reads : int;
+  mutable scans : int;
 }
 
 let default_records = 600_000
 
 (* Identical initialization on every replica: record i starts at a
-   value derived from i, so state digests agree without communication. *)
+   value derived from i, so state digests agree without communication.
+   The derivation lives in {!Rdb_storage.Backend.init_records} — the
+   single definition shared with every storage backend. *)
 let create ?(n_records = default_records) () =
-  let records = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n_records in
-  for i = 0 to n_records - 1 do
-    Bigarray.Array1.unsafe_set records i (Splitmix64.mix (Int64.of_int i))
-  done;
-  { records; writes = 0; reads = 0 }
+  { records = Backend.init_records ~n_records; writes = 0; reads = 0; scans = 0 }
+
+(* A zero-copy view over live backend records: reads see the backend's
+   current state, writes would corrupt it — treat as read-only. *)
+let of_records records = { records; writes = 0; reads = 0; scans = 0 }
+let records t = t.records
 
 let n_records t = Bigarray.Array1.dim t.records
 
 let read t ~key = Bigarray.Array1.get t.records (key mod n_records t)
 
-(* Apply one transaction; returns the result value (read result, or the
-   written value for writes, matching YCSB's update semantics). *)
+(* Apply one transaction; returns the result value (read result, scan
+   fold, or the written value for writes, matching YCSB's update
+   semantics).  Kept in lock-step with Rdb_storage.Kv.exec_into. *)
 let apply t (txn : Txn.t) : int64 =
-  let key = txn.Txn.key mod n_records t in
+  let n = n_records t in
+  let key = txn.Txn.key mod n in
+  let key = if key < 0 then key + n else key in
   match txn.Txn.op with
   | Txn.Read ->
       t.reads <- t.reads + 1;
       Bigarray.Array1.get t.records key
+  | Txn.Scan ->
+      t.scans <- t.scans + 1;
+      let len = Txn.scan_len txn in
+      let acc = ref 0L in
+      for j = 0 to len - 1 do
+        let k = key + j in
+        let k = if k >= n then k - n else k in
+        acc := Splitmix64.mix (Int64.logxor !acc (Bigarray.Array1.get t.records k))
+      done;
+      !acc
   | Txn.Write ->
       t.writes <- t.writes + 1;
       (* YCSB write: replace the record; mix in the old value so state
@@ -58,61 +81,24 @@ let apply t (txn : Txn.t) : int64 =
 
 let apply_batch t (txns : Txn.t array) = Array.map (apply t) txns
 
-(* Execution path used by the fabric: same state transition as
-   [apply_batch] but without materializing the (ignored) result array,
-   and with the SplitMix64 mixer hand-inlined so the whole
-   load-mix-store chain stays in unboxed int64 registers.  The
-   cross-module [Splitmix64.mix] call boxes its argument and result;
-   at ~one write per transaction per replica that boxing was one of
-   the simulator's largest allocation sources.  Read results are
-   ignored by the fabric, so reads only bump the counter. *)
-let execute t (txns : Txn.t array) =
-  let records = t.records in
-  let n = Bigarray.Array1.dim records in
-  let reads = ref 0 and writes = ref 0 in
-  for i = 0 to Array.length txns - 1 do
-    let txn = Array.unsafe_get txns i in
-    let key = txn.Txn.key mod n in
-    let key = if key < 0 then key + n else key in
-    match txn.Txn.op with
-    | Txn.Read -> incr reads
-    | Txn.Write ->
-        incr writes;
-        (* Splitmix64.mix, verbatim (constants included), on the old
-           record value — keep in sync with lib/prng/splitmix64.ml. *)
-        let z = Int64.add (Bigarray.Array1.unsafe_get records key) 0x9E3779B97F4A7C15L in
-        let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-        let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-        let z = Int64.logxor z (Int64.shift_right_logical z 31) in
-        Bigarray.Array1.unsafe_set records key (Int64.add z txn.Txn.value)
-  done;
-  t.reads <- t.reads + !reads;
-  t.writes <- t.writes + !writes
+(* Deprecated result-less execution path (see the .mli): the fabric now
+   executes through Rdb_storage.Kv, which returns per-batch results. *)
+let execute t (txns : Txn.t array) = ignore (apply_batch t txns)
 
 (* An identical, independent copy: one memcpy of the record store
    instead of re-deriving 600 k records per replica at deployment
    construction.  Counters start fresh, matching [create]. *)
 let clone src =
-  let records =
-    Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (n_records src)
-  in
-  Bigarray.Array1.blit src.records records;
-  { records; writes = 0; reads = 0 }
+  { records = Backend.copy_records src.records; writes = 0; reads = 0; scans = 0 }
 
 let writes t = t.writes
 let reads t = t.reads
+let scans t = t.scans
 
 (* Digest of the full state.  O(n); used by tests and checkpoints at
    coarse intervals, so the cost is acceptable (and the *modeled* cost
    of checkpointing is charged separately by the protocols). *)
-let state_digest t : string =
-  let ctx = Sha256.init () in
-  let buf = Bytes.create 8 in
-  for i = 0 to n_records t - 1 do
-    Bytes.set_int64_le buf 0 (Bigarray.Array1.get t.records i);
-    Sha256.feed_bytes ctx buf 0 8
-  done;
-  Sha256.finalize ctx
+let state_digest t : string = Backend.digest_records t.records
 
 (* Cheap incremental fingerprint over the first [k] records, for tests
    that want frequent comparisons. *)

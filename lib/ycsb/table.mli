@@ -3,10 +3,15 @@
     execution of the same batch sequence yields identical state
     digests on all non-faulty replicas.
 
-    Storage is an unboxed Bigarray so dozens of per-replica tables do
-    not burden the OCaml GC. *)
+    Since the storage redesign the authoritative execution path is
+    {!Rdb_storage.Kv}; a [Table.t] is a view over the same Bigarray
+    record storage ({!of_records} wraps a live backend mirror without
+    copying), with transaction semantics kept bit-identical to the Kv
+    state machine. *)
 
 module Txn = Rdb_types.Txn
+
+type records = Rdb_storage.Backend.records
 
 type t
 
@@ -15,20 +20,31 @@ val default_records : int
 
 val create : ?n_records:int -> unit -> t
 
+val of_records : records -> t
+(** Zero-copy view over live backend records (counters start at 0).
+    Reads observe the backend's current state; do not write through a
+    view of records a Kv owns. *)
+
+val records : t -> records
+
 val n_records : t -> int
 
 val read : t -> key:int -> int64
 
 val apply : t -> Txn.t -> int64
-(** Apply one transaction; returns the read result or written value.
-    Writes mix in the previous value, so execution {e order} is
-    visible in the state (ordering bugs corrupt digests). *)
+(** Apply one transaction; returns the read result, the scan fold, or
+    the written value.  Writes mix in the previous value, so execution
+    {e order} is visible in the state (ordering bugs corrupt digests). *)
 
 val apply_batch : t -> Txn.t array -> int64 array
 
 val execute : t -> Txn.t array -> unit
-(** Same state transition as {!apply_batch} without materializing the
-    result array (the fabric's execution hot path). *)
+[@@ocaml.deprecated
+  "results are no longer optional: use apply_batch (or execute batches through \
+   Rdb_storage.Kv, which the fabric does) so replicas can reply with result digests."]
+(** Same state transition as {!apply_batch} with the result array
+    dropped.  Deprecated: the execution seam now returns per-batch
+    results that client replies carry; this alias remains for one PR. *)
 
 val clone : t -> t
 (** An identical, independent copy of the record store (one memcpy);
@@ -36,6 +52,7 @@ val clone : t -> t
 
 val writes : t -> int
 val reads : t -> int
+val scans : t -> int
 
 val state_digest : t -> string
 (** SHA-256 over the full state (O(n); tests and checkpoint audits). *)

@@ -5,6 +5,15 @@
    scrambled over the key space), write queries, and client-side
    batching at a configurable batch size.
 
+   Mixed workloads (YCSB-B/E-style) extend this with read and scan
+   fractions.  The class is drawn per *batch*, not per transaction:
+   a batch is the unit of consensus, and only an entirely read-only
+   batch can take the consensus-bypass read path — a per-transaction
+   mix would make almost every batch carry a write and the read path
+   would never exercise.  When both fractions are 0 the generator
+   takes the original per-transaction path and draws the exact same
+   RNG stream as before the mix existed.
+
    The generator is deterministic per (seed, client group), so two
    simulator runs submit identical transaction streams. *)
 
@@ -16,18 +25,30 @@ type t = {
   rng : Rng.t;
   zipf : Zipf.t;
   write_fraction : float;
+  read_fraction : float;          (* fraction of batches that are point reads *)
+  scan_fraction : float;          (* fraction of batches that are range scans *)
   mutable next_txn : int;         (* per-generator txn counter *)
+  mutable read_batches : int;     (* batches generated per class *)
+  mutable scan_batches : int;
+  mutable write_batches : int;
   client_base : int;              (* logical client ids start here *)
   n_clients : int;                (* logical clients multiplexed *)
 }
 
 let create ?(n_records = Table.default_records) ?(theta = 0.99) ?(write_fraction = 1.0)
-    ?(n_clients = 1000) ~seed ~client_base () =
+    ?(read_fraction = 0.0) ?(scan_fraction = 0.0) ?(n_clients = 1000) ~seed ~client_base () =
+  if read_fraction < 0.0 || scan_fraction < 0.0 || read_fraction +. scan_fraction > 1.0 then
+    invalid_arg "Workload.create: read/scan fractions must be >= 0 and sum to <= 1";
   {
     rng = Rng.create (Int64.of_int seed);
     zipf = Zipf.create ~theta n_records;
     write_fraction;
+    read_fraction;
+    scan_fraction;
     next_txn = 0;
+    read_batches = 0;
+    scan_batches = 0;
+    write_batches = 0;
     client_base;
     n_clients;
   }
@@ -40,6 +61,39 @@ let next_txn t : Txn.t =
   t.next_txn <- t.next_txn + 1;
   Txn.make ~op ~key ~value ~client_id ()
 
-let next_batch_txns t ~batch_size : Txn.t array = Array.init batch_size (fun _ -> next_txn t)
+(* A transaction of a batch whose class was already drawn.  The value
+   draw is kept even for reads/scans: it feeds the scan length
+   ({!Txn.scan_len}) and keeps the per-txn draw count uniform. *)
+let next_class_txn t ~op : Txn.t =
+  let key = Zipf.sample_scrambled t.zipf t.rng in
+  let client_id = t.client_base + (t.next_txn mod t.n_clients) in
+  let value = Rdb_prng.Rng.next_int64 t.rng in
+  t.next_txn <- t.next_txn + 1;
+  Txn.make ~op ~key ~value ~client_id ()
+
+let next_batch_txns t ~batch_size : Txn.t array =
+  let mix = t.read_fraction +. t.scan_fraction in
+  if mix <= 0.0 then begin
+    (* Write-only configuration: the original path, original RNG stream. *)
+    t.write_batches <- t.write_batches + 1;
+    Array.init batch_size (fun _ -> next_txn t)
+  end
+  else
+    let r = Rng.float t.rng in
+    if r < t.read_fraction then begin
+      t.read_batches <- t.read_batches + 1;
+      Array.init batch_size (fun _ -> next_class_txn t ~op:Txn.Read)
+    end
+    else if r < mix then begin
+      t.scan_batches <- t.scan_batches + 1;
+      Array.init batch_size (fun _ -> next_class_txn t ~op:Txn.Scan)
+    end
+    else begin
+      t.write_batches <- t.write_batches + 1;
+      Array.init batch_size (fun _ -> next_txn t)
+    end
 
 let generated t = t.next_txn
+let read_batches t = t.read_batches
+let scan_batches t = t.scan_batches
+let write_batches t = t.write_batches

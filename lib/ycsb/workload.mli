@@ -1,6 +1,11 @@
 (** YCSB workload generator (Cooper et al., SoCC 2010), configured as
     in §4: Zipfian key choice (constant 0.99, scrambled) over the
-    record space, write queries, deterministic per seed. *)
+    record space, write queries, deterministic per seed.
+
+    Mixed workloads draw a class per {e batch} — read-only (point
+    reads), scan, or write — so whole batches stay eligible for the
+    read-path consensus bypass.  With both fractions at 0 the RNG
+    stream is identical to the historical write-only generator. *)
 
 module Txn = Rdb_types.Txn
 
@@ -10,14 +15,18 @@ val create :
   ?n_records:int ->
   ?theta:float ->
   ?write_fraction:float ->
+  ?read_fraction:float ->
+  ?scan_fraction:float ->
   ?n_clients:int ->
   seed:int ->
   client_base:int ->
   unit ->
   t
-(** [write_fraction] defaults to 1.0 (the paper uses write queries);
-    [n_clients] logical clients are multiplexed round-robin starting at
-    id [client_base]. *)
+(** [write_fraction] defaults to 1.0 (the paper uses write queries) and
+    applies per transaction {e within} write-class batches;
+    [read_fraction]/[scan_fraction] (default 0) are per-batch class
+    probabilities and must sum to at most 1.  [n_clients] logical
+    clients are multiplexed round-robin starting at id [client_base]. *)
 
 val next_txn : t -> Txn.t
 
@@ -25,3 +34,8 @@ val next_batch_txns : t -> batch_size:int -> Txn.t array
 
 val generated : t -> int
 (** Transactions generated so far. *)
+
+val read_batches : t -> int
+val scan_batches : t -> int
+val write_batches : t -> int
+(** Batches generated per class ({!next_batch_txns} calls). *)

@@ -61,8 +61,6 @@ type replica = {
   seen : (string, unit) Hashtbl.t;     (* proposed digests (primary) *)
 }
 
-let result_digest (b : Batch.t) = Sha256.digest_list [ "result"; b.Batch.digest ]
-
 let size_of cfg = function
   | Request _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size
   | Order_req _ -> Wire.batch_bytes ~batch_size:cfg.Config.batch_size + 64
@@ -120,12 +118,19 @@ let rec exec_ready r =
       r.next_exec <- seq + 1;
       (* Keep a window for commit-certificate recovery; drop the rest. *)
       Hashtbl.remove r.ordered (seq - 1024);
-      r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+      r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun result ->
           r.ctx.Ctx.phase ~key:seq ~name:"execute";
-          (if not (Batch.is_noop batch) then
-             send r ~dst:batch.Batch.origin
-               (Spec_reply
-                  { batch_id = batch.Batch.id; seq; history; result_digest = result_digest batch }));
+          (match result with
+          | Some res when not (Batch.is_noop batch) ->
+              send r ~dst:batch.Batch.origin
+                (Spec_reply
+                   {
+                     batch_id = batch.Batch.id;
+                     seq;
+                     history;
+                     result_digest = res.Rdb_types.App.digest;
+                   })
+          | _ -> ());
           exec_ready r)
 
 let on_message r ~src (m : msg) =
@@ -165,17 +170,19 @@ let on_message r ~src (m : msg) =
              the moment a schedule reorders two order-requests. *)
           if seq >= r.next_exec then begin
             r.next_exec <- seq + 1;
-            r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun () ->
+            r.ctx.Ctx.execute batch ~cert:None ~on_done:(fun result ->
                 r.ctx.Ctx.phase ~key:seq ~name:"execute";
-                (if not (Batch.is_noop batch) then
-                   send r ~dst:batch.Batch.origin
-                     (Spec_reply
-                        {
-                          batch_id = batch.Batch.id;
-                          seq;
-                          history;
-                          result_digest = result_digest batch;
-                        }));
+                (match result with
+                | Some res when not (Batch.is_noop batch) ->
+                    send r ~dst:batch.Batch.origin
+                      (Spec_reply
+                         {
+                           batch_id = batch.Batch.id;
+                           seq;
+                           history;
+                           result_digest = res.Rdb_types.App.digest;
+                         })
+                | _ -> ());
                 exec_ready r)
           end
         end

@@ -15,12 +15,12 @@ module Dep = Rdb_fabric.Deployment.Make (Rdb_pbft.Replica)
 let test_metrics_window () =
   let m = Metrics.create () in
   (* Completions outside the window are ignored. *)
-  Metrics.record_completion m ~now:Time.zero ~txns:10 ~latency:(Time.ms 5);
+  Metrics.record_completion m ~now:Time.zero ~txns:10 ~latency:(Time.ms 5) ();
   Metrics.open_window m ~now:(Time.sec 1);
-  Metrics.record_completion m ~now:(Time.sec 2) ~txns:10 ~latency:(Time.ms 5);
-  Metrics.record_completion m ~now:(Time.sec 2) ~txns:20 ~latency:(Time.ms 15);
+  Metrics.record_completion m ~now:(Time.sec 2) ~txns:10 ~latency:(Time.ms 5) ();
+  Metrics.record_completion m ~now:(Time.sec 2) ~txns:20 ~latency:(Time.ms 15) ();
   Metrics.close_window m ~now:(Time.sec 11);
-  Metrics.record_completion m ~now:(Time.sec 12) ~txns:10 ~latency:(Time.ms 5);
+  Metrics.record_completion m ~now:(Time.sec 12) ~txns:10 ~latency:(Time.ms 5) ();
   Alcotest.(check int) "completed txns in window" 30 (Metrics.completed_txns m);
   Alcotest.(check (float 0.001)) "throughput" 3.0 (Metrics.throughput_txn_s m);
   let lat = Metrics.latency_summary m in
@@ -30,7 +30,7 @@ let test_latency_percentiles () =
   let m = Metrics.create () in
   Metrics.open_window m ~now:Time.zero;
   for i = 1 to 100 do
-    Metrics.record_completion m ~now:(Time.sec 1) ~txns:1 ~latency:(Time.ms i)
+    Metrics.record_completion m ~now:(Time.sec 1) ~txns:1 ~latency:(Time.ms i) ()
   done;
   Metrics.close_window m ~now:(Time.sec 10);
   let lat = Metrics.latency_summary m in
@@ -74,7 +74,9 @@ let test_report_per_decision_math () =
       avg_latency_ms = 0.; p50_latency_ms = 0.; p95_latency_ms = 0.; p99_latency_ms = 0.;
       completed_batches = 0; completed_txns = 0; decisions = 10; local_msgs = 240;
       global_msgs = 30; local_mb = 0.; global_mb = 0.; view_changes = 0;
-      state_transfers = 0; holes_filled = 0; retransmissions = 0; window_sec = 1.;
+      state_transfers = 0; holes_filled = 0; retransmissions = 0; storage = "mem";
+      read_txns = 0; scan_txns = 0; write_txns = 0; read_p50_latency_ms = 0.;
+      read_p95_latency_ms = 0.; read_p99_latency_ms = 0.; window_sec = 1.;
       trace = None;
     }
   in

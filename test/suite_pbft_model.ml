@@ -77,7 +77,10 @@ let make_harness ~n =
       set_timer =
         (fun ~delay k -> Rdb_sim.Engine.schedule_after engine_handle ~delay k);
       cancel_timer = Rdb_sim.Engine.cancel;
-      execute = (fun _ ~cert:_ ~on_done -> on_done ());
+      execute = (fun _ ~cert:_ ~on_done -> on_done None);
+      read_execute = (fun _ ~on_done:_ -> ());
+      state_snapshot = (fun () -> None);
+      app_restore = (fun _ -> ());
       ledger_read = (fun ~height:_ -> []);
       complete = (fun _ -> ());
       trace = (fun _ -> ());

@@ -48,6 +48,11 @@ let exotic_scenarios () =
         client_timeout_ms = 1500.;
         wan_egress_mbps = 500.;
       };
+    Scenario.make Scenario.Pbft
+      { base with Config.read_fraction = 0.5; scan_fraction = 0.125 };
+    Scenario.make Scenario.Geobft { base with Config.storage = Config.Disk };
+    Scenario.make Scenario.Steward
+      { base with Config.read_fraction = 0.75; storage = Config.Disk };
     Scenario.make Scenario.Hotstuff
       {
         base with
@@ -82,7 +87,19 @@ let test_id_examples () =
     (Scenario.to_string s);
   let s = Scenario.make ~fault:(Scenario.Chaos 7) ~trace:true Scenario.Pbft (tiny_cfg ()) in
   Alcotest.(check string) "fault + trace id"
-    "pbft z2 n4 b20 i8 seed1 w1000+4000 fault=chaos:7 trace" (Scenario.to_string s)
+    "pbft z2 n4 b20 i8 seed1 w1000+4000 fault=chaos:7 trace" (Scenario.to_string s);
+  let s =
+    Scenario.make Scenario.Pbft
+      {
+        (tiny_cfg ()) with
+        Config.read_fraction = 0.5;
+        scan_fraction = 0.25;
+        storage = Config.Disk;
+      }
+  in
+  Alcotest.(check string) "workload mix + storage id"
+    "pbft z2 n4 b20 i8 seed1 w1000+4000 reads=0.5 scans=0.25 storage=disk"
+    (Scenario.to_string s)
 
 let test_id_rejects_garbage () =
   List.iter

@@ -141,7 +141,10 @@ let mk_client_ctx () =
       charge = (fun ~stage:_ ~cost:_ k -> k ());
       set_timer = (fun ~delay k -> Engine.schedule_after engine ~delay k);
       cancel_timer = Engine.cancel;
-      execute = (fun _ ~cert:_ ~on_done -> on_done ());
+      execute = (fun _ ~cert:_ ~on_done -> on_done None);
+      read_execute = (fun _ ~on_done:_ -> ());
+      state_snapshot = (fun () -> None);
+      app_restore = (fun _ -> ());
       ledger_read = (fun ~height:_ -> []);
       complete = (fun b -> completed := b.Batch.id :: !completed);
       trace = (fun _ -> ());
@@ -154,7 +157,7 @@ let test_client_core_threshold () =
   let engine, ctx, _sent, completed = mk_client_ctx () in
   let transmits = ref 0 in
   let core =
-    Client_core.create ~ctx ~threshold:2 ~transmit:(fun ~retry:_ _ -> incr transmits)
+    Client_core.create ~ctx ~threshold:2 ~transmit:(fun ~retry:_ _ -> incr transmits) ()
   in
   let b = mk_batch ~id:42 () in
   Client_core.submit core b;
@@ -176,7 +179,7 @@ let test_client_core_retransmit () =
   let engine, ctx, _sent, completed = mk_client_ctx () in
   let retries = ref 0 in
   let core =
-    Client_core.create ~ctx ~threshold:2 ~transmit:(fun ~retry _ -> if retry then incr retries)
+    Client_core.create ~ctx ~threshold:2 ~transmit:(fun ~retry _ -> if retry then incr retries) ()
   in
   Client_core.submit core (mk_batch ~id:1 ());
   (* Exponential backoff: retransmits land at 100, 300 (100+200) and
@@ -190,7 +193,9 @@ let test_client_core_retransmit () =
 let test_client_core_duplicate_submit () =
   let _, ctx, _, _ = mk_client_ctx () in
   let transmits = ref 0 in
-  let core = Client_core.create ~ctx ~threshold:1 ~transmit:(fun ~retry:_ _ -> incr transmits) in
+  let core =
+    Client_core.create ~ctx ~threshold:1 ~transmit:(fun ~retry:_ _ -> incr transmits) ()
+  in
   let b = mk_batch ~id:5 () in
   Client_core.submit core b;
   Client_core.submit core b;
@@ -228,7 +233,10 @@ let test_ctx_map_send () =
       charge = (fun ~stage:_ ~cost:_ k -> k ());
       set_timer = (fun ~delay k -> Engine.schedule_after engine ~delay k);
       cancel_timer = Engine.cancel;
-      execute = (fun _ ~cert:_ ~on_done -> on_done ());
+      execute = (fun _ ~cert:_ ~on_done -> on_done None);
+      read_execute = (fun _ ~on_done:_ -> ());
+      state_snapshot = (fun () -> None);
+      app_restore = (fun _ -> ());
       ledger_read = (fun ~height:_ -> []);
       complete = (fun _ -> ());
       trace = (fun _ -> ());

@@ -3,6 +3,7 @@
    records, Zipfian, write queries). *)
 
 module Txn = Rdb_types.Txn
+module Batch = Rdb_types.Batch
 module Table = Rdb_ycsb.Table
 module Workload = Rdb_ycsb.Workload
 
@@ -98,6 +99,81 @@ let test_workload_batches () =
     (fun t -> Alcotest.(check bool) "client ids from base" true (t.Txn.client_id >= 100))
     b
 
+let test_zero_fractions_identical_stream () =
+  (* The mixed-workload extension must not perturb the historical RNG
+     stream: with both class fractions at 0, the generator is
+     byte-for-byte the write-only generator (this is what keeps every
+     pinned trace digest valid). *)
+  let w1 = Workload.create ~n_records:1000 ~seed:11 ~client_base:0 () in
+  let w2 =
+    Workload.create ~n_records:1000 ~read_fraction:0.0 ~scan_fraction:0.0 ~seed:11
+      ~client_base:0 ()
+  in
+  for _ = 1 to 40 do
+    let b1 = Workload.next_batch_txns w1 ~batch_size:10 in
+    let b2 = Workload.next_batch_txns w2 ~batch_size:10 in
+    Array.iteri
+      (fun i t ->
+        Alcotest.(check string) "identical stream" (Txn.serialize t) (Txn.serialize b2.(i)))
+      b1
+  done;
+  Alcotest.(check int) "no read batches" 0 (Workload.read_batches w2);
+  Alcotest.(check int) "no scan batches" 0 (Workload.scan_batches w2);
+  Alcotest.(check int) "all write batches" 40 (Workload.write_batches w2)
+
+let test_mixed_batches_are_classed () =
+  (* Class is drawn per batch so whole batches stay eligible for the
+     read-path bypass: every generated batch is uniformly one class,
+     and read/scan batches satisfy Batch.read_only. *)
+  let kc = Rdb_crypto.Keychain.create ~seed:"ycsb-mix" ~n_nodes:1 in
+  let w =
+    Workload.create ~n_records:1000 ~read_fraction:0.4 ~scan_fraction:0.2 ~seed:21
+      ~client_base:0 ()
+  in
+  let n = 300 in
+  for i = 1 to n do
+    let txns = Workload.next_batch_txns w ~batch_size:8 in
+    let classes =
+      Array.fold_left
+        (fun acc t ->
+          match t.Txn.op with
+          | Txn.Read -> acc lor 1
+          | Txn.Scan -> acc lor 2
+          | Txn.Write -> acc lor 4)
+        0 txns
+    in
+    Alcotest.(check bool) "one class per batch" true
+      (classes = 1 || classes = 2 || classes = 4);
+    let b = Batch.create ~keychain:kc ~id:i ~cluster:0 ~origin:0 ~txns ~created:0L in
+    if classes land 4 = 0 then
+      Alcotest.(check bool) "read/scan batches are read-only" true (Batch.read_only b)
+    else Alcotest.(check bool) "write batches are not read-only" false (Batch.read_only b)
+  done;
+  let rb = Workload.read_batches w
+  and sb = Workload.scan_batches w
+  and wb = Workload.write_batches w in
+  Alcotest.(check int) "every batch classed" n (rb + sb + wb);
+  let frac x = float_of_int x /. float_of_int n in
+  Alcotest.(check bool) "about 40% reads" true (abs_float (frac rb -. 0.4) < 0.1);
+  Alcotest.(check bool) "about 20% scans" true (abs_float (frac sb -. 0.2) < 0.1);
+  Alcotest.(check bool) "about 40% writes" true (abs_float (frac wb -. 0.4) < 0.1)
+
+let test_mixed_workload_determinism () =
+  let mk () =
+    Workload.create ~n_records:1000 ~read_fraction:0.5 ~scan_fraction:0.1 ~seed:31
+      ~client_base:0 ()
+  in
+  let w1 = mk () and w2 = mk () in
+  for _ = 1 to 50 do
+    let b1 = Workload.next_batch_txns w1 ~batch_size:5 in
+    let b2 = Workload.next_batch_txns w2 ~batch_size:5 in
+    Array.iteri
+      (fun i t ->
+        Alcotest.(check string) "mixed stream deterministic" (Txn.serialize t)
+          (Txn.serialize b2.(i)))
+      b1
+  done
+
 let prop_digest_changes_on_write =
   QCheck.Test.make ~name:"state digest changes on every write" ~count:30
     QCheck.(pair (int_bound 999) small_int)
@@ -119,5 +195,8 @@ let suite =
     ("workload mixed read/write", `Quick, test_workload_mixed);
     ("workload key range", `Quick, test_workload_keys_in_range);
     ("workload batching", `Quick, test_workload_batches);
+    ("zero fractions, identical stream", `Quick, test_zero_fractions_identical_stream);
+    ("mixed batches are classed", `Quick, test_mixed_batches_are_classed);
+    ("mixed workload determinism", `Quick, test_mixed_workload_determinism);
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_digest_changes_on_write ]

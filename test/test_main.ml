@@ -15,6 +15,7 @@ let () =
       ("types", Suite_types.suite);
       ("ledger", Suite_ledger.suite);
       ("ycsb", Suite_ycsb.suite);
+      ("storage", Suite_storage.suite);
       ("pbft", Suite_pbft.suite);
       ("pbft-model", Suite_pbft_model.suite);
       ("geobft", Suite_geobft.suite);
