@@ -187,12 +187,16 @@ let matrix_names = [ "smoke"; "fig10"; "fig11"; "fig12"; "fig13"; "ablations"; "
 let rec matrix_scenarios ~windows ~seeds = function
   | "smoke" -> Ok (smoke_scenarios ())
   | "fig10" -> Ok (Figures.Fig10.scenarios ~windows ())
-  | "fig11" -> Ok (Figures.Fig11.scenarios ~windows ())
+  | "fig11" ->
+      (* Paper grid first, then the scale extension (n to 100+, z to 32
+         tiled regions with 1.6M aggregated clients). *)
+      Ok (Figures.Fig11.scenarios ~windows () @ Figures.Fig11.scale_scenarios ~windows ())
   | "fig12" ->
       Ok
         (Figures.Fig12.scenarios_one_failure ~windows ()
         @ Figures.Fig12.scenarios_f_failures ~windows ()
-        @ Figures.Fig12.scenarios_primary_failure ~windows ())
+        @ Figures.Fig12.scenarios_primary_failure ~windows ()
+        @ Figures.Fig12.scale_scenarios ~windows ())
   | "fig13" -> Ok (Figures.Fig13.scenarios ~windows ())
   | "ablations" -> Ok (Ablations.scenarios ~windows ())
   | "table2" -> Ok (Resilientdb.Experiments.Tables.Table2.scenarios ~windows ())

@@ -26,13 +26,28 @@ module Fig10 : sig
   val print : row list -> unit
 end
 
-(** Figure 11: throughput & latency vs replicas per cluster; z = 4. *)
+(** Figure 11: throughput & latency vs replicas per cluster; z = 4.
+    The [scale_*] values extend both axes past the paper's hardware:
+    n to 100+ replicas per cluster, and z to 32 tiled regions with
+    aggregated client groups representing 1.6M clients (10x the
+    paper's 160k). *)
 module Fig11 : sig
   val ns : int list
   val cfg_of : ?base:Config.t -> int -> Config.t
 
   val scenarios :
     ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+
+  val scale_ns : int list
+  val scale_zs : int list
+  val scale_clients : int
+  val scale_cfg_of_n : ?base:Config.t -> int -> Config.t
+  val scale_cfg_of_z : ?base:Config.t -> int -> Config.t
+
+  val scale_scenarios :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+  (** Defaults to GeoBFT only — the protocol whose scaling the paper
+      claims; pass [~protocols] to widen. *)
 
   val rows_of_reports : (Scenario.t * Report.t) list -> row list
   val run : ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> row list
@@ -54,6 +69,15 @@ module Fig12 : sig
 
   val scenarios_primary_failure :
     ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+
+  val scale_ns : int list
+  val scale_cfg_of : ?base:Config.t -> int -> Config.t
+
+  val scale_scenarios :
+    ?protocols:proto list -> ?windows:windows -> ?base:Config.t -> unit -> Scenario.t list
+  (** Failure experiments at large topologies: z = 8, n in
+      [scale_ns], 1.6M aggregated clients, one-non-primary and
+      f-non-primary faults; GeoBFT and Pbft by default. *)
 
   val rows_of_reports : (Scenario.t * Report.t) list -> row list
 

@@ -116,7 +116,6 @@ end
 let chaos_profile (p : proto) (cfg : Config.t) :
     Chaos.caps * Chaos.agreement_mode * float =
   let everyone _ = true in
-  let nobody _ = false in
   match p with
   | Geobft ->
       ( { Chaos.crashable = everyone; partitions = true; link_down = true;
@@ -135,7 +134,12 @@ let chaos_profile (p : proto) (cfg : Config.t) :
         Chaos.Prefix,
         6000. )
   | Hotstuff ->
-      ( { Chaos.crashable = nobody; partitions = false; link_down = true;
+      (* Crashes joined the menu when ledger state transfer was wired
+         through lib/recovery (Fetch_log/Log_suffix bulk catch-up): a
+         recovering replica now closes arbitrarily long holes inside
+         the liveness window, where the old bounded archive left them
+         permanently unservable. *)
+      ( { Chaos.crashable = everyone; partitions = false; link_down = true;
           link_loss = true; link_dup = true; equivocation = false },
         Chaos.Eventual_set 256,
         6000. )
@@ -305,8 +309,18 @@ let exec ?instrument ?attack ?(sharded = true) ?(jobs = 1) (p : proto) ~(windows
     ~(fault : fault) ~tracer (cfg : Config.t) : Report.t =
   let go : type a m. (module DEP with type t = a and type msg = m) -> Report.t =
    fun (module D) ->
-    (* Experiments sweep many large deployments: keep ledgers compact. *)
-    let d = D.create ?tracer ~retain_payloads:false ~sharded cfg in
+    (* Experiments sweep many large deployments: keep ledgers compact,
+       and shrink the per-replica YCSB table once the topology is large
+       enough that full tables would dominate memory (every replica
+       holds its own record array; the cap keeps a fleet's total near
+       what a 128-replica full-table run uses).  The record count is a
+       pure function of the config, so reports stay deterministic. *)
+    let n_records =
+      let nr = Config.n_replicas cfg in
+      if nr <= 128 then Rdb_ycsb.Table.default_records
+      else max 10_000 (Rdb_ycsb.Table.default_records * 128 / nr)
+    in
+    let d = D.create ?tracer ~n_records ~retain_payloads:false ~sharded cfg in
     let rt = adversary_runtime (module D) d cfg in
     (match attack with
     | None -> ()

@@ -139,6 +139,7 @@ let to_string t =
     add " rtms=%s" (fmt_f c.Config.remote_timeout_ms);
   if c.Config.client_timeout_ms <> d.Config.client_timeout_ms then
     add " ctms=%s" (fmt_f c.Config.client_timeout_ms);
+  if c.Config.clients <> d.Config.clients then add " clients=%d" c.Config.clients;
   if c.Config.wan_egress_mbps <> d.Config.wan_egress_mbps then
     add " wan=%s" (fmt_f c.Config.wan_egress_mbps);
   if c.Config.geobft_fanout <> d.Config.geobft_fanout then add " fanout=%d" c.Config.geobft_fanout;
@@ -226,6 +227,9 @@ let of_string s =
               | tok when float_field "ctms=" tok <> None ->
                   let* v = float_field "ctms=" tok in
                   c { cfg with Config.client_timeout_ms = v }
+              | tok when int_field "clients=" tok <> None ->
+                  let* v = int_field "clients=" tok in
+                  c { cfg with Config.clients = v }
               | tok when float_field "wan=" tok <> None ->
                   let* v = float_field "wan=" tok in
                   c { cfg with Config.wan_egress_mbps = v }
@@ -289,9 +293,10 @@ let of_string s =
 
 (* v2 added the optional "attack" field (absent when None); v3 added
    the workload-mix and storage config fields (read_fraction,
-   scan_fraction, storage) — absent fields default, so v1/v2 documents
-   still load. *)
-let schema_version = 3
+   scan_fraction, storage); v4 added the aggregated client population
+   ("clients") — absent fields default, so older documents still
+   load. *)
+let schema_version = 4
 
 let json_of_costs (c : Config.costs) : Json.t =
   Json.Obj
@@ -318,6 +323,7 @@ let json_of_config (c : Config.t) : Json.t =
       ("remote_timeout_ms", Json.Float c.Config.remote_timeout_ms);
       ("client_inflight", Json.Int c.Config.client_inflight);
       ("client_timeout_ms", Json.Float c.Config.client_timeout_ms);
+      ("clients", Json.Int c.Config.clients);
       ("wan_egress_mbps", Json.Float c.Config.wan_egress_mbps);
       ("geobft_fanout", Json.Int c.Config.geobft_fanout);
       ("threshold_certs", Json.Bool c.Config.threshold_certs);
@@ -393,7 +399,10 @@ let config_of_json j : (Config.t, string) result =
   let* wan_egress_mbps = field "wan_egress_mbps" Json.to_float j in
   let* geobft_fanout = field "geobft_fanout" Json.to_int j in
   let* threshold_certs = field "threshold_certs" Json.to_bool j in
-  (* v3 fields, defaulted so v1/v2 documents load unchanged. *)
+  (* v3/v4 fields, defaulted so older documents load unchanged. *)
+  let clients =
+    Option.value ~default:0 (Option.bind (Json.member "clients" j) Json.to_int)
+  in
   let read_fraction =
     Option.value ~default:0.0 (Option.bind (Json.member "read_fraction" j) Json.to_float)
   in
@@ -425,6 +434,7 @@ let config_of_json j : (Config.t, string) result =
       remote_timeout_ms;
       client_inflight;
       client_timeout_ms;
+      clients;
       wan_egress_mbps;
       geobft_fanout;
       threshold_certs;
@@ -495,4 +505,10 @@ let cost_estimate t =
   let c = t.cfg in
   let zn2 = float_of_int (c.Config.z * c.Config.n * c.Config.n) in
   let horizon = Time.to_sec_f (Time.add t.windows.warmup t.windows.measure) in
-  zn2 *. horizon
+  (* Aggregated client groups widen the outstanding-batch window, and
+     with it the message volume, roughly linearly. *)
+  let load =
+    float_of_int (Config.group_inflight c ~cluster:0)
+    /. float_of_int (max 1 c.Config.client_inflight)
+  in
+  zn2 *. horizon *. load

@@ -141,6 +141,9 @@ module Make (P : Protocol.S) = struct
     let send ~dst ~size ~vcost payload =
       Network.send t.net ~src:node ~dst ~size { payload; vcost }
     in
+    let bcast ~dsts ~size ~vcost payload =
+      Network.multicast t.net ~src:node ~dsts ~size { payload; vcost }
+    in
     let charge ~stage ~cost k =
       if t.crashed.(node) then () else Cpu.charge t.cpu ~node ~stage ~cost k
     in
@@ -259,6 +262,7 @@ module Make (P : Protocol.S) = struct
       rng = Rdb_prng.Rng.split (Engine.rng t.engine) ~index:node;
       now = (fun () -> Engine.now t.engine);
       send;
+      bcast;
       charge;
       set_timer;
       cancel_timer = Engine.cancel;
@@ -278,7 +282,11 @@ module Make (P : Protocol.S) = struct
     match d.agent with
     | None -> ()
     | Some agent ->
-        while d.outstanding < t.cfg.Config.client_inflight do
+        (* One aggregated group tick per batch: the loop body costs
+           O(1) events regardless of how many real clients the group
+           models (Config.group_inflight scales the outstanding window
+           with the population instead). *)
+        while d.outstanding < Config.group_inflight t.cfg ~cluster:d.cluster do
           d.outstanding <- d.outstanding + 1;
           let id = (d.cluster * 1_000_000) + d.next_id in
           d.next_id <- d.next_id + 1;
@@ -295,8 +303,7 @@ module Make (P : Protocol.S) = struct
 
   let create ?(trace = false) ?tracer ?(n_records = Table.default_records)
       ?(retain_payloads = true) ?(sharded = true) ?store_dir (cfg : Config.t) =
-    if cfg.Config.z < 1 || cfg.Config.z > 6 then
-      invalid_arg "Deployment.create: z must be within the paper's six regions";
+    if cfg.Config.z < 1 then invalid_arg "Deployment.create: z must be >= 1";
     let topo = Topology.clustered ~z:cfg.Config.z ~n:cfg.Config.n in
     (* Conservative sharding (DESIGN.md §15): one shard per cluster —
        each cluster and its co-located client group live in one region,
@@ -361,8 +368,9 @@ module Make (P : Protocol.S) = struct
             workload =
               Workload.create ~n_records ~read_fraction:cfg.Config.read_fraction
                 ~scan_fraction:cfg.Config.scan_fraction
+                ~n_clients:(Config.group_population cfg ~cluster)
                 ~seed:(cfg.Config.seed + (7919 * (cluster + 1)))
-                ~client_base:(cluster * 10_000) ();
+                ~client_base:(cluster * Config.client_id_stride cfg) ();
             outstanding = 0;
             next_id = 0;
             agent = None;

@@ -131,7 +131,8 @@ let send r ~dst m = r.ctx.Ctx.send ~dst ~size:(size_of r.cfg m) ~vcost:(vcost_of
 let local_members r = Config.replicas_of_cluster r.cfg r.my_cluster
 
 let broadcast_local r m =
-  List.iter (fun dst -> if dst <> r.ctx.Ctx.id then send r ~dst m) (local_members r)
+  let dsts = List.filter (fun dst -> dst <> r.ctx.Ctx.id) (local_members r) in
+  Ctx.multicast r.ctx ~dsts ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
 
 (* Trace-phase slot key.  The local cluster's chain uses the engine seq
    (= round) directly, so the embedded Pbft engine's propose / prepare /
@@ -366,22 +367,27 @@ and share_round r ~round (batch : Batch.t) (cert : Certificate.t) =
          (Time.of_us_f (cfg.Config.costs.Config.mac_us *. float_of_int n_macs)))
     (fun () ->
       r.ctx.Ctx.phase ~key:round ~name:"certify-share";
-      for c = 0 to cfg.Config.z - 1 do
+      (* Mutant: cluster 0's primary mislabels every share with the
+         previous round number; receivers must reject it (the
+         certificate binds the round), so remote clusters starve on
+         cluster 0's rounds while cluster 0 runs ahead. *)
+      let mround =
+        if r.my_cluster = 0 && Mutation.is "geobft-share-stale" then round - 1 else round
+      in
+      let m = Global_share { round = mround; batch; cert } in
+      (* One pooled fan-out over every (cluster, rotation) target; the
+         rotation offsets still use the true round so target selection
+         is unaffected by the mutant. *)
+      let dsts = ref [] in
+      for c = cfg.Config.z - 1 downto 0 do
         if c <> r.my_cluster then
-          for i = 0 to fanout - 1 do
+          for i = fanout - 1 downto 0 do
             let idx = (round + i) mod cfg.Config.n in
-            let dst = Config.replica_id cfg ~cluster:c ~index:idx in
             r.shares_sent <- r.shares_sent + 1;
-            (* Mutant: cluster 0's primary mislabels every share with
-               the previous round number; receivers must reject it (the
-               certificate binds the round), so remote clusters starve
-               on cluster 0's rounds while cluster 0 runs ahead. *)
-            let round =
-              if r.my_cluster = 0 && Mutation.is "geobft-share-stale" then round - 1 else round
-            in
-            send r ~dst (Global_share { round; batch; cert })
+            dsts := Config.replica_id cfg ~cluster:c ~index:idx :: !dsts
           done
-      done)
+      done;
+      Ctx.multicast r.ctx ~dsts:!dsts ~size:(size_of cfg m) ~vcost:(vcost_of cfg m) m)
 
 (* Accept a certified batch for (cluster, round); returns true if new. *)
 and accept_share r ~src ~round (batch : Batch.t) (cert : Certificate.t) =
@@ -733,17 +739,17 @@ let create_client (ctx : msg Ctx.t) ~cluster =
     if retry then
       (* Local broadcast: backups forward to the primary and arm the
          censorship timer. *)
-      List.iter
-        (fun dst -> ctx.Ctx.send ~dst ~size ~vcost (Request batch))
-        (Config.replicas_of_cluster cfg cluster)
+      Ctx.multicast ctx
+        ~dsts:(Config.replicas_of_cluster cfg cluster)
+        ~size ~vcost (Request batch)
     else ctx.Ctx.send ~dst:!primary_guess ~size ~vcost (Request batch)
   in
   (* Read-only batches bypass consensus: every local replica answers
      from its state, f+1 matching digests suffice. *)
   let transmit_read (batch : Batch.t) =
-    List.iter
-      (fun dst -> ctx.Ctx.send ~dst ~size ~vcost (Read_request batch))
-      (Config.replicas_of_cluster cfg cluster)
+    Ctx.multicast ctx
+      ~dsts:(Config.replicas_of_cluster cfg cluster)
+      ~size ~vcost (Read_request batch)
   in
   {
     core =

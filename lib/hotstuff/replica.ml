@@ -62,6 +62,16 @@ type msg =
      otherwise leave permanent holes (DESIGN.md Â§8). *)
   | Fetch of { inst : int; heights : int list }
   | Filled of { inst : int; height : int; batch : Batch.t }
+  (* Bulk ledger state transfer (lib/recovery), the same rejoin idiom
+     as Pbft/GeoBFT checkpoint catch-up: a replica far behind on an
+     instance asks for the contiguous executed suffix of that
+     instance's log starting at its own frontier, and a peer that
+     executed it streams the batches back in chunks.  The requester
+     chains further [Fetch_log]s as chunks land, so a multi-second
+     outage heals in a few round trips instead of per-height fetch
+     cycles gated by the stall task's backoff. *)
+  | Fetch_log of { inst : int; from : int }
+  | Log_suffix of { inst : int; from : int; batches : Batch.t list }
 
 (* Per-(instance, height) consensus state. *)
 type slot = {
@@ -79,11 +89,20 @@ type inst_state = {
   slots : (int, slot) Hashtbl.t;
   mutable next_exec : int;               (* executing this instance in order *)
   mutable max_seen : int;                (* highest height seen proposed/certified *)
-  (* Executed batches kept [archive_retention] heights back, so this
-     replica can serve hole-filling fetches after the live slot was
-     garbage-collected (values are shared, not copied). *)
+  (* Every executed batch of this instance, kept for the life of the
+     run so the replica can serve hole fetches and bulk [Fetch_log]
+     state transfer arbitrarily far back.  A bounded retention window
+     here is exactly the state-transfer gap: an outage longer than the
+     window left holes no peer could serve, permanently stalling the
+     instance.  Entries are shared batch values (pointers), not copies,
+     so the cost is one table slot per decided height. *)
   archive : (int, Batch.t) Hashtbl.t;
   seen : (string, unit) Hashtbl.t;       (* leader-side dedup *)
+  (* Frontier of the last bulk [Fetch_log] sent for this instance
+     (-1 = none): dedups the event-driven catch-up trigger so one
+     chain is in flight per frontier; the stall task re-requests
+     after backoff if the chain was lost. *)
+  mutable bulk_from : int;
 }
 
 type replica = {
@@ -97,7 +116,12 @@ type replica = {
   mutable task : Recovery.Task.t option;
 }
 
-let archive_retention = 512
+(* Bulk catch-up tuning: switch from per-height [Fetch] to [Fetch_log]
+   once the hole is this deep, and stream at most [log_chunk] batches
+   per [Log_suffix] so one reply never monopolizes the serving
+   replica's uplink. *)
+let bulk_threshold = 64
+let log_chunk = 256
 
 (* Receipt digest, not an execution-result digest: the parallel
    instances give replicas no common global execution order, so real
@@ -115,6 +139,10 @@ let size_of cfg = function
   | Reply _ -> Wire.response_bytes ~batch_size:cfg.Config.batch_size
   | Fetch _ -> Wire.fetch_bytes
   | Filled _ -> Wire.fill_bytes ~batch_size:cfg.Config.batch_size ~sigs:4
+  | Fetch_log _ -> Wire.fetch_bytes
+  | Log_suffix { batches; _ } ->
+      Wire.small
+      + (List.length batches * Wire.fill_bytes ~batch_size:cfg.Config.batch_size ~sigs:4)
 
 (* The paper's implementation "skips the construction and verification
    of threshold signatures" entirely: votes and QCs are only
@@ -132,9 +160,11 @@ let vcost_of cfg m =
 let send r ~dst m = r.ctx.Ctx.send ~dst ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
 
 let broadcast r m =
-  for dst = 0 to r.n - 1 do
-    if dst <> r.ctx.Ctx.id then send r ~dst m
-  done
+  let dsts = ref [] in
+  for dst = r.n - 1 downto 0 do
+    if dst <> r.ctx.Ctx.id then dsts := dst :: !dsts
+  done;
+  Ctx.multicast r.ctx ~dsts:!dsts ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
 
 let slot_of inst height =
   match Hashtbl.find_opt inst.slots height with
@@ -176,26 +206,66 @@ let send_fetches r ~attempt =
         let have h =
           match Hashtbl.find_opt inst.slots h with Some s -> s.decided | None -> false
         in
-        (* Ask for the whole hole at once: the fetch itself is small and
-           the server pays per-height [Filled] wire costs, while a
-           throttled request list (a few dozen heights per fire, with
-           backoff between fires) can never outrun the decision rate of
-           the healthy instances during a multi-second link outage. *)
-        let heights =
-          Recovery.Gaps.missing ~limit:1024 ~have ~from:inst.next_exec ~upto:inst.max_seen ()
-        in
-        if heights <> [] then begin
-          Recovery.Stats.note_retransmit r.stats;
-          let m = Fetch { inst = inst.owner; heights } in
-          (* First try the instance's leader (it certainly decided
-             them); if that link is the faulty one, widen to everyone. *)
+        (* First try the instance's leader (it certainly decided the
+           heights); if that link is the faulty one, widen to
+           everyone. *)
+        let target m =
           if attempt = 0 && inst.owner <> r.ctx.Ctx.id then send r ~dst:inst.owner m
           else broadcast r m
+        in
+        if inst.max_seen - inst.next_exec >= bulk_threshold && not (have inst.next_exec)
+        then begin
+          (* Deep hole starting right at our frontier: bulk ledger
+             state transfer.  Chunk replies chain further [Fetch_log]s
+             without waiting on this task's backoff. *)
+          Recovery.Stats.note_retransmit r.stats;
+          inst.bulk_from <- inst.next_exec;
+          target (Fetch_log { inst = inst.owner; from = inst.next_exec })
+        end
+        else begin
+          (* Scattered or shallow holes: ask per height.  The fetch
+             itself is small and the server pays per-height [Filled]
+             wire costs; a throttled request list (a few dozen heights
+             per fire, with backoff between fires) could never outrun
+             the decision rate of the healthy instances during a
+             multi-second link outage, hence the generous limit. *)
+          let heights =
+            Recovery.Gaps.missing ~limit:1024 ~have ~from:inst.next_exec ~upto:inst.max_seen ()
+          in
+          if heights <> [] then begin
+            Recovery.Stats.note_retransmit r.stats;
+            target (Fetch { inst = inst.owner; heights })
+          end
         end
       end)
     r.insts
 
 let ensure_task r = match r.task with Some t -> Recovery.Task.ensure t | None -> ()
+
+(* Event-driven bulk catch-up.  The first delivery after an outage
+   heals is what reveals the hole (max_seen jumps past the pipeline
+   window); fetching right here — instead of waiting out whatever
+   backoff the stall task accumulated while its requests were being
+   dropped — is what keeps the executed-set divergence inside the
+   chaos monitor's slack.  [bulk_from] dedups to one in-flight chain
+   per frontier; lost chains are re-requested by the task. *)
+let nudge_catch_up r inst =
+  ensure_task r;
+  let frontier_decided =
+    match Hashtbl.find_opt inst.slots inst.next_exec with
+    | Some s -> s.decided
+    | None -> false
+  in
+  if
+    inst.max_seen - inst.next_exec >= bulk_threshold
+    && (not frontier_decided)
+    && inst.bulk_from <> inst.next_exec
+  then begin
+    Recovery.Stats.note_retransmit r.stats;
+    inst.bulk_from <- inst.next_exec;
+    let m = Fetch_log { inst = inst.owner; from = inst.next_exec } in
+    if inst.owner <> r.ctx.Ctx.id then send r ~dst:inst.owner m else broadcast r m
+  end
 
 let create_replica (ctx : msg Ctx.t) =
   let cfg = ctx.Ctx.config in
@@ -221,6 +291,7 @@ let create_replica (ctx : msg Ctx.t) =
               max_seen = -1;
               archive = Hashtbl.create 64;
               seen = Hashtbl.create 256;
+              bulk_from = -1;
             });
       decided_total = 0;
     }
@@ -349,7 +420,6 @@ and exec_ready r inst =
       | Some batch ->
           inst.next_exec <- inst.next_exec + 1;
           Hashtbl.replace inst.archive (inst.next_exec - 1) batch;
-          Hashtbl.remove inst.archive (inst.next_exec - 1 - archive_retention);
           Hashtbl.remove inst.slots (inst.next_exec - 64);
           r.decided_total <- r.decided_total + 1;
           let exec_height = inst.next_exec - 1 in
@@ -387,7 +457,7 @@ let on_message r ~src (m : msg) =
           r.ctx.Ctx.phase ~key:(hs_key ~owner:i ~height) ~name:"propose";
           vote r inst ~height ~phase:Prepare ~digest:batch.Batch.digest
         end;
-        if inst_stalled inst then ensure_task r
+        if inst_stalled inst then nudge_catch_up r inst
       end
   | Vote { inst = i; height; phase; digest } ->
       if i = r.ctx.Ctx.id then record_vote r r.insts.(i) ~height ~phase ~voter:src ~digest
@@ -396,7 +466,7 @@ let on_message r ~src (m : msg) =
         let inst = r.insts.(i) in
         inst.max_seen <- max inst.max_seen height;
         apply_qc r inst ~height ~phase;
-        if inst_stalled inst then ensure_task r
+        if inst_stalled inst then nudge_catch_up r inst
       end
   | Fetch { inst = i; heights } ->
       (* Serve decided batches from the live slot or the archive. *)
@@ -425,6 +495,60 @@ let on_message r ~src (m : msg) =
         s.decided <- true;
         Recovery.Stats.note_holes r.stats 1;
         exec_ready r inst
+      end
+  | Fetch_log { inst = i; from } ->
+      (* Serve a contiguous executed suffix of this instance's log from
+         the archive, capped at [log_chunk] batches per reply.  Asking
+         at or past our frontier yields nothing (the stall task's
+         backoff covers the retry). *)
+      let inst = r.insts.(i) in
+      if from >= 0 && from < inst.next_exec then begin
+        let upto = min inst.next_exec (from + log_chunk) in
+        let batches = ref [] in
+        let complete = ref true in
+        for h = upto - 1 downto from do
+          match Hashtbl.find_opt inst.archive h with
+          | Some b -> batches := b :: !batches
+          | None -> complete := false
+        done;
+        if !complete && !batches <> [] then
+          send r ~dst:src (Log_suffix { inst = i; from; batches = !batches })
+      end
+  | Log_suffix { inst = i; from; batches } ->
+      (* Bulk install: each entry is trusted like [Filled] (the serving
+         replica executed it, so its digest is fixed by agreement).
+         Installing fresh heights counts as one state transfer; if the
+         instance is still behind afterwards, chain the next chunk
+         immediately instead of waiting for the stall task. *)
+      let inst = r.insts.(i) in
+      let installed = ref 0 in
+      List.iteri
+        (fun k batch ->
+          let h = from + k in
+          inst.max_seen <- max inst.max_seen h;
+          let s = slot_of inst h in
+          if (not s.decided) && h >= inst.next_exec then begin
+            if s.batch = None then s.batch <- Some batch;
+            s.decided <- true;
+            incr installed
+          end)
+        batches;
+      if !installed > 0 then begin
+        Recovery.Stats.note_state_transfer r.stats;
+        Recovery.Stats.note_holes r.stats !installed;
+        exec_ready r inst;
+        let next_from = from + List.length batches in
+        if
+          inst_stalled inst
+          && next_from <= inst.max_seen
+          && not
+               (match Hashtbl.find_opt inst.slots next_from with
+               | Some s -> s.decided
+               | None -> false)
+        then begin
+          inst.bulk_from <- next_from;
+          send r ~dst:src (Fetch_log { inst = i; from = next_from })
+        end
       end
   | Reply _ -> ()
 
@@ -474,7 +598,7 @@ let adversary : msg Rdb_types.Interpose.view =
     | Propose _ -> Proposal
     | Vote _ -> Vote
     | Qc _ -> Share
-    | Fetch _ | Filled _ -> Sync
+    | Fetch _ | Filled _ | Fetch_log _ | Log_suffix _ -> Sync
   in
   let conflict ~keychain:_ ~nonce:_ _ = None in
   { classify; conflict }

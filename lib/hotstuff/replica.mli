@@ -28,6 +28,10 @@ type msg =
   | Fetch of { inst : int; heights : int list }
       (** Hole-filling catch-up: request missing decided batches. *)
   | Filled of { inst : int; height : int; batch : Batch.t }
+  | Fetch_log of { inst : int; from : int }
+      (** Bulk ledger state transfer: request the contiguous executed
+          suffix of an instance's log starting at [from]. *)
+  | Log_suffix of { inst : int; from : int; batches : Batch.t list }
 
 type replica
 type client

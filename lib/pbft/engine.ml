@@ -235,9 +235,19 @@ let broadcast t m =
   t.ctx.Ctx.charge ~stage:Cpu.Misc
     ~cost:(Time.of_us_f ((cfg t).Config.costs.Config.mac_us *. float_of_int (t.n - 1)))
     (fun () -> ());
-  for i = 0 to t.n - 1 do
-    if i <> t.me then send_to t ~dst_local:i m
-  done
+  match t.tamper with
+  | Some _ ->
+      (* Byzantine senders rewrite per destination: the pooled path
+         cannot represent that, so fall back to one send per member. *)
+      for i = 0 to t.n - 1 do
+        if i <> t.me then send_to t ~dst_local:i m
+      done
+  | None ->
+      let dsts = ref [] in
+      for i = t.n - 1 downto 0 do
+        if i <> t.me then dsts := t.members.(i) :: !dsts
+      done;
+      Ctx.multicast t.ctx ~dsts:!dsts ~size:(size_of t m) ~vcost:(vcost_of t m) m
 
 (* -- progress timer ------------------------------------------------------ *)
 

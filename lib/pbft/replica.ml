@@ -92,10 +92,9 @@ let reply_size cfg = Wire.response_bytes ~batch_size:cfg.Config.batch_size
 let broadcast_fetch (r : replica) =
   let cfg = r.ctx.Ctx.config in
   let vcost = Config.recv_floor_cost cfg ~bytes:Wire.fetch_bytes in
-  for dst = 0 to Config.n_replicas cfg - 1 do
-    if dst <> r.ctx.Ctx.id then
-      r.ctx.Ctx.send ~dst ~size:Wire.fetch_bytes ~vcost (Fetch_state { from = r.issued })
-  done
+  let me = r.ctx.Ctx.id in
+  let dsts = List.filter (fun d -> d <> me) (List.init (Config.n_replicas cfg) Fun.id) in
+  Ctx.multicast r.ctx ~dsts ~size:Wire.fetch_bytes ~vcost (Fetch_state { from = r.issued })
 
 let serve_fetch (r : replica) ~src ~from =
   let cfg = r.ctx.Ctx.config in

@@ -47,6 +47,14 @@ type timer = { ev : event; tgen : int }
 
 let noop_run () = ()
 
+(* A staged cross-shard item: a single event, or a pooled fan-out group
+   — [times] in staging (send) order plus one shared delivery closure
+   indexed by staging position.  A group occupies one outbox slot and
+   one heap slot however many recipients it carries (DESIGN.md §17). *)
+type staged =
+  | Sone of Time.t * event
+  | Sgroup of Time.t array * (int -> unit)
+
 type shard = {
   sid : int;
   heap : event Heap.t;
@@ -57,7 +65,7 @@ type shard = {
   (* Cross-shard events staged during an epoch, indexed by destination
      shard, most-recent first.  Written only by this (sending) shard, so
      parallel epochs never contend; drained at barriers. *)
-  outboxes : (Time.t * event) list array;
+  outboxes : staged list array;
   mutable pool : event list; (* freelist of recycled event records *)
 }
 
@@ -144,10 +152,16 @@ let rng_of_shard t ~shard = t.shards.(shard).srng
 
 let executed_events t = Array.fold_left (fun acc s -> acc + s.sexec) 0 t.shards
 
+let staged_count = function
+  | Sone _ -> 1
+  | Sgroup (times, _) -> Array.length times
+
 let pending_events t =
   Array.fold_left
     (fun acc s ->
-      Array.fold_left (fun acc l -> acc + List.length l) (acc + Heap.length s.heap) s.outboxes)
+      Array.fold_left
+        (fun acc l -> List.fold_left (fun acc e -> acc + staged_count e) acc l)
+        (acc + Heap.length s.heap) s.outboxes)
     0 t.shards
 
 let set_defer_hook t h =
@@ -155,6 +169,10 @@ let set_defer_hook t h =
     invalid_arg "Engine.set_defer_hook: schedule exploration requires a single-shard engine";
   t.defer_hook <- h;
   t.sched_calls <- 0
+
+(* Callers with a fast path that bypasses per-schedule sequencing (the
+   network's pooled multicast) must fall back while exploration is on. *)
+let defer_active t = t.defer_hook <> None
 
 let schedule_calls t = t.sched_calls
 
@@ -220,9 +238,104 @@ let schedule_at_shard t ~shard ~at f =
          Conservative lookahead means [at] can only land at or beyond
          the epoch horizon, so the destination cannot have passed it. *)
       let ev = alloc_event s f in
-      s.outboxes.(shard) <- (at, ev) :: s.outboxes.(shard);
+      s.outboxes.(shard) <- Sone (at, ev) :: s.outboxes.(shard);
       { ev; tgen = ev.gen }
   | None -> schedule_local t t.shards.(shard) ~at f
+
+(* -- pooled fan-out ----------------------------------------------------- *)
+
+(* Push a pre-sequenced event: [seq] was reserved up front by the
+   fan-out path, so the shard's counter is not consulted again. *)
+let push_at s ~at ~seq f = Heap.push s.heap ~time:at ~seq (alloc_event s f)
+
+(* Delivery order of a fan-out group: arrival time ascending, original
+   (staging) position as the tie-break — exactly the (time, seq) order
+   the equivalent individual schedules would pop in. *)
+let sort_order ~times k =
+  let order = Array.init k (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Time.compare times.(a) times.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+(* One pooled record walks the sorted (time, seq) agenda: each pop
+   delivers one recipient and re-inserts the record keyed at the next
+   pending one, so an m-recipient fan-out occupies one heap slot
+   instead of m.  Because the keys are exactly those m individual
+   [schedule_local] calls would have used — and the record always
+   carries the minimum remaining key — the engine's pop order, and
+   therefore every downstream effect, is unchanged. *)
+let schedule_fanout_sorted s ~times ~seqs ~deliver =
+  let k = Array.length times in
+  let idx = ref 0 in
+  let rec run () =
+    let j = !idx in
+    incr idx;
+    if !idx < k then push_at s ~at:times.(!idx) ~seq:seqs.(!idx) run;
+    deliver j
+  in
+  push_at s ~at:times.(0) ~seq:seqs.(0) run
+
+(* Schedule one delivery closure to [k] recipients: [deliver i] is
+   recipient [i]'s delivery, at time [times.(i)], on shard
+   [shards.(i)].  Same-shard recipients reserve the same sequence
+   numbers (in the same order) as individual schedules would, and each
+   cross-shard group stages as one outbox entry expanded at the
+   barrier, so the executed schedule is byte-identical to [k] separate
+   [schedule_at_shard] calls — the determinism contract at any
+   [--jobs] is untouched. *)
+let fanout t ~shards ~times ~deliver =
+  match current_shard t with
+  | Some s when t.defer_hook = None ->
+      let k = Array.length times in
+      let z = Array.length t.shards in
+      let counts = Array.make z 0 in
+      Array.iter (fun sh -> counts.(sh) <- counts.(sh) + 1) shards;
+      for sh = 0 to z - 1 do
+        let m = counts.(sh) in
+        if m > 0 then begin
+          let idxs = Array.make m 0 in
+          let j = ref 0 in
+          for i = 0 to k - 1 do
+            if shards.(i) = sh then begin
+              idxs.(!j) <- i;
+              incr j
+            end
+          done;
+          if sh = s.sid then begin
+            let tms = Array.map (fun i -> Time.max times.(i) s.snow) idxs in
+            let base = s.sseq in
+            s.sseq <- base + m;
+            if m = 1 then
+              let i = idxs.(0) in
+              push_at s ~at:tms.(0) ~seq:(base + 1) (fun () -> deliver i)
+            else begin
+              let order = sort_order ~times:tms m in
+              let stimes = Array.map (fun o -> tms.(o)) order in
+              let sseqs = Array.map (fun o -> base + 1 + o) order in
+              schedule_fanout_sorted s ~times:stimes ~seqs:sseqs ~deliver:(fun j ->
+                  deliver idxs.(order.(j)))
+            end
+          end
+          else if m = 1 then begin
+            let i = idxs.(0) in
+            let ev = alloc_event s (fun () -> deliver i) in
+            s.outboxes.(sh) <- Sone (times.(i), ev) :: s.outboxes.(sh)
+          end
+          else begin
+            let tms = Array.map (fun i -> times.(i)) idxs in
+            s.outboxes.(sh) <- Sgroup (tms, fun j -> deliver idxs.(j)) :: s.outboxes.(sh)
+          end
+        end
+      done
+  | _ ->
+      (* Outside event execution, or under schedule exploration: the
+         per-recipient path (it consults the defer hook per call). *)
+      Array.iteri
+        (fun i sh -> ignore (schedule_at_shard t ~shard:sh ~at:times.(i) (fun () -> deliver i)))
+        shards
 
 (* Global control action at absolute time [at]: runs at an epoch
    barrier with all shards stopped, before same-time ordinary events.
@@ -255,9 +368,25 @@ let drain_outboxes t =
       | staged ->
           t.shards.(src).outboxes.(dst) <- [];
           List.iter
-            (fun (at, ev) ->
-              d.sseq <- d.sseq + 1;
-              Heap.push d.heap ~time:(Time.max at d.snow) ~seq:d.sseq ev)
+            (fun entry ->
+              match entry with
+              | Sone (at, ev) ->
+                  d.sseq <- d.sseq + 1;
+                  Heap.push d.heap ~time:(Time.max at d.snow) ~seq:d.sseq ev
+              | Sgroup (times, deliver) ->
+                  (* Expand the group exactly where its entries would
+                     have sat in the FIFO: m fresh sequence numbers in
+                     staging order, then one pooled record keyed by the
+                     sorted (time, seq) agenda. *)
+                  let m = Array.length times in
+                  let tms = Array.map (fun at -> Time.max at d.snow) times in
+                  let base = d.sseq in
+                  d.sseq <- base + m;
+                  let order = sort_order ~times:tms m in
+                  let stimes = Array.map (fun o -> tms.(o)) order in
+                  let sseqs = Array.map (fun o -> base + 1 + o) order in
+                  schedule_fanout_sorted d ~times:stimes ~seqs:sseqs ~deliver:(fun j ->
+                      deliver order.(j)))
             (List.rev staged)
     done
   done

@@ -66,6 +66,10 @@ val set_defer_hook : t -> (int -> bool) option -> unit
 val schedule_calls : t -> int
 (** Schedule calls observed since the defer hook was installed. *)
 
+val defer_active : t -> bool
+(** Whether a defer hook is installed (callers that pool events must
+    fall back to per-event scheduling so the hook sees every call). *)
+
 val schedule_at : t -> at:Time.t -> (unit -> unit) -> timer
 (** Schedule at an absolute time on the current shard (shard 0 when
     called from outside event execution); times in the past run at
@@ -78,6 +82,18 @@ val schedule_at_shard : t -> shard:int -> at:Time.t -> (unit -> unit) -> timer
     the event in the sending shard's outbox (drained at the next
     barrier in canonical order); the caller must respect the engine's
     lookahead for cross-shard times. *)
+
+val fanout :
+  t -> shards:int array -> times:Time.t array -> deliver:(int -> unit) -> unit
+(** Pooled fan-out: behave exactly like
+    [Array.iteri (fun i sh -> schedule_at_shard t ~shard:sh ~at:times.(i)
+       (fun () -> deliver i)) shards]
+    — same seq reservations, same heap pop order, same cross-shard
+    staging slots — but allocate O(1) heap records per destination
+    shard instead of one per recipient.  The pop-order proof is in
+    DESIGN.md §17.  Fan-outs are not cancellable (network deliveries
+    never are).  Falls back to per-event scheduling when a defer hook
+    is installed or when called outside event execution. *)
 
 val schedule_control : t -> at:Time.t -> (unit -> unit) -> unit
 (** A global action (fault injection, chaos step, monitor probe) that

@@ -195,6 +195,53 @@ let trace_drop t ~src ~dst ~size ~reason =
   | None -> ()
   | Some tr -> Rdb_trace.Trace.net_drop tr ~src ~dst ~size ~at:(Engine.now t.engine) ~reason
 
+(* The healthy wire model shared by [send_admitted] and [multicast]:
+   stats, WAN-egress + uplink serialization, the net_send trace span,
+   base latency and the jitter draw.  Returns the arrival time.  Every
+   side effect (busy-pipe updates, stats, trace, RNG consumption)
+   happens here in call order, so a pooled multicast that calls this
+   once per recipient in destination order is indistinguishable from
+   the per-recipient send path. *)
+let wire_arrival t ~src ~dst ~size =
+  let now = Engine.now t.engine in
+  let admitted = now in
+  let local = Topology.same_region t.topo src dst in
+  Stats.count_sent t.stats ~local ~size;
+  let dst_region = Topology.region_of t.topo dst in
+  let bw = Topology.bw_mbps t.topo ~a:src ~b:dst in
+  (* Cross-region traffic first serializes through the node's
+     aggregate WAN egress, then through the per-region-pair pipe. *)
+  let now =
+    if (not local) && t.wan_egress_mbps > 0. then begin
+      let out =
+        Time.add
+          (Time.max now t.wan_busy.(src))
+          (transmission_ns ~size_bytes:size ~bw_mbps:t.wan_egress_mbps)
+      in
+      t.wan_busy.(src) <- out;
+      out
+    end
+    else now
+  in
+  let busy = t.uplink_busy.(src).(dst_region) in
+  let start = Time.max now busy in
+  let depart = Time.add start (transmission_ns ~size_bytes:size ~bw_mbps:bw) in
+  t.uplink_busy.(src).(dst_region) <- depart;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+      (* [admitted] is when the caller handed us the message; any WAN
+         egress serialization shows up as queueing before [start]. *)
+      Rdb_trace.Trace.net_send tr ~src ~dst ~size ~local ~now:admitted ~start ~depart);
+  let delay = Time.of_ms_f (Topology.one_way_ms t.topo ~a:src ~b:dst) in
+  let jitter =
+    if t.jitter_ms <= 0. then Time.zero
+    else Time.of_ms_f (Rdb_prng.Rng.float_range (Engine.rng t.engine) ~lo:0. ~hi:t.jitter_ms)
+  in
+  (* (earliest legal arrival, actual arrival): jitter is non-negative,
+     so any time >= the floor is producible by the latency model. *)
+  (Time.add depart delay, Time.add depart (Time.add delay jitter))
+
 (* The post-interposition send path: everything the wire does to a
    message the (possibly corrupted) sender actually emitted. *)
 let send_admitted t ~src ~dst ~size msg =
@@ -207,52 +254,13 @@ let send_admitted t ~src ~dst ~size msg =
     trace_drop t ~src ~dst ~size ~reason:"loss"
   end
   else begin
-    let now = Engine.now t.engine in
-    let admitted = now in
-    let local = Topology.same_region t.topo src dst in
-    Stats.count_sent t.stats ~local ~size;
-    let dst_region = Topology.region_of t.topo dst in
-    let bw = Topology.bw_mbps t.topo ~a:src ~b:dst in
-    (* Cross-region traffic first serializes through the node's
-       aggregate WAN egress, then through the per-region-pair pipe. *)
-    let now =
-      if (not local) && t.wan_egress_mbps > 0. then begin
-        let out =
-          Time.add
-            (Time.max now t.wan_busy.(src))
-            (transmission_ns ~size_bytes:size ~bw_mbps:t.wan_egress_mbps)
-        in
-        t.wan_busy.(src) <- out;
-        out
-      end
-      else now
-    in
-    let busy = t.uplink_busy.(src).(dst_region) in
-    let start = Time.max now busy in
-    let depart = Time.add start (transmission_ns ~size_bytes:size ~bw_mbps:bw) in
-    t.uplink_busy.(src).(dst_region) <- depart;
-    (match t.trace with
-    | None -> ()
-    | Some tr ->
-        (* [admitted] is when the caller handed us the message; any WAN
-           egress serialization shows up as queueing before [start]. *)
-        Rdb_trace.Trace.net_send tr ~src ~dst ~size ~local ~now:admitted ~start ~depart);
-    let delay = Time.of_ms_f (Topology.one_way_ms t.topo ~a:src ~b:dst) in
-    let jitter =
-      if t.jitter_ms <= 0. then Time.zero
-      else Time.of_ms_f (Rdb_prng.Rng.float_range (Engine.rng t.engine) ~lo:0. ~hi:t.jitter_ms)
-    in
-    let arrive = Time.add depart (Time.add delay jitter) in
+    let floor, arrive = wire_arrival t ~src ~dst ~size in
     let arrive =
       match t.dhook with
       | None -> arrive
       | Some hook ->
           let nth = t.dhook_sends in
           t.dhook_sends <- nth + 1;
-          (* [floor] is the earliest legal arrival: departure plus the
-             base one-way latency (jitter is non-negative, so any time
-             >= floor is producible by the latency model). *)
-          let floor = Time.add depart delay in
           let last = Hashtbl.find_opt t.dhook_last (src, dst) in
           let arrive = Time.max floor (hook ~src ~dst ~nth ~floor ~arrive ~last) in
           Hashtbl.replace t.dhook_last (src, dst)
@@ -313,4 +321,57 @@ let send t ~src ~dst ~size msg =
                          if not t.crashed.(src) then send_admitted t ~src ~dst ~size m)))
               emissions)
 
-let multicast t ~src ~dsts ~size msg = List.iter (fun dst -> send t ~src ~dst ~size msg) dsts
+(* Broadcast one message to [dsts] (in order).
+
+   Fast path: on the healthy wire — no interposer, no delivery hook, no
+   drop rules, no degraded links, no schedule exploration — an
+   n-recipient broadcast runs the per-recipient wire model once per
+   destination (identical side effects, stats, and RNG stream to n
+   [send] calls) but hands the engine ONE pooled fan-out per shard
+   instead of n heap inserts, with a single shared delivery closure
+   instead of n per-recipient closures.  The engine reserves the same
+   sequence numbers n individual schedules would have consumed, so the
+   executed event schedule is byte-identical (see Engine.fanout and
+   DESIGN.md §17).
+
+   Any installed fault/exploration machinery falls back to the
+   per-recipient path: those features key off per-send state (loss and
+   dup draws, interposer emissions, hook counters) that the pooled
+   representation deliberately does not model. *)
+let multicast t ~src ~dsts ~size msg =
+  match dsts with
+  | [] -> ()
+  | [ dst ] -> send t ~src ~dst ~size msg
+  | _ ->
+      if t.crashed.(src) then ()
+      else if
+        t.interpose <> None || t.dhook <> None || t.drop_rules <> []
+        || Hashtbl.length t.link_loss > 0
+        || Hashtbl.length t.link_dup > 0
+        || Engine.defer_active t.engine
+      then List.iter (fun dst -> send t ~src ~dst ~size msg) dsts
+      else begin
+        let dsts = Array.of_list dsts in
+        let k = Array.length dsts in
+        let arrives = Array.make k Time.zero in
+        let shards = Array.make k 0 in
+        for i = 0 to k - 1 do
+          let dst = dsts.(i) in
+          let _, arrive = wire_arrival t ~src ~dst ~size in
+          arrives.(i) <- arrive;
+          shards.(i) <- t.shard_of dst
+        done;
+        Engine.fanout t.engine ~shards ~times:arrives ~deliver:(fun i ->
+            let dst = dsts.(i) in
+            if t.crashed.(dst) then trace_drop t ~src ~dst ~size ~reason:"dst-crashed"
+            else
+              match t.interpose with
+              | Some ip when not (ip.on_recv ~src ~dst msg) ->
+                  trace_drop t ~src ~dst ~size ~reason:"adversary-deaf"
+              | _ ->
+                  (match t.trace with
+                  | None -> ()
+                  | Some tr ->
+                      Rdb_trace.Trace.net_deliver tr ~src ~dst ~size ~at:(Engine.now t.engine));
+                  t.deliver ~src ~dst msg)
+      end

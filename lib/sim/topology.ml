@@ -77,22 +77,59 @@ let min_cross_region_one_way_ms t =
   done;
   !m
 
-(* Build a topology over the first [n_regions] paper regions with a
-   caller-supplied node placement. *)
+(* Beyond the paper's six regions the matrix tiles (the z=30+ scaling
+   axis): region [i] inherits paper region [i mod 6]'s Table 1 row, and
+   two *distinct* regions mapped to the same paper slot behave as
+   nearby datacenters of that geography — [tile_rtt_ms] apart at
+   intra-continent bandwidth — rather than collapsing into one region
+   (cross-region latency must stay positive: it is the conservative
+   engine's lookahead). *)
+let tile_rtt_ms = 10.0
+let tile_bw_mbps = 1_000.0
+
+(* Build a topology over the first [n_regions] paper regions (tiled
+   beyond six) with a caller-supplied node placement. *)
 let of_paper ~n_regions ~node_region =
-  if n_regions < 1 || n_regions > 6 then
-    invalid_arg "Topology.of_paper: n_regions must be in 1..6";
+  if n_regions < 1 then invalid_arg "Topology.of_paper: n_regions must be >= 1";
   Array.iter
     (fun r ->
       if r < 0 || r >= n_regions then invalid_arg "Topology.of_paper: node region out of range")
     node_region;
-  let slice m = Array.init n_regions (fun i -> Array.sub m.(i) 0 n_regions) in
-  {
-    regions = Array.sub paper_regions 0 n_regions;
-    rtt_ms = slice paper_rtt_ms;
-    bw_mbps = slice paper_bw_mbps;
-    node_region;
-  }
+  let base = Array.length paper_regions in
+  if n_regions <= base then
+    let slice m = Array.init n_regions (fun i -> Array.sub m.(i) 0 n_regions) in
+    {
+      regions = Array.sub paper_regions 0 n_regions;
+      rtt_ms = slice paper_rtt_ms;
+      bw_mbps = slice paper_bw_mbps;
+      node_region;
+    }
+  else
+    let regions =
+      Array.init n_regions (fun i ->
+          let p = paper_regions.(i mod base) in
+          if i < base then p
+          else
+            {
+              name = Printf.sprintf "%s-%d" p.name (i / base);
+              short = Printf.sprintf "%s%d" p.short (i / base);
+            })
+    in
+    let tiled paper same i j =
+      if i = j then paper.(i mod base).(i mod base)
+      else if i mod base = j mod base then same
+      else paper.(i mod base).(j mod base)
+    in
+    {
+      regions;
+      rtt_ms =
+        Array.init n_regions (fun i ->
+            Array.init n_regions (fun j -> tiled paper_rtt_ms tile_rtt_ms i j));
+      bw_mbps =
+        Array.init n_regions (fun i ->
+            Array.init n_regions (fun j -> tiled paper_bw_mbps tile_bw_mbps i j));
+      node_region;
+    }
 
 (* Standard placement used by the experiments: [z] clusters of [n]
    replicas each, cluster [c] entirely inside region [c], plus one

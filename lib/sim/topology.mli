@@ -33,9 +33,13 @@ val min_cross_region_one_way_ms : t -> float
 
 val of_paper : n_regions:int -> node_region:int array -> t
 (** Topology over the first [n_regions] paper regions with an explicit
-    node placement.
-    @raise Invalid_argument if [n_regions] is outside 1..6 or a node's
-    region is out of range. *)
+    node placement.  Beyond six regions the Table 1 matrix tiles:
+    region [i] inherits paper region [i mod 6], and distinct regions
+    sharing a paper slot sit 10 ms RTT apart at intra-continent
+    bandwidth (nearby datacenters of the same geography) — the z=30+
+    scaling axis.
+    @raise Invalid_argument if [n_regions < 1] or a node's region is
+    out of range. *)
 
 val clustered : z:int -> n:int -> t
 (** The experiments' standard placement: [z] clusters of [n] replicas,

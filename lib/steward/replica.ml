@@ -148,7 +148,16 @@ let is_leader_rep r = r.ctx.Ctx.id = leader_rep r
 let site_members r = Config.replicas_of_cluster r.cfg r.my_cluster
 
 let broadcast_site r m =
-  List.iter (fun dst -> if dst <> r.ctx.Ctx.id then send r ~dst m) (site_members r)
+  let dsts = List.filter (fun dst -> dst <> r.ctx.Ctx.id) (site_members r) in
+  Ctx.multicast r.ctx ~dsts ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
+
+(* Pooled fan-out to every remote site's representative. *)
+let broadcast_reps r m =
+  let dsts = ref [] in
+  for c = r.cfg.Config.z - 1 downto 0 do
+    if c <> r.my_cluster then dsts := rep_of r.cfg ~cluster:c :: !dsts
+  done;
+  Ctx.multicast r.ctx ~dsts:!dsts ~size:(size_of r.cfg m) ~vcost:(vcost_of r.cfg m) m
 
 let majority_sites cfg = (cfg.Config.z / 2) + 1
 
@@ -254,9 +263,7 @@ let rec assign_more r =
        globally. *)
     let tag = Printf.sprintf "prop:%d" g in
     start_certify r ~tag ~digest:batch.Batch.digest ~on_cert:(fun () ->
-        for c = 0 to r.cfg.Config.z - 1 do
-          if c <> r.my_cluster then send r ~dst:(rep_of r.cfg ~cluster:c) (Global_proposal { g; batch })
-        done;
+        broadcast_reps r (Global_proposal { g; batch });
         accept_proposal r ~g ~batch;
         assign_more r)
       ()
@@ -274,11 +281,8 @@ and accept_proposal r ~g ~batch =
     let tag = Printf.sprintf "acc:%d" g in
     start_certify r ~tag ~digest:batch.Batch.digest ~on_cert:(fun () ->
         r.ctx.Ctx.phase ~key:g ~name:"certify-share";
-        for c = 0 to r.cfg.Config.z - 1 do
-          if c <> r.my_cluster then
-            send r ~dst:(rep_of r.cfg ~cluster:c)
-              (Global_accept { g; site = r.my_cluster; digest = batch.Batch.digest })
-        done;
+        broadcast_reps r
+          (Global_accept { g; site = r.my_cluster; digest = batch.Batch.digest });
         record_accept r ~g ~site:r.my_cluster ~digest:batch.Batch.digest)
       ()
   end

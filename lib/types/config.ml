@@ -52,6 +52,18 @@ type t = {
   remote_timeout_ms : float;  (* GeoBFT remote failure-detection timer *)
   client_inflight : int;      (* outstanding batches per client group *)
   client_timeout_ms : float;  (* client retransmission timer *)
+  (* Aggregate client population across the whole deployment, split
+     evenly over the z per-cluster client groups.  0 (the default)
+     keeps the legacy closed-loop model: [client_inflight] outstanding
+     batches per group over a 1000-client id space.  A positive value
+     models that many real clients as aggregated groups — each group
+     draws client ids from a population of [clients/z], and keeps
+     max(client_inflight, population/batch_size) batches outstanding
+     (every aggregated client has one request in flight, packed
+     [batch_size] to a batch).  Group work stays one event per batch
+     tick regardless of population, which is what lets a sweep
+     represent millions of clients (10x the paper's 160k). *)
+  clients : int;
   (* Effective aggregate WAN egress of one machine (all cross-region
      flows of a node share this pipe, in series with the per-region
      Table 1 pipes).  Table 1 reports per-flow bandwidth; a single VM
@@ -98,6 +110,7 @@ let default =
        backup-forward / censorship-timer machinery) well before the
        chaos monitor's liveness window expires. *)
     client_timeout_ms = 3_000.0;
+    clients = 0;
     wan_egress_mbps = 350.0;
     geobft_fanout = 0;
     threshold_certs = false;
@@ -108,8 +121,8 @@ let default =
     seed = 1;
   }
 
-let make ?(base = default) ?z ?n ?batch_size ?client_inflight ?read_fraction ?scan_fraction
-    ?storage ?seed () =
+let make ?(base = default) ?z ?n ?batch_size ?client_inflight ?clients ?read_fraction
+    ?scan_fraction ?storage ?seed () =
   let get o d = Option.value o ~default:d in
   {
     base with
@@ -117,11 +130,41 @@ let make ?(base = default) ?z ?n ?batch_size ?client_inflight ?read_fraction ?sc
     n = get n base.n;
     batch_size = get batch_size base.batch_size;
     client_inflight = get client_inflight base.client_inflight;
+    clients = get clients base.clients;
     read_fraction = get read_fraction base.read_fraction;
     scan_fraction = get scan_fraction base.scan_fraction;
     storage = get storage base.storage;
     seed = get seed base.seed;
   }
+
+(* -- client-group aggregation ------------------------------------------ *)
+
+(* Per-cluster client population: [clients] split evenly over the z
+   groups, remainder to the lowest-numbered clusters.  The legacy model
+   (clients = 0) keeps the historical 1000-client id space per group. *)
+let group_population t ~cluster =
+  if t.clients <= 0 then 1000
+  else (t.clients / t.z) + (if cluster < t.clients mod t.z then 1 else 0)
+
+(* Stride between per-cluster client-id bases: at least the legacy
+   10_000 (so clients = 0 and populations up to 10k produce the same
+   ids the legacy model did), and always wide enough that no two
+   groups' id ranges overlap. *)
+let client_id_stride t =
+  let pop_max = if t.clients <= 0 then 1000 else (t.clients / t.z) + 1 in
+  max 10_000 pop_max
+
+(* Outstanding batches an aggregated client group keeps in flight: each
+   modeled client has one request outstanding and [batch_size] of them
+   share a batch, so population/batch_size batches are in the system on
+   the group's behalf.  The configured [client_inflight] is the floor,
+   so small populations keep the saturating closed-loop model.
+   [clients = 0] is *exactly* the legacy model — the configured
+   inflight, never the population-derived one — which is what keeps
+   every pre-existing pinned digest and baseline byte-identical. *)
+let group_inflight t ~cluster =
+  if t.clients <= 0 then t.client_inflight
+  else max t.client_inflight (group_population t ~cluster / max 1 t.batch_size)
 
 let storage_name = function Memory -> "mem" | Disk -> "disk"
 let storage_of_string = function

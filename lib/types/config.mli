@@ -38,6 +38,14 @@ type t = {
   remote_timeout_ms : float;  (** GeoBFT remote failure-detection timer *)
   client_inflight : int;      (** outstanding batches per client group *)
   client_timeout_ms : float;  (** client retransmission timer *)
+  clients : int;
+      (** Aggregate client population modeled across the deployment,
+          split over the z per-cluster groups; 0 (default) = the legacy
+          closed-loop model ([client_inflight] outstanding batches per
+          group, 1000-client id space).  Group work is one event per
+          batch tick regardless of population, so sweeps can represent
+          millions of clients.  See {!group_population},
+          {!group_inflight}, {!client_id_stride}. *)
   wan_egress_mbps : float;    (** per-node aggregate WAN egress cap *)
   geobft_fanout : int;        (** GeoBFT sharing fan-out; 0 = f+1 (paper) *)
   threshold_certs : bool;     (** §2.2 optional threshold-signature certificates *)
@@ -56,6 +64,7 @@ val make :
   ?n:int ->
   ?batch_size:int ->
   ?client_inflight:int ->
+  ?clients:int ->
   ?read_fraction:float ->
   ?scan_fraction:float ->
   ?storage:storage ->
@@ -65,6 +74,22 @@ val make :
 
 val storage_name : storage -> string
 val storage_of_string : string -> storage option
+
+(** {1 Client-group aggregation} *)
+
+val group_population : t -> cluster:int -> int
+(** Clients modeled by cluster [cluster]'s group: [clients/z] (+1 for
+    the first [clients mod z] clusters), or the legacy 1000 when
+    [clients] is 0. *)
+
+val group_inflight : t -> cluster:int -> int
+(** Outstanding batches the group keeps in flight:
+    max(client_inflight, population/batch_size) — or exactly
+    [client_inflight] when [clients] is 0 (the legacy model). *)
+
+val client_id_stride : t -> int
+(** Distance between consecutive groups' client-id bases (≥ the legacy
+    10_000; wide enough that id ranges never overlap). *)
 
 (** {1 Fault tolerance and quorums} *)
 

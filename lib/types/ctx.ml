@@ -43,6 +43,11 @@ type 'm t = {
   rng : Rng.t;
   now : unit -> Time.t;
   send : dst:int -> size:int -> vcost:Time.t -> 'm -> unit;
+  (* One message to many recipients (in list order).  Semantically
+     identical to folding [send] over [dsts]; the fabric binds it to
+     the network's pooled fan-out so an n-recipient broadcast costs one
+     event-queue record instead of n (the large-topology send path). *)
+  bcast : dsts:int list -> size:int -> vcost:Time.t -> 'm -> unit;
   charge : stage:Cpu.stage -> cost:Time.t -> (unit -> unit) -> unit;
   set_timer : delay:Time.t -> (unit -> unit) -> timer;
   cancel_timer : timer -> unit;
@@ -66,8 +71,7 @@ type 'm t = {
   phase : key:int -> name:string -> unit;
 }
 
-let multicast t ~dsts ~size ~vcost msg =
-  List.iter (fun dst -> t.send ~dst ~size ~vcost msg) dsts
+let multicast t ~dsts ~size ~vcost msg = t.bcast ~dsts ~size ~vcost msg
 
 (* Restrict a context to an embedded sub-protocol speaking its own
    message type (e.g. the Pbft engine inside GeoBFT): sends are mapped
@@ -80,6 +84,7 @@ let map_send (inject : 'a -> 'b) (t : 'b t) : 'a t =
     rng = t.rng;
     now = t.now;
     send = (fun ~dst ~size ~vcost m -> t.send ~dst ~size ~vcost (inject m));
+    bcast = (fun ~dsts ~size ~vcost m -> t.bcast ~dsts ~size ~vcost (inject m));
     charge = t.charge;
     set_timer = t.set_timer;
     cancel_timer = t.cancel_timer;

@@ -35,6 +35,12 @@ type 'm t = {
   rng : Rng.t;
   now : unit -> Time.t;
   send : dst:int -> size:int -> vcost:Time.t -> 'm -> unit;
+  bcast : dsts:int list -> size:int -> vcost:Time.t -> 'm -> unit;
+      (** One message to many recipients (in list order).  Semantically
+          identical to folding [send] over [dsts]; the fabric binds it
+          to the network's pooled fan-out so an n-recipient broadcast
+          costs one event-queue record instead of n.  Call through
+          {!multicast}. *)
   charge : stage:Cpu.stage -> cost:Time.t -> (unit -> unit) -> unit;
   set_timer : delay:Time.t -> (unit -> unit) -> timer;
   cancel_timer : timer -> unit;

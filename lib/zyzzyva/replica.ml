@@ -151,10 +151,13 @@ let on_message r ~src (m : msg) =
               (* The primary's own history advances as it orders. *)
               let h = Sha256.digest_list [ r.history; batch.Batch.digest ] in
               r.history <- h;
-              for dst = 0 to r.n - 1 do
-                if dst <> r.ctx.Ctx.id then
-                  send r ~dst (Order_req { view = r.view; seq; batch; history = h })
+              let m = Order_req { view = r.view; seq; batch; history = h } in
+              let dsts = ref [] in
+              for dst = r.n - 1 downto 0 do
+                if dst <> r.ctx.Ctx.id then dsts := dst :: !dsts
               done;
+              Ctx.multicast r.ctx ~dsts:!dsts ~size:(size_of r.cfg m)
+                ~vcost:(vcost_of r.cfg m) m;
               Hashtbl.replace r.ordered seq (batch, h);
               exec_ready r)
         end
@@ -290,10 +293,10 @@ let try_commit_cert c p =
       let responders = List.map fst members in
       let seq = p.seq in
       c.cctx.Ctx.charge ~stage:Cpu.Misc ~cost:(Config.sign_cost c.ccfg) (fun () ->
-          for dst = 0 to c.cn - 1 do
-            csend c ~dst
-              (Commit_cert { batch_id = p.batch.Batch.id; seq; history = h; responders })
-          done)
+          let m = Commit_cert { batch_id = p.batch.Batch.id; seq; history = h; responders } in
+          Ctx.multicast c.cctx
+            ~dsts:(List.init c.cn Fun.id)
+            ~size:(size_of c.ccfg m) ~vcost:(vcost_of c.ccfg m) m)
   | _ ->
       (* Not enough agreement: retransmit the request to the primary. *)
       csend c ~dst:0 (Request p.batch)

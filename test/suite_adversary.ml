@@ -376,6 +376,35 @@ let test_rvc_weak_rediscovered () =
   Alcotest.(check bool) "replay digest matches" true
     (outcome.Check.digest_match = Some true)
 
+let test_replay_saturation_clean () =
+  (* Receiver-side dedup regression (DESIGN.md §17): a corrupt replica
+     replaying *every* matching protocol message — the most aggressive
+     [replay.*] program the grammar can spell — must never trip a
+     safety oracle.  Every receive path is required to be idempotent
+     (sequence-numbered slots, per-batch seen-sets, certificate
+     collectors keyed by signer), so duplicates may cost bandwidth but
+     can never double-execute, double-vote, or fork a quorum. *)
+  List.iter
+    (fun proto ->
+      let s = Check.default_attack_scenario proto in
+      let caps =
+        Runner.adversary_profile proto s.Scenario.cfg
+      in
+      let rules =
+        List.map
+          (fun cls -> A.always ~actor:0 (A.Replay { cls; every = 1 }))
+          caps.A.replay
+      in
+      if rules = [] then
+        Alcotest.failf "%s exposes no replayable classes" (Scenario.proto_name proto);
+      let r = Check.run_attack s { Attack.rules } in
+      match r.Check.violation with
+      | None -> ()
+      | Some v ->
+          Alcotest.failf "%s: replay saturation violated %s: %s"
+            (Scenario.proto_name proto) v.Check.invariant v.Check.detail)
+    Scenario.all_protocols
+
 let test_clean_sweep_small () =
   (* Unmutated protocols absorb sampled in-envelope adversaries.  Two
      protocols at a tiny budget here; the full five-protocol sweep is
@@ -408,5 +437,6 @@ let suite =
     ("scenario attack token", `Quick, test_scenario_attack_token);
     ("sample_attack attempt 0", `Quick, test_sample_attack_attempt_zero);
     ("rvc-weak rediscovered + replayed", `Slow, test_rvc_weak_rediscovered);
+    ("replay saturation trips no safety oracle", `Slow, test_replay_saturation_clean);
     ("clean sweep small", `Slow, test_clean_sweep_small);
   ]

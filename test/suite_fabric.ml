@@ -41,9 +41,11 @@ let test_latency_percentiles () =
 (* -- Deployment wiring -------------------------------------------------------- *)
 
 let test_deployment_layout_validation () =
-  Alcotest.check_raises "z=7 rejected"
-    (Invalid_argument "Deployment.create: z must be within the paper's six regions") (fun () ->
-      ignore (Dep.create (Config.make ~z:7 ~n:4 ())))
+  (* z > 6 now deploys onto a tiled topology (DESIGN.md §17); only a
+     degenerate cluster count is rejected. *)
+  Alcotest.check_raises "z=0 rejected"
+    (Invalid_argument "Deployment.create: z must be >= 1") (fun () ->
+      ignore (Dep.create { (Config.make ~z:1 ~n:4 ()) with Config.z = 0 }))
 
 let test_retain_payloads_modes () =
   let cfg = Itest.small_cfg ~z:1 ~n:4 () in

@@ -78,6 +78,27 @@ let test_state_agreement_per_length () =
       (Ledger.verify (Dep.ledger d ~replica:i))
   done
 
+let test_deep_outage_state_transfer () =
+  (* The state-transfer gap (DESIGN.md §17): a replica that sleeps
+     through thousands of decisions must catch back up via bulk
+     [Fetch_log]/[Log_suffix] ledger transfer — served from the
+     unbounded archive, chained chunk-to-chunk without timer backoff —
+     rather than stalling forever on per-height fetches.  The crash
+     window is sized so the hole far exceeds [bulk_threshold]. *)
+  let cfg = Itest.small_cfg ~z:2 ~n:4 ~batch:5 ~inflight:8 () in
+  let d = Dep.create ~n_records:Itest.records cfg in
+  Dep.at d ~time:(Time.sec 2) (fun () -> Dep.crash_replica d 7);
+  Dep.at d ~time:(Time.sec 5) (fun () -> Dep.recover_replica d 7);
+  let report = Dep.run ~warmup:(Time.sec 1) ~measure:(Time.sec 9) d in
+  Alcotest.(check bool) "bulk ledger transfer used" true
+    (report.Rdb_fabric.Report.state_transfers > 0);
+  let totals = Array.init 8 (fun i -> Hs.decided_total (Dep.replica d i)) in
+  let best = Array.fold_left max 0 totals in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered replica caught up (%d of %d)" totals.(7) best)
+    true
+    (best > 200 && totals.(7) >= best - 64)
+
 let test_determinism () =
   let cfg = Itest.small_cfg ~z:2 ~n:4 () in
   let r1 = snd (run_small ~cfg ()) in
@@ -91,5 +112,6 @@ let suite =
     ("per-client order consistent", `Quick, test_per_client_order_consistent);
     ("leader crash degrades gracefully", `Slow, test_leader_crash_degrades_gracefully);
     ("ledgers verify", `Quick, test_state_agreement_per_length);
+    ("deep outage triggers bulk state transfer", `Slow, test_deep_outage_state_transfer);
     ("determinism", `Quick, test_determinism);
   ]

@@ -73,6 +73,11 @@ let make_harness ~n =
       send =
         (fun ~dst ~size:_ ~vcost:_ m ->
           match !h_ref with Some h -> push_mail h (id, dst, m) | None -> ());
+      bcast =
+        (fun ~dsts ~size:_ ~vcost:_ m ->
+          match !h_ref with
+          | Some h -> List.iter (fun dst -> push_mail h (id, dst, m)) dsts
+          | None -> ());
       charge = (fun ~stage:_ ~cost:_ k -> k ());
       set_timer =
         (fun ~delay k -> Rdb_sim.Engine.schedule_after engine_handle ~delay k);

@@ -172,9 +172,16 @@ let test_topology_table1 () =
   Alcotest.(check int) "client region" 3 (Topology.region_of t (12 + 3))
 
 let test_topology_validation () =
-  Alcotest.check_raises "z > 6 rejected"
-    (Invalid_argument "Topology.of_paper: n_regions must be in 1..6") (fun () ->
-      ignore (Topology.of_paper ~n_regions:7 ~node_region:[||]))
+  Alcotest.check_raises "n_regions < 1 rejected"
+    (Invalid_argument "Topology.of_paper: n_regions must be >= 1") (fun () ->
+      ignore (Topology.of_paper ~n_regions:0 ~node_region:[||]));
+  Alcotest.check_raises "node region out of range rejected"
+    (Invalid_argument "Topology.of_paper: node region out of range") (fun () ->
+      ignore (Topology.of_paper ~n_regions:2 ~node_region:[| 0; 2 |]));
+  (* z > 6 now tiles the Table 1 matrix (DESIGN.md §17) instead of
+     being rejected — suite_scale.ml covers the tiled numbers. *)
+  let t = Topology.of_paper ~n_regions:7 ~node_region:[| 0; 6 |] in
+  Alcotest.(check int) "tiled regions accepted" 7 (Topology.n_regions t)
 
 (* -- Network ------------------------------------------------------------------ *)
 

@@ -138,6 +138,7 @@ let mk_client_ctx () =
       rng = Rdb_prng.Rng.create 1L;
       now = (fun () -> Engine.now engine);
       send = (fun ~dst ~size:_ ~vcost:_ () -> sent := dst :: !sent);
+      bcast = (fun ~dsts ~size:_ ~vcost:_ () -> List.iter (fun dst -> sent := dst :: !sent) dsts);
       charge = (fun ~stage:_ ~cost:_ k -> k ());
       set_timer = (fun ~delay k -> Engine.schedule_after engine ~delay k);
       cancel_timer = Engine.cancel;
@@ -230,6 +231,9 @@ let test_ctx_map_send () =
       rng = Rdb_prng.Rng.create 1L;
       now = (fun () -> Engine.now engine);
       send = (fun ~dst ~size ~vcost m -> sent := (dst, size, vcost, m) :: !sent);
+      bcast =
+        (fun ~dsts ~size ~vcost m ->
+          List.iter (fun dst -> sent := (dst, size, vcost, m) :: !sent) dsts);
       charge = (fun ~stage:_ ~cost:_ k -> k ());
       set_timer = (fun ~delay k -> Engine.schedule_after engine ~delay k);
       cancel_timer = Engine.cancel;

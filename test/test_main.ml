@@ -24,6 +24,7 @@ let () =
       ("steward", Suite_steward.suite);
       ("fabric", Suite_fabric.suite);
       ("parallel", Suite_parallel.suite);
+      ("scale", Suite_scale.suite);
       ("trace", Suite_trace.suite);
       ("integration", Itest.suite);
       ("experiments", Suite_experiments.suite);
